@@ -1,0 +1,57 @@
+//! Criterion benches regenerating Table 1: one group per experiment,
+//! one bench per strategy (original / correlated / emst), timing plan
+//! *execution* (plans prepared once, indexes warmed — the paper times
+//! execution on an already-indexed database).
+//!
+//! Run `cargo bench -p starmagic-bench --bench table1`. The quick
+//! normalized table (the paper's presentation) comes from
+//! `cargo run --release -p starmagic-bench --bin table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use starmagic::{Engine, Prepared, Strategy};
+use starmagic_bench::{bench_engine, experiments};
+use starmagic_catalog::generator::Scale;
+
+/// Benchmark scale: smaller than the headline run so that the
+/// deliberately catastrophic correlated plans (Exp C/D) stay within
+/// criterion's time budget, but large enough that every regime holds.
+fn bench_scale() -> Scale {
+    Scale {
+        departments: 100,
+        emps_per_dept: 20,
+        projects_per_dept: 5,
+        acts_per_emp: 3,
+        seed: 42,
+    }
+}
+
+fn prepare(engine: &Engine, sql: &str, strategy: Strategy) -> Prepared {
+    let p = engine.prepare(sql, strategy).expect("prepare");
+    engine.execute_prepared(&p).expect("warm-up"); // builds indexes
+    p
+}
+
+fn table1(c: &mut Criterion) {
+    let engine = bench_engine(bench_scale()).expect("engine");
+    for exp in experiments() {
+        let mut group = c.benchmark_group(format!("table1/exp_{}", exp.id.to_ascii_lowercase()));
+        group.sample_size(10);
+        let original = prepare(&engine, exp.original_sql, Strategy::Original);
+        let correlated = prepare(&engine, exp.correlated_sql, Strategy::Original);
+        let magic = prepare(&engine, exp.original_sql, Strategy::Magic);
+        group.bench_function("original", |b| {
+            b.iter(|| engine.execute_prepared(&original).expect("run"))
+        });
+        group.bench_function("correlated", |b| {
+            b.iter(|| engine.execute_prepared(&correlated).expect("run"))
+        });
+        group.bench_function("emst", |b| {
+            b.iter(|| engine.execute_prepared(&magic).expect("run"))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

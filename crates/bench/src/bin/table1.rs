@@ -1,0 +1,93 @@
+//! Regenerate the paper's Table 1: elapsed time of Original /
+//! Correlated / EMST for experiments A–H, normalized to Original=100.
+//!
+//! Usage: `cargo run --release -p starmagic-bench --bin table1 [--small]`
+//!
+//! Prints both wall-clock-normalized numbers (the paper's metric) and
+//! the deterministic row-work normalization, plus the paper's own
+//! numbers for comparison. Result agreement between the three
+//! formulations is verified before any timing is trusted.
+
+use starmagic::Strategy;
+use starmagic_bench::{bench_engine, experiments, run_experiment, sorted_rows};
+use starmagic_catalog::generator::Scale;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small {
+        Scale::small()
+    } else {
+        Scale::benchmark()
+    };
+    eprintln!(
+        "building benchmark database ({} departments x {} employees/dept)...",
+        scale.departments, scale.emps_per_dept
+    );
+    let engine = bench_engine(scale).expect("catalog build");
+
+    // Verify the formulations agree before timing anything.
+    for exp in experiments() {
+        let orig = sorted_rows(&engine, exp.original_sql, Strategy::Original)
+            .unwrap_or_else(|e| panic!("experiment {} (original): {e}", exp.id));
+        let emst = sorted_rows(&engine, exp.original_sql, Strategy::Magic)
+            .unwrap_or_else(|e| panic!("experiment {} (emst): {e}", exp.id));
+        assert_eq!(orig, emst, "experiment {}: EMST changed results", exp.id);
+        let corr = sorted_rows(&engine, exp.correlated_sql, Strategy::Original)
+            .unwrap_or_else(|e| panic!("experiment {} (correlated): {e}", exp.id));
+        assert_eq!(
+            orig.len(),
+            corr.len(),
+            "experiment {}: cardinality mismatch",
+            exp.id
+        );
+    }
+    eprintln!("result agreement verified for all 8 experiments\n");
+
+    println!("Table 1 — Elapsed Time (Original = 100.00)");
+    println!("{}", "-".repeat(100));
+    println!(
+        "{:<6} | {:>9} {:>11} {:>8} | {:>9} {:>11} {:>8} | {:>9} {:>11} {:>8}",
+        "", "paper", "", "", "measured (time)", "", "", "measured (work)", "", ""
+    );
+    println!(
+        "{:<6} | {:>9} {:>11} {:>8} | {:>9} {:>11} {:>8} | {:>9} {:>11} {:>8}",
+        "Query", "Original", "Correlated", "EMST", "Original", "Correlated", "EMST", "Original",
+        "Correlated", "EMST"
+    );
+    println!("{}", "-".repeat(100));
+    for exp in experiments() {
+        let r = run_experiment(&engine, &exp)
+            .unwrap_or_else(|e| panic!("experiment {} failed: {e}", exp.id));
+        let (to, tc, te) = r.normalized_time();
+        let (wo, wc, we) = r.normalized_work();
+        println!(
+            "Exp {:<2} | {:>9.2} {:>11.2} {:>8.2} | {:>9.2} {:>11.2} {:>8.2} | {:>9.2} {:>11.2} {:>8.2}",
+            exp.id,
+            exp.paper.original,
+            exp.paper.correlated,
+            exp.paper.emst,
+            to,
+            tc,
+            te,
+            wo,
+            wc,
+            we
+        );
+    }
+    println!("{}", "-".repeat(100));
+    println!("\nper-experiment detail:");
+    for exp in experiments() {
+        let r = run_experiment(&engine, &exp).expect("ran above");
+        println!(
+            "Exp {}: {}\n       original {:>10.3?} ({} rows work)   correlated {:>10.3?} ({})   emst {:>10.3?} ({})",
+            exp.id,
+            exp.title,
+            r.original.elapsed,
+            r.original.work,
+            r.correlated.elapsed,
+            r.correlated.work,
+            r.emst.elapsed,
+            r.emst.work,
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The catalog: a map from table names to base tables, plus stored
+//! view definitions (kept as SQL text and expanded by the frontend).
+
+use std::collections::BTreeMap;
+
+use starmagic_common::{Error, Result};
+
+use crate::table::Table;
+
+/// A stored view definition: the view name, its column names, and the
+/// SQL body. Views are expanded into the query graph by the QGM
+/// builder, exactly as Starburst inlines view blobs into the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub body_sql: String,
+    /// Whether the view may reference itself (stratified recursion).
+    pub recursive: bool,
+}
+
+/// The catalog of base tables and views.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    views: BTreeMap<String, ViewDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a base table. Errors if any table or view already has
+    /// the name.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let name = table.schema().name.clone();
+        if self.tables.contains_key(&name) || self.views.contains_key(&name) {
+            return Err(Error::AlreadyExists(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Register a view definition. Errors on name collisions.
+    pub fn add_view(&mut self, view: ViewDef) -> Result<()> {
+        let name = view.name.to_ascii_lowercase();
+        if self.tables.contains_key(&name) || self.views.contains_key(&name) {
+            return Err(Error::AlreadyExists(name));
+        }
+        self.views.insert(
+            name.clone(),
+            ViewDef {
+                name,
+                columns: view.columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+                ..view
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a base table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        let lname = name.to_ascii_lowercase();
+        self.tables
+            .get(&lname)
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    /// Look up a base table mutably (for loading data).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let lname = name.to_ascii_lowercase();
+        self.tables
+            .get_mut(&lname)
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    /// Look up a view definition.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// Whether the name refers to a base table.
+    pub fn is_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All base-table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// All view names, sorted.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Drop a view (used by benchmarks that redefine workloads).
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        self.views
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(format!("view {name}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use starmagic_common::DataType;
+
+    fn table(name: &str) -> Table {
+        Table::new(TableSchema::new(
+            name,
+            vec![ColumnDef::new("x", DataType::Int)],
+        ))
+    }
+
+    #[test]
+    fn add_and_lookup_table() {
+        let mut c = Catalog::new();
+        c.add_table(table("T1")).unwrap();
+        assert!(c.table("t1").is_ok());
+        assert!(c.table("T1").is_ok());
+        assert!(c.table("t2").is_err());
+        assert!(c.is_table("t1"));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.add_table(table("t")).unwrap();
+        assert!(c.add_table(table("T")).is_err());
+    }
+
+    #[test]
+    fn views_share_namespace_with_tables() {
+        let mut c = Catalog::new();
+        c.add_table(table("t")).unwrap();
+        let v = ViewDef {
+            name: "T".into(),
+            columns: vec!["x".into()],
+            body_sql: "SELECT x FROM t".into(),
+            recursive: false,
+        };
+        assert!(c.add_view(v).is_err());
+    }
+
+    #[test]
+    fn view_roundtrip_and_drop() {
+        let mut c = Catalog::new();
+        c.add_view(ViewDef {
+            name: "V".into(),
+            columns: vec!["A".into()],
+            body_sql: "SELECT 1".into(),
+            recursive: false,
+        })
+        .unwrap();
+        let v = c.view("v").unwrap();
+        assert_eq!(v.name, "v");
+        assert_eq!(v.columns, vec!["a"]);
+        c.drop_view("V").unwrap();
+        assert!(c.view("v").is_none());
+    }
+
+    #[test]
+    fn name_listings_sorted() {
+        let mut c = Catalog::new();
+        c.add_table(table("b")).unwrap();
+        c.add_table(table("a")).unwrap();
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+}

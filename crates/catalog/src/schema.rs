@@ -1,0 +1,117 @@
+//! Table schemas.
+
+use starmagic_common::{DataType, Error, Result};
+
+/// A column definition: name and data type. Column names are stored
+/// lowercase; all lookups are case-insensitive, as in SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    /// Build a column definition (name is normalized to lowercase).
+    pub fn new(name: impl AsRef<str>, dtype: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.as_ref().to_ascii_lowercase(),
+            dtype,
+        }
+    }
+}
+
+/// The schema of a base table: name, columns, and an optional primary
+/// key (a set of column offsets whose values are unique across rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Offsets of the primary-key columns, if the table has a key.
+    /// Feeds the duplicate-freeness inference in the rewrite engine.
+    pub key: Option<Vec<usize>>,
+}
+
+impl TableSchema {
+    /// Build a schema without a key.
+    pub fn new(name: impl AsRef<str>, columns: Vec<ColumnDef>) -> TableSchema {
+        TableSchema {
+            name: name.as_ref().to_ascii_lowercase(),
+            columns,
+            key: None,
+        }
+    }
+
+    /// Declare the primary key by column names.
+    pub fn with_key(mut self, key_cols: &[&str]) -> Result<TableSchema> {
+        let mut offsets = Vec::with_capacity(key_cols.len());
+        for k in key_cols {
+            offsets.push(self.column_index(k)?);
+        }
+        self.key = Some(offsets);
+        Ok(self)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Find a column offset by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns
+            .iter()
+            .position(|c| c.name == lname)
+            .ok_or_else(|| Error::NotFound(format!("column {name} in table {}", self.name)))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableSchema {
+        TableSchema::new(
+            "Employee",
+            vec![
+                ColumnDef::new("EmpNo", DataType::Int),
+                ColumnDef::new("empname", DataType::Str),
+                ColumnDef::new("salary", DataType::Double),
+            ],
+        )
+    }
+
+    #[test]
+    fn names_are_normalized() {
+        let s = sample();
+        assert_eq!(s.name, "employee");
+        assert_eq!(s.columns[0].name, "empno");
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.column_index("EMPNO").unwrap(), 0);
+        assert_eq!(s.column_index("Salary").unwrap(), 2);
+        assert!(s.column_index("nope").is_err());
+    }
+
+    #[test]
+    fn key_declaration_resolves_offsets() {
+        let s = sample().with_key(&["empno"]).unwrap();
+        assert_eq!(s.key, Some(vec![0]));
+        assert!(sample().with_key(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn arity_and_names() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_names(), vec!["empno", "empname", "salary"]);
+    }
+}

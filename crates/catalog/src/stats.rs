@@ -1,0 +1,135 @@
+//! Column and table statistics for the cost-based plan optimizer.
+//!
+//! The paper's cost heuristic (§3.2) relies on the plan optimizer having
+//! "extensive statistical information and cost estimates". We keep the
+//! classic System-R statistics: row count per table, and per column the
+//! number of distinct values, min/max (for range selectivity), and the
+//! null count.
+
+use std::collections::HashSet;
+
+use starmagic_common::{Row, Value};
+
+/// Statistics for a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub nulls: u64,
+    /// Minimum non-null value (grouping order), if any non-null exists.
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    /// Stats of an empty column.
+    pub fn empty() -> ColumnStats {
+        ColumnStats {
+            ndv: 0,
+            nulls: 0,
+            min: None,
+            max: None,
+        }
+    }
+}
+
+/// Statistics for a table (or any materialized row set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub rows: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute exact statistics over a set of rows. All tables are
+    /// in-memory, so exact statistics are affordable; a disk system
+    /// would sample instead, which changes nothing downstream.
+    pub fn compute(arity: usize, rows: &[Row]) -> TableStats {
+        let mut distinct: Vec<HashSet<Value>> = vec![HashSet::new(); arity];
+        let mut cols: Vec<ColumnStats> = (0..arity).map(|_| ColumnStats::empty()).collect();
+        for row in rows {
+            for (i, v) in row.values().iter().enumerate() {
+                if v.is_null() {
+                    cols[i].nulls += 1;
+                    continue;
+                }
+                distinct[i].insert(v.clone());
+                let better_min = cols[i]
+                    .min
+                    .as_ref()
+                    .map_or(true, |m| v.group_cmp(m) == std::cmp::Ordering::Less);
+                if better_min {
+                    cols[i].min = Some(v.clone());
+                }
+                let better_max = cols[i]
+                    .max
+                    .as_ref()
+                    .map_or(true, |m| v.group_cmp(m) == std::cmp::Ordering::Greater);
+                if better_max {
+                    cols[i].max = Some(v.clone());
+                }
+            }
+        }
+        for (i, set) in distinct.into_iter().enumerate() {
+            cols[i].ndv = set.len() as u64;
+        }
+        TableStats {
+            rows: rows.len() as u64,
+            columns: cols,
+        }
+    }
+
+    /// Stats describing an empty table of the given arity.
+    pub fn empty(arity: usize) -> TableStats {
+        TableStats {
+            rows: 0,
+            columns: (0..arity).map(|_| ColumnStats::empty()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![Value::Int(1), Value::str("a")]),
+            Row::new(vec![Value::Int(2), Value::str("a")]),
+            Row::new(vec![Value::Int(2), Value::Null]),
+        ]
+    }
+
+    #[test]
+    fn counts_rows_and_distincts() {
+        let s = TableStats::compute(2, &rows());
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.columns[0].ndv, 2);
+        assert_eq!(s.columns[1].ndv, 1);
+    }
+
+    #[test]
+    fn counts_nulls() {
+        let s = TableStats::compute(2, &rows());
+        assert_eq!(s.columns[0].nulls, 0);
+        assert_eq!(s.columns[1].nulls, 1);
+    }
+
+    #[test]
+    fn tracks_min_max() {
+        let s = TableStats::compute(2, &rows());
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(2)));
+        assert_eq!(s.columns[1].min, Some(Value::str("a")));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = TableStats::compute(2, &[]);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.columns[0].min, None);
+        assert_eq!(s, TableStats::empty(2));
+    }
+}

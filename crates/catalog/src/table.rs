@@ -1,0 +1,149 @@
+//! In-memory base tables.
+
+use starmagic_common::{Error, Result, Row, Value};
+
+use crate::schema::TableSchema;
+use crate::stats::TableStats;
+
+/// An in-memory base table: schema, rows, and lazily computed stats.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Build an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        let arity = schema.arity();
+        Table {
+            schema,
+            rows: Vec::new(),
+            stats: TableStats::empty(arity),
+        }
+    }
+
+    /// Build a table with rows (validates arity and key uniqueness,
+    /// then computes statistics).
+    pub fn with_rows(schema: TableSchema, rows: Vec<Row>) -> Result<Table> {
+        let mut t = Table::new(schema);
+        t.load(rows)?;
+        Ok(t)
+    }
+
+    /// Replace the table's contents.
+    pub fn load(&mut self, rows: Vec<Row>) -> Result<()> {
+        for r in &rows {
+            if r.arity() != self.schema.arity() {
+                return Err(Error::semantic(format!(
+                    "row arity {} does not match table {} arity {}",
+                    r.arity(),
+                    self.schema.name,
+                    self.schema.arity()
+                )));
+            }
+        }
+        if let Some(key) = &self.schema.key {
+            let mut seen = std::collections::HashSet::with_capacity(rows.len());
+            for r in &rows {
+                let k: Vec<Value> = key.iter().map(|&c| r.get(c).clone()).collect();
+                if !seen.insert(k) {
+                    return Err(Error::semantic(format!(
+                        "duplicate primary key in table {}",
+                        self.schema.name
+                    )));
+                }
+            }
+        }
+        self.stats = TableStats::compute(self.schema.arity(), &rows);
+        self.rows = rows;
+        Ok(())
+    }
+
+    /// Append rows (validates arity and key uniqueness against the
+    /// existing contents, then recomputes statistics).
+    pub fn insert(&mut self, rows: Vec<Row>) -> Result<()> {
+        let mut all = self.rows.clone();
+        all.extend(rows);
+        self.load(all)
+    }
+
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use starmagic_common::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+            ],
+        )
+        .with_key(&["id"])
+        .unwrap()
+    }
+
+    #[test]
+    fn load_computes_stats() {
+        let t = Table::with_rows(
+            schema(),
+            vec![
+                Row::new(vec![Value::Int(1), Value::str("a")]),
+                Row::new(vec![Value::Int(2), Value::str("b")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.stats().columns[0].ndv, 2);
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let r = Table::with_rows(schema(), vec![Row::new(vec![Value::Int(1)])]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let r = Table::with_rows(
+            schema(),
+            vec![
+                Row::new(vec![Value::Int(1), Value::str("a")]),
+                Row::new(vec![Value::Int(1), Value::str("b")]),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reload_replaces_contents() {
+        let mut t = Table::new(schema());
+        t.load(vec![Row::new(vec![Value::Int(9), Value::str("z")])])
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+        t.load(vec![]).unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.stats().rows, 0);
+    }
+}

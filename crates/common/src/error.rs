@@ -1,0 +1,97 @@
+//! The engine-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the starmagic stack.
+///
+/// The variants are deliberately coarse: each carries a human-readable
+/// message plus enough classification for callers (and tests) to tell
+/// user errors from engine bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical or syntactic error in the SQL text, with a byte offset
+    /// into the original statement where the problem was detected.
+    Parse { message: String, offset: usize },
+    /// Semantic error while building or validating a query: unknown
+    /// table/column, ambiguous reference, type mismatch, misuse of
+    /// aggregates, and so on.
+    Semantic(String),
+    /// A name was not found in the catalog.
+    NotFound(String),
+    /// A name already exists in the catalog.
+    AlreadyExists(String),
+    /// Runtime evaluation error (division by zero, overflow, a scalar
+    /// subquery returning more than one row, ...).
+    Execution(String),
+    /// An internal invariant was violated. Always a bug in the engine,
+    /// never the user's fault.
+    Internal(String),
+    /// The query uses a feature the engine does not support.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Shorthand for a [`Error::Semantic`] error.
+    pub fn semantic(msg: impl Into<String>) -> Self {
+        Error::Semantic(msg.into())
+    }
+
+    /// Shorthand for an [`Error::Internal`] error.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
+    /// Shorthand for an [`Error::Execution`] error.
+    pub fn execution(msg: impl Into<String>) -> Self {
+        Error::Execution(msg.into())
+    }
+
+    /// Shorthand for an [`Error::Unsupported`] error.
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Internal(m) => write!(f, "internal error (engine bug): {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_classification() {
+        let e = Error::Parse {
+            message: "unexpected token".into(),
+            offset: 17,
+        };
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected token");
+        assert!(Error::semantic("x").to_string().starts_with("semantic"));
+        assert!(Error::internal("x").to_string().contains("engine bug"));
+    }
+
+    #[test]
+    fn shorthands_build_expected_variants() {
+        assert_eq!(Error::semantic("a"), Error::Semantic("a".into()));
+        assert_eq!(Error::execution("b"), Error::Execution("b".into()));
+        assert_eq!(Error::unsupported("c"), Error::Unsupported("c".into()));
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared substrate for the starmagic engine: SQL values, rows,
+//! data types, three-valued logic, and the common error type.
+//!
+//! Everything above this crate (catalog, SQL frontend, QGM, optimizer,
+//! executor) speaks in terms of [`Value`], [`Row`], [`DataType`], and
+//! [`Truth`]. SQL semantics — NULL propagation, three-valued logic,
+//! NULL-aware grouping and DISTINCT — are centralized here so that every
+//! layer agrees on them.
+
+pub mod error;
+pub mod row;
+pub mod truth;
+pub mod types;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use row::Row;
+pub use truth::Truth;
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,120 @@
+//! SQL three-valued logic.
+//!
+//! Comparisons involving NULL yield [`Truth::Unknown`]; WHERE/HAVING
+//! clauses keep a row only when the predicate evaluates to
+//! [`Truth::True`]. AND/OR/NOT follow the standard Kleene tables.
+
+/// A three-valued SQL truth value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// NULL was involved; truth cannot be determined.
+    Unknown,
+}
+
+impl Truth {
+    /// Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation. (Named like SQL's NOT; shadowing
+    /// `std::ops::Not::not` is intentional and harmless — `Truth`
+    /// does not implement the trait.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Whether a WHERE/HAVING/ON clause with this truth value keeps the row.
+    pub fn passes(self) -> bool {
+        self == Truth::True
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Truth::*;
+
+    const ALL: [super::Truth; 3] = [True, False, Unknown];
+
+    #[test]
+    fn and_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn or_table() {
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn not_table() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_3vl() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn only_true_passes() {
+        assert!(True.passes());
+        assert!(!False.passes());
+        assert!(!Unknown.passes());
+    }
+
+    #[test]
+    fn from_bool() {
+        assert_eq!(super::Truth::from(true), True);
+        assert_eq!(super::Truth::from(false), False);
+    }
+}

@@ -1,0 +1,355 @@
+//! SQL values.
+//!
+//! [`Value`] implements two distinct comparison semantics, both of which
+//! SQL requires:
+//!
+//! * **Predicate semantics** ([`Value::sql_eq`], [`Value::sql_cmp`]):
+//!   three-valued; any comparison involving NULL is [`Truth::Unknown`].
+//!   Used by WHERE/HAVING/ON predicates.
+//! * **Grouping semantics** (the `Eq`/`Hash`/`Ord` impls): two-valued;
+//!   NULL equals NULL and sorts first. Used by GROUP BY, DISTINCT, set
+//!   operations, and hash-join build keys on the executor's magic tables.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::{DataType, Error, Result, Truth};
+
+/// A single SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL (untyped).
+    Null,
+    /// `INTEGER` value.
+    Int(i64),
+    /// `DOUBLE` value. NaN is not constructible through the engine's
+    /// arithmetic (division by zero errors out instead).
+    Double(f64),
+    /// `VARCHAR` value. `Arc<str>` keeps row cloning cheap in joins.
+    Str(Arc<str>),
+    /// `BOOLEAN` value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The data type, or `None` for NULL (which is untyped).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Numeric view of the value (Int and Double), used by arithmetic
+    /// and aggregation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL makes the answer Unknown; mismatched,
+    /// non-coercible types compare false (the frontend rejects such
+    /// comparisons, but the executor stays total).
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Truth::Unknown,
+            (Value::Int(a), Value::Int(b)) => (a == b).into(),
+            (Value::Str(a), Value::Str(b)) => (a == b).into(),
+            (Value::Bool(a), Value::Bool(b)) => (a == b).into(),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x == y).into(),
+                _ => Truth::False,
+            },
+        }
+    }
+
+    /// SQL ordering comparison. Returns `None` when NULL is involved
+    /// (truth value Unknown) or the types are not comparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x.total_cmp(&y)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Grouping-semantics ordering: NULL first, then by type tag, then
+    /// by value. Total, so usable for sorting result sets in tests.
+    pub fn group_cmp(&self, other: &Value) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Double(_) => 2, // numerics compare cross-type
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) if tag(a) == tag(b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => Ordering::Equal,
+            },
+            (a, b) => tag(a).cmp(&tag(b)),
+        }
+    }
+
+    /// Arithmetic with NULL propagation. `op` is one of `+ - * /`.
+    pub fn arith(&self, op: char, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        // Int op Int stays Int except when division does not divide evenly;
+        // SQL integer division truncates, and we follow that.
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            return match op {
+                '+' => Ok(Value::Int(a.wrapping_add(*b))),
+                '-' => Ok(Value::Int(a.wrapping_sub(*b))),
+                '*' => Ok(Value::Int(a.wrapping_mul(*b))),
+                '/' => {
+                    if *b == 0 {
+                        Err(Error::execution("division by zero"))
+                    } else {
+                        Ok(Value::Int(a.wrapping_div(*b)))
+                    }
+                }
+                _ => Err(Error::internal(format!("unknown arithmetic op {op}"))),
+            };
+        }
+        let (x, y) = match (self.as_f64(), other.as_f64()) {
+            (Some(x), Some(y)) => (x, y),
+            _ => {
+                return Err(Error::execution(format!(
+                    "arithmetic on non-numeric values {self} {op} {other}"
+                )))
+            }
+        };
+        match op {
+            '+' => Ok(Value::Double(x + y)),
+            '-' => Ok(Value::Double(x - y)),
+            '*' => Ok(Value::Double(x * y)),
+            '/' => {
+                if y == 0.0 {
+                    Err(Error::execution("division by zero"))
+                } else {
+                    Ok(Value::Double(x / y))
+                }
+            }
+            _ => Err(Error::internal(format!("unknown arithmetic op {op}"))),
+        }
+    }
+}
+
+/// Grouping-semantics equality: NULL == NULL, Int 1 == Double 1.0.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.group_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Double must hash identically when numerically equal
+            // (1 == 1.0 under grouping semantics): hash the f64 bits of
+            // the canonical numeric form.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Double(d) => {
+                2u8.hash(state);
+                d.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    write!(f, "{d:.1}")
+                } else {
+                    write!(f, "{d}")
+                }
+            }
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Value {
+        Value::Double(d)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn sql_eq_is_three_valued() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Truth::True);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Truth::False);
+        assert_eq!(Value::str("a").sql_eq(&Value::str("a")), Truth::True);
+    }
+
+    #[test]
+    fn sql_eq_coerces_int_double() {
+        assert_eq!(Value::Int(3).sql_eq(&Value::Double(3.0)), Truth::True);
+        assert_eq!(Value::Int(3).sql_eq(&Value::Double(3.5)), Truth::False);
+    }
+
+    #[test]
+    fn sql_cmp_null_is_none() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("b").sql_cmp(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn grouping_eq_treats_null_as_equal() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_eq!(Value::Int(1), Value::Double(1.0));
+    }
+
+    #[test]
+    fn numerically_equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Double(7.0)));
+        assert_eq!(hash_of(&Value::Null), hash_of(&Value::Null));
+    }
+
+    #[test]
+    fn arithmetic_null_propagates() {
+        assert!(Value::Null.arith('+', &Value::Int(1)).unwrap().is_null());
+        assert!(Value::Int(1).arith('*', &Value::Null).unwrap().is_null());
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_int() {
+        assert_eq!(
+            Value::Int(7).arith('/', &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Value::Int(2).arith('+', &Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_double() {
+        assert_eq!(
+            Value::Int(1).arith('+', &Value::Double(0.5)).unwrap(),
+            Value::Double(1.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(Value::Int(1).arith('/', &Value::Int(0)).is_err());
+        assert!(Value::Double(1.0).arith('/', &Value::Double(0.0)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_on_strings_errors() {
+        assert!(Value::str("a").arith('+', &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn group_cmp_total_order_nulls_first() {
+        let mut vals = [Value::Int(2),
+            Value::Null,
+            Value::str("x"),
+            Value::Double(1.5)];
+        vals.sort_by(|a, b| a.group_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Double(1.5));
+        assert_eq!(vals[2], Value::Int(2));
+        assert_eq!(vals[3], Value::str("x"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Double(2.0).to_string(), "2.0");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+}

@@ -1,0 +1,147 @@
+//! Interactive SQL shell over the starmagic engine.
+//!
+//! ```text
+//! cargo run -p starmagic --bin starmagic-repl [--scale small|benchmark]
+//! ```
+//!
+//! Statements end with `;`. Meta-commands:
+//!
+//! * `\explain <query>` — print the full optimization trace;
+//! * `\strategy original|magic|cost` — pin the optimizer strategy;
+//! * `\tables` / `\views` — list catalog contents;
+//! * `\quit`.
+
+use std::io::{self, BufRead, Write};
+
+use starmagic::{Engine, Strategy};
+use starmagic_catalog::generator::{benchmark_catalog, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--scale=benchmark" || a == "benchmark") {
+        Scale::benchmark()
+    } else {
+        Scale::small()
+    };
+    let mut engine = Engine::new(benchmark_catalog(scale).expect("catalog"));
+    let mut strategy = Strategy::CostBased;
+
+    println!(
+        "starmagic — magic-sets in a relational system (SIGMOD '94 reproduction)\n\
+         database: {} departments × {} employees/dept; end statements with ';'\n\
+         meta: \\explain <q>  \\strategy original|magic|cost  \\tables  \\views  \\quit",
+        scale.departments, scale.emps_per_dept
+    );
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            if !meta_command(&mut engine, &mut strategy, trimmed) {
+                break;
+            }
+            prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            let sql = buffer.trim().trim_end_matches(';').to_string();
+            buffer.clear();
+            run_statement(&mut engine, strategy, &sql);
+        }
+        prompt(&buffer);
+    }
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("magic> ");
+    } else {
+        print!("   ..> ");
+    }
+    let _ = io::stdout().flush();
+}
+
+/// Returns false to quit.
+fn meta_command(engine: &mut Engine, strategy: &mut Strategy, cmd: &str) -> bool {
+    let (head, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
+    match head {
+        "\\quit" | "\\q" => return false,
+        "\\tables" => {
+            for t in engine.catalog().table_names() {
+                let table = engine.catalog().table(t).expect("listed");
+                println!(
+                    "{t} ({} rows): {}",
+                    table.row_count(),
+                    table.schema().column_names().join(", ")
+                );
+            }
+        }
+        "\\views" => {
+            for v in engine.catalog().view_names() {
+                println!("{v}");
+            }
+        }
+        "\\strategy" => {
+            *strategy = match rest.trim() {
+                "original" => Strategy::Original,
+                "magic" => Strategy::Magic,
+                "cost" | "" => Strategy::CostBased,
+                other => {
+                    println!("unknown strategy {other}; use original|magic|cost");
+                    return true;
+                }
+            };
+            println!("strategy set to {strategy:?}");
+        }
+        "\\explain" => match engine.explain(rest.trim().trim_end_matches(';')) {
+            Ok(text) => println!("{text}"),
+            Err(e) => println!("error: {e}"),
+        },
+        other => println!("unknown meta-command {other}"),
+    }
+    true
+}
+
+fn run_statement(engine: &mut Engine, strategy: Strategy, sql: &str) {
+    if sql.is_empty() {
+        return;
+    }
+    let lowered = sql.to_ascii_lowercase();
+    if lowered.starts_with("create") || lowered.starts_with("insert") {
+        match engine.run_sql(sql) {
+            Ok(_) => println!("ok"),
+            Err(e) => println!("error: {e}"),
+        }
+        return;
+    }
+    let start = std::time::Instant::now();
+    match engine.query_with(sql, strategy) {
+        Ok(result) => {
+            println!("{}", result.columns.join(" | "));
+            println!("{}", "-".repeat(result.columns.join(" | ").len().max(8)));
+            for row in result.rows.iter().take(50) {
+                let cells: Vec<String> =
+                    row.values().iter().map(|v| v.to_string()).collect();
+                println!("{}", cells.join(" | "));
+            }
+            if result.rows.len() > 50 {
+                println!("... ({} rows total)", result.rows.len());
+            }
+            println!(
+                "{} rows in {:?}; plan: {}; work: {} rows",
+                result.rows.len(),
+                start.elapsed(),
+                if result.used_magic { "magic" } else { "original" },
+                result.metrics.work()
+            );
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

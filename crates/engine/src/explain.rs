@@ -1,0 +1,53 @@
+//! EXPLAIN rendering: the optimization story of one query — per-phase
+//! query graphs (the four quadrants of Figure 4), SQL renderings
+//! (Figure 5), costs, and the heuristic's decision.
+
+use std::fmt::Write as _;
+
+use starmagic_qgm::{printer, render_sql};
+
+use crate::pipeline::Optimized;
+
+/// Render the full optimization trace.
+pub fn render(o: &Optimized) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== initial query graph ({} boxes)", o.initial.box_count());
+    out.push_str(&printer::print_graph(&o.initial));
+    let _ = writeln!(
+        out,
+        "== after phase 1 rewrite ({} boxes), estimated cost {:.0}",
+        o.phase1.box_count(),
+        o.cost_without_magic
+    );
+    out.push_str(&printer::print_graph(&o.phase1));
+    let _ = writeln!(out, "== after phase 2 (EMST) ({} boxes)", o.phase2.box_count());
+    out.push_str(&printer::print_graph(&o.phase2));
+    let _ = writeln!(
+        out,
+        "== after phase 3 cleanup ({} boxes), estimated cost {:.0}",
+        o.phase3.box_count(),
+        o.cost_with_magic
+    );
+    out.push_str(&printer::print_graph(&o.phase3));
+    let _ = writeln!(out, "== SQL after optimization");
+    out.push_str(&render_sql::render_graph(o.chosen()));
+    let _ = writeln!(
+        out,
+        "== decision: {} plan (cost {:.0} vs {:.0}); rule fires: phase1 {:?}, phase2 {:?}, phase3 {:?}",
+        if o.chose_magic { "magic" } else { "original" },
+        if o.chose_magic {
+            o.cost_with_magic
+        } else {
+            o.cost_without_magic
+        },
+        if o.chose_magic {
+            o.cost_without_magic
+        } else {
+            o.cost_with_magic
+        },
+        o.stats[0].fires,
+        o.stats[1].fires,
+        o.stats[2].fires,
+    );
+    out
+}

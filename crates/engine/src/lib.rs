@@ -1,0 +1,546 @@
+//! starmagic — a Starburst-style extensible relational query engine
+//! with the Extended Magic-Sets Transformation (EMST), reproducing
+//! Mumick & Pirahesh, *Implementation of Magic-sets in a Relational
+//! Database System*, SIGMOD 1994.
+//!
+//! ```
+//! use starmagic::Engine;
+//! use starmagic_catalog::generator::{benchmark_catalog, Scale};
+//!
+//! let catalog = benchmark_catalog(Scale::small()).unwrap();
+//! let mut engine = Engine::new(catalog);
+//! engine
+//!     .run_sql(
+//!         "CREATE VIEW deptavg (workdept, avgsal) AS \
+//!          SELECT workdept, AVG(salary) FROM employee GROUP BY workdept",
+//!     )
+//!     .unwrap();
+//! let result = engine
+//!     .query("SELECT avgsal FROM deptavg WHERE workdept = 3")
+//!     .unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! ```
+//!
+//! The engine optimizes with the paper's two-pass cost heuristic:
+//! rewrite without EMST, plan, rewrite with EMST using the planned
+//! join orders, replan, and execute the cheaper plan — so magic can
+//! never degrade a query. [`Strategy`] lets benchmarks pin either
+//! side.
+
+pub mod explain;
+pub mod pipeline;
+
+use starmagic_catalog::{Catalog, ViewDef};
+use starmagic_common::{Error, Result, Row};
+use starmagic_exec::Metrics;
+use starmagic_rewrite::OpRegistry;
+use starmagic_sql::{parse_statement, Statement};
+
+pub use pipeline::{optimize, Optimized, PipelineOptions};
+
+// Re-export the building blocks so downstream users need only this
+// crate.
+pub use starmagic_catalog as catalog;
+pub use starmagic_common as common;
+pub use starmagic_exec as exec;
+pub use starmagic_magic as magic;
+pub use starmagic_planner as planner;
+pub use starmagic_qgm as qgm;
+pub use starmagic_rewrite as rewrite;
+pub use starmagic_sql as sql;
+
+/// How to optimize a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The paper's heuristic: plan both with and without EMST, run the
+    /// cheaper (§3.2). The default.
+    #[default]
+    CostBased,
+    /// Never apply EMST (phase 1 rewrite + plan only) — the "Original"
+    /// column of Table 1.
+    Original,
+    /// Always apply EMST, even when the cost model prefers not to —
+    /// the "EMST" column of Table 1.
+    Magic,
+}
+
+/// A query result: rows plus everything EXPLAIN-worthy.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub rows: Vec<Row>,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Deterministic work counters from the executor.
+    pub metrics: Metrics,
+    /// Whether the executed plan was the magic-transformed one.
+    pub used_magic: bool,
+    /// Estimated costs of both alternatives.
+    pub cost_without_magic: f64,
+    pub cost_with_magic: f64,
+}
+
+/// An optimized, executable plan (the chosen query graph).
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub qgm: starmagic_qgm::Qgm,
+    pub columns: Vec<String>,
+    pub used_magic: bool,
+    pub cost_without_magic: f64,
+    pub cost_with_magic: f64,
+}
+
+/// The engine: a catalog plus the optimizer configuration.
+pub struct Engine {
+    catalog: Catalog,
+    registry: OpRegistry,
+    /// Cross-query index cache (the database's persistent indexes).
+    indexes: starmagic_exec::IndexCache,
+}
+
+impl Engine {
+    /// Build an engine over a catalog.
+    pub fn new(catalog: Catalog) -> Engine {
+        Engine {
+            catalog,
+            registry: OpRegistry::new(),
+            indexes: starmagic_exec::IndexCache::default(),
+        }
+    }
+
+    /// Build an engine with a customized operation registry (§5
+    /// extensibility: new operations register their AMQ/NMQ property
+    /// and pushdown knowledge here).
+    pub fn with_registry(catalog: Catalog, registry: OpRegistry) -> Engine {
+        Engine {
+            catalog,
+            registry,
+            indexes: starmagic_exec::IndexCache::default(),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub fn registry(&self) -> &OpRegistry {
+        &self.registry
+    }
+
+    /// Execute a statement: `CREATE VIEW` registers a view; a query
+    /// returns rows (with the default cost-based strategy).
+    pub fn run_sql(&mut self, sql: &str) -> Result<Option<QueryResult>> {
+        match parse_statement(sql)? {
+            Statement::CreateView {
+                name,
+                columns,
+                query: _,
+                recursive,
+            } => {
+                // Store the original body text: the builder re-parses
+                // on expansion (keeps the catalog plain data).
+                let body_sql = extract_view_body(sql)?;
+                self.catalog.add_view(ViewDef {
+                    name: name.clone(),
+                    columns,
+                    body_sql,
+                    recursive,
+                })?;
+                // Validate the definition by building a graph over it;
+                // roll back on failure.
+                let probe = format!("SELECT * FROM {name}");
+                let q = starmagic_sql::parse_query(&probe)?;
+                if let Err(e) = starmagic_qgm::build_qgm(&self.catalog, &q) {
+                    let _ = self.catalog.drop_view(&name);
+                    return Err(e);
+                }
+                Ok(None)
+            }
+            Statement::CreateTable { name, columns, key } => {
+                let defs = columns
+                    .iter()
+                    .map(|(n, t)| starmagic_catalog::ColumnDef::new(n, *t))
+                    .collect();
+                let mut schema = starmagic_catalog::TableSchema::new(&name, defs);
+                if !key.is_empty() {
+                    let keys: Vec<&str> = key.iter().map(String::as_str).collect();
+                    schema = schema.with_key(&keys)?;
+                }
+                self.catalog
+                    .add_table(starmagic_catalog::Table::new(schema))?;
+                self.indexes = starmagic_exec::IndexCache::default();
+                Ok(None)
+            }
+            Statement::Insert { table, rows } => {
+                let schema = self.catalog.table(&table)?.schema().clone();
+                let mut materialized = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if row.len() != schema.arity() {
+                        return Err(Error::semantic(format!(
+                            "INSERT supplies {} values for {} columns",
+                            row.len(),
+                            schema.arity()
+                        )));
+                    }
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(literal_value(&e)?);
+                    }
+                    materialized.push(Row::new(vals));
+                }
+                self.catalog.table_mut(&table)?.insert(materialized)?;
+                // Stored data changed: the cached indexes are stale.
+                self.indexes = starmagic_exec::IndexCache::default();
+                Ok(None)
+            }
+            Statement::Query(_) => self.query(sql).map(Some),
+        }
+    }
+
+    /// Run a query with the default cost-based strategy.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.query_with(sql, Strategy::CostBased)
+    }
+
+    /// Run a query with an explicit strategy.
+    pub fn query_with(&self, sql: &str, strategy: Strategy) -> Result<QueryResult> {
+        let prepared = self.prepare(sql, strategy)?;
+        self.execute_prepared(&prepared)
+    }
+
+    /// Prepare with explicit pipeline options (ablations, projection
+    /// pruning, forcing magic).
+    pub fn prepare_with_options(&self, sql: &str, opts: PipelineOptions) -> Result<Prepared> {
+        let query = starmagic_sql::parse_query(sql)?;
+        let optimized = optimize(&self.catalog, &self.registry, &query, opts)?;
+        let chosen = optimized.chosen().clone();
+        let columns = chosen
+            .boxed(chosen.top())
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        Ok(Prepared {
+            qgm: chosen,
+            columns,
+            used_magic: optimized.chose_magic,
+            cost_without_magic: optimized.cost_without_magic,
+            cost_with_magic: optimized.cost_with_magic,
+        })
+    }
+
+    /// Optimize a query down to an executable plan without running it.
+    /// Lets benchmarks time execution separately from optimization
+    /// (the paper's Table 1 reports execution elapsed time).
+    pub fn prepare(&self, sql: &str, strategy: Strategy) -> Result<Prepared> {
+        let optimized = self.optimize_sql(sql, strategy)?;
+        let chosen = optimized.chosen().clone();
+        let columns = chosen
+            .boxed(chosen.top())
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        Ok(Prepared {
+            qgm: chosen,
+            columns,
+            used_magic: optimized.chose_magic,
+            cost_without_magic: optimized.cost_without_magic,
+            cost_with_magic: optimized.cost_with_magic,
+        })
+    }
+
+    /// Execute a prepared plan. Each call evaluates from scratch (the
+    /// materialization cache lives per execution).
+    pub fn execute_prepared(&self, prepared: &Prepared) -> Result<QueryResult> {
+        let (rows, metrics) =
+            starmagic_exec::execute_with_indexes(&prepared.qgm, &self.catalog, &self.indexes)?;
+        Ok(QueryResult {
+            rows,
+            columns: prepared.columns.clone(),
+            metrics,
+            used_magic: prepared.used_magic,
+            cost_without_magic: prepared.cost_without_magic,
+            cost_with_magic: prepared.cost_with_magic,
+        })
+    }
+
+    /// Optimize without executing (for EXPLAIN and the figure
+    /// reproductions).
+    pub fn optimize_sql(&self, sql: &str, strategy: Strategy) -> Result<Optimized> {
+        let query = starmagic_sql::parse_query(sql)?;
+        let opts = match strategy {
+            Strategy::CostBased => PipelineOptions::default(),
+            Strategy::Original => PipelineOptions {
+                enable_magic: false,
+                force_magic: false,
+                ..PipelineOptions::default()
+            },
+            Strategy::Magic => PipelineOptions {
+                force_magic: true,
+                ..PipelineOptions::default()
+            },
+        };
+        optimize(&self.catalog, &self.registry, &query, opts)
+    }
+
+    /// Full EXPLAIN text: per-phase graphs, SQL renderings, costs.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
+        Ok(explain::render(&optimized))
+    }
+}
+
+/// Evaluate a literal INSERT expression (literals and negation only —
+/// INSERT does not evaluate queries).
+fn literal_value(e: &starmagic_sql::Expr) -> Result<starmagic_common::Value> {
+    use starmagic_common::Value;
+    match e {
+        starmagic_sql::Expr::Literal(v) => Ok(v.clone()),
+        starmagic_sql::Expr::Neg(inner) => match literal_value(inner)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            other => Err(Error::semantic(format!("cannot negate {other}"))),
+        },
+        _ => Err(Error::semantic(
+            "INSERT VALUES must be literals".to_string(),
+        )),
+    }
+}
+
+/// Pull the body (after `AS`) out of a CREATE VIEW statement, keeping
+/// the user's original text.
+fn extract_view_body(sql: &str) -> Result<String> {
+    // Find the first standalone AS at nesting depth zero after the
+    // closing parenthesis of the column list (or after the view name).
+    let lower = sql.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b'a' if depth == 0 => {
+                let prev_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+                let next_is_s = bytes.get(i + 1) == Some(&b's');
+                let after_ok = bytes
+                    .get(i + 2)
+                    .map_or(true, |c| !c.is_ascii_alphanumeric() && *c != b'_');
+                if prev_ok && next_is_s && after_ok {
+                    return Ok(sql[i + 2..].trim().trim_end_matches(';').to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err(Error::semantic("CREATE VIEW without AS"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starmagic_catalog::generator::{benchmark_catalog, Scale};
+
+    fn engine() -> Engine {
+        Engine::new(benchmark_catalog(Scale::small()).unwrap())
+    }
+
+    fn paper_engine() -> Engine {
+        let mut e = engine();
+        e.run_sql(
+            "CREATE VIEW mgrSal (empno, empname, workdept, salary) AS \
+             SELECT e.empno, e.empname, e.workdept, e.salary \
+             FROM employee e, department d WHERE e.empno = d.mgrno",
+        )
+        .unwrap();
+        e.run_sql(
+            "CREATE VIEW avgMgrSal (workdept, avgsalary) AS \
+             SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept",
+        )
+        .unwrap();
+        e
+    }
+
+    const QUERY_D: &str = "SELECT d.deptname, s.workdept, s.avgsalary \
+                           FROM department d, avgMgrSal s \
+                           WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
+
+    #[test]
+    fn create_view_and_query() {
+        let e = paper_engine();
+        let r = e.query(QUERY_D).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.columns, vec!["deptname", "workdept", "avgsalary"]);
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        let e = paper_engine();
+        let mut orig = e.query_with(QUERY_D, Strategy::Original).unwrap().rows;
+        let mut magic = e.query_with(QUERY_D, Strategy::Magic).unwrap().rows;
+        orig.sort_by(|a, b| a.group_cmp(b));
+        magic.sort_by(|a, b| a.group_cmp(b));
+        assert_eq!(orig, magic);
+    }
+
+    #[test]
+    fn magic_does_less_work_on_query_d() {
+        let e = paper_engine();
+        let orig = e.query_with(QUERY_D, Strategy::Original).unwrap().metrics;
+        let magic = e.query_with(QUERY_D, Strategy::Magic).unwrap().metrics;
+        assert!(
+            magic.work() < orig.work(),
+            "magic {} !< original {}",
+            magic.work(),
+            orig.work()
+        );
+    }
+
+    #[test]
+    fn cost_based_picks_magic_for_query_d() {
+        let e = paper_engine();
+        let r = e.query(QUERY_D).unwrap();
+        assert!(r.used_magic);
+        assert!(r.cost_with_magic < r.cost_without_magic);
+    }
+
+    #[test]
+    fn cost_based_never_degrades() {
+        // A query with no binding to push: magic changes nothing and
+        // the heuristic keeps the original plan's cost.
+        let e = engine();
+        let r = e
+            .query("SELECT empno FROM employee WHERE salary > 0")
+            .unwrap();
+        assert!(r.cost_with_magic <= r.cost_without_magic * 1.001);
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let mut e = paper_engine();
+        let err = e
+            .run_sql("CREATE VIEW mgrSal (x) AS SELECT empno FROM employee")
+            .unwrap_err();
+        assert!(matches!(err, Error::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn bad_view_body_rolls_back() {
+        let mut e = engine();
+        let err = e
+            .run_sql("CREATE VIEW broken (x) AS SELECT nosuchcol FROM employee")
+            .unwrap_err();
+        assert!(matches!(err, Error::Semantic(_)), "{err}");
+        assert!(e.catalog().view("broken").is_none());
+    }
+
+    #[test]
+    fn extract_view_body_handles_column_list() {
+        let body = extract_view_body(
+            "CREATE VIEW v (a, b) AS SELECT x AS a, y AS b FROM t;",
+        )
+        .unwrap();
+        assert_eq!(body, "SELECT x AS a, y AS b FROM t");
+    }
+
+    #[test]
+    fn explain_mentions_phases_and_costs() {
+        let e = paper_engine();
+        let text = e.explain(QUERY_D).unwrap();
+        assert!(text.contains("phase 1"), "{text}");
+        assert!(text.contains("phase 2"));
+        assert!(text.contains("phase 3"));
+        assert!(text.contains("cost"));
+    }
+
+    #[test]
+    fn plan_optimizer_runs_exactly_twice() {
+        let e = paper_engine();
+        let o = e.optimize_sql(QUERY_D, Strategy::CostBased).unwrap();
+        assert_eq!(o.plan_optimizations, 2);
+    }
+}
+
+#[cfg(test)]
+mod ddl_tests {
+    use super::*;
+
+    #[test]
+    fn create_table_insert_query_roundtrip() {
+        let mut e = Engine::new(Catalog::new());
+        e.run_sql(
+            "CREATE TABLE dept (deptno INTEGER, name VARCHAR, PRIMARY KEY (deptno))",
+        )
+        .unwrap();
+        e.run_sql("INSERT INTO dept VALUES (1, 'Planning'), (2, 'Sales')")
+            .unwrap();
+        let r = e.query("SELECT name FROM dept WHERE deptno = 2").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0), &starmagic_common::Value::str("Sales"));
+    }
+
+    #[test]
+    fn insert_respects_primary_key() {
+        let mut e = Engine::new(Catalog::new());
+        e.run_sql("CREATE TABLE t (id INT, PRIMARY KEY (id))").unwrap();
+        e.run_sql("INSERT INTO t VALUES (1)").unwrap();
+        assert!(e.run_sql("INSERT INTO t VALUES (1)").is_err());
+        // The failed insert must not have corrupted the table.
+        let r = e.query("SELECT id FROM t").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn insert_arity_mismatch_is_rejected() {
+        let mut e = Engine::new(Catalog::new());
+        e.run_sql("CREATE TABLE t (a INT, b INT)").unwrap();
+        assert!(e.run_sql("INSERT INTO t VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn insert_invalidates_cached_indexes() {
+        let mut e = Engine::new(Catalog::new());
+        e.run_sql("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))").unwrap();
+        e.run_sql("INSERT INTO t VALUES (1, 10)").unwrap();
+        // Build the index through a point query.
+        let r = e.query("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Insert more data; the point query must see it.
+        e.run_sql("INSERT INTO t VALUES (2, 20)").unwrap();
+        let r = e.query("SELECT v FROM t WHERE id = 2").unwrap();
+        assert_eq!(r.rows.len(), 1, "stale index served after INSERT");
+    }
+
+    #[test]
+    fn negative_literals_in_insert() {
+        let mut e = Engine::new(Catalog::new());
+        e.run_sql("CREATE TABLE t (a INT, b DOUBLE)").unwrap();
+        e.run_sql("INSERT INTO t VALUES (-5, -1.5)").unwrap();
+        let r = e.query("SELECT a, b FROM t").unwrap();
+        assert_eq!(r.rows[0].get(0), &starmagic_common::Value::Int(-5));
+        assert_eq!(r.rows[0].get(1), &starmagic_common::Value::Double(-1.5));
+    }
+
+    #[test]
+    fn views_work_over_created_tables() {
+        let mut e = Engine::new(Catalog::new());
+        e.run_sql("CREATE TABLE emp (id INT, dept INT, sal INT, PRIMARY KEY (id))")
+            .unwrap();
+        e.run_sql("INSERT INTO emp VALUES (1, 1, 100), (2, 1, 200), (3, 2, 50)")
+            .unwrap();
+        e.run_sql(
+            "CREATE VIEW davg (dept, avgsal) AS SELECT dept, AVG(sal) FROM emp GROUP BY dept",
+        )
+        .unwrap();
+        let r = e
+            .query_with("SELECT avgsal FROM davg WHERE dept = 1", Strategy::Magic)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0).as_f64(), Some(150.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! The Starburst optimization pipeline (Figures 2 and 3).
+//!
+//! Query rewrite runs in three phases with tight control over the EMST
+//! rule:
+//!
+//! * **Phase 1**: every rule except EMST (merge, local predicate
+//!   pushdown, distinct pullup, redundant-join elimination) — nothing
+//!   here needs a join order.
+//! * **Plan optimization #1**: the cost-based join orders are
+//!   deposited on each select box, and the plan cost recorded.
+//! * **Phase 2**: EMST is enabled, consuming the join orders.
+//! * **Phase 3**: EMST disabled; the magic links are consumed and the
+//!   graph is simplified (merging the magic boxes away, Example 4.1).
+//! * **Plan optimization #2**: fresh join orders and the post-EMST
+//!   cost.
+//!
+//! The cheaper of the phase-1 and phase-3 graphs is chosen — the
+//! heuristic's guarantee that "usage of the EMST rewrite rule cannot
+//! degrade a query plan produced without using the EMST rule" (§3.2).
+
+use starmagic_catalog::Catalog;
+use starmagic_common::Result;
+use starmagic_magic::EmstRule;
+use starmagic_planner as planner;
+use starmagic_qgm::{build_qgm, Qgm};
+use starmagic_rewrite::engine::RewriteEngine;
+use starmagic_rewrite::rules::{
+    DistinctPullup, LocalPredicatePushdown, Merge, ProjectionPrune, RedundantSelfJoin,
+    RewriteRule, SimplifyPredicates,
+};
+use starmagic_rewrite::{OpRegistry, RewriteStats};
+use starmagic_sql::Query;
+
+/// Everything the pipeline produced, kept for EXPLAIN and the figure
+/// reproductions.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The graph as built from the AST (before any rewrite).
+    pub initial: Qgm,
+    /// After phase 1, with plan-optimizer join orders.
+    pub phase1: Qgm,
+    /// After phase 2 (EMST applied).
+    pub phase2: Qgm,
+    /// After phase 3 (simplified), with fresh join orders.
+    pub phase3: Qgm,
+    /// Estimated cost of the phase-1 plan (no EMST).
+    pub cost_without_magic: f64,
+    /// Estimated cost of the phase-3 plan (with EMST).
+    pub cost_with_magic: f64,
+    /// Rewrite-rule fire counts per phase.
+    pub stats: [RewriteStats; 3],
+    /// How many times the plan optimizer ran (always 2 — Figure 3).
+    pub plan_optimizations: usize,
+    /// Whether the chosen plan is the EMST one.
+    pub chose_magic: bool,
+}
+
+impl Optimized {
+    /// The graph the executor should run.
+    pub fn chosen(&self) -> &Qgm {
+        if self.chose_magic {
+            &self.phase3
+        } else {
+            &self.phase1
+        }
+    }
+}
+
+/// Knobs for the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Run phases 2/3 (EMST). With `false`, `phase2`/`phase3` equal
+    /// `phase1` and the original plan is chosen.
+    pub enable_magic: bool,
+    /// Force the magic plan even when the cost model prefers the
+    /// original (used by benchmarks to measure both sides).
+    pub force_magic: bool,
+    /// Ablation: build supplementary-magic-boxes (§4.2 step 4a).
+    pub use_supplementary: bool,
+    /// Ablation: run the phase-3 cleanup. With `false`, the chosen
+    /// magic plan is the raw phase-2 graph — the paper's point that
+    /// EMST needs the other rewrite rules to remove the complexity it
+    /// introduces.
+    pub cleanup_phase3: bool,
+    /// Enable the projection-pruning rule in phases 1 and 3. Off by
+    /// default so printed graphs keep the paper's `SELECT *` triplet
+    /// shapes; turning it on narrows every exclusive select box to its
+    /// referenced columns.
+    pub prune_projections: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            enable_magic: true,
+            force_magic: false,
+            use_supplementary: true,
+            cleanup_phase3: true,
+            prune_projections: false,
+        }
+    }
+}
+
+/// Run the full pipeline for a parsed query.
+pub fn optimize(
+    catalog: &Catalog,
+    registry: &OpRegistry,
+    query: &Query,
+    opts: PipelineOptions,
+) -> Result<Optimized> {
+    let engine = RewriteEngine::default();
+    let initial = build_qgm(catalog, query)?;
+    let mut g = initial.clone();
+
+    // The traditional rule set used by phases 1 and 3.
+    let simplify = SimplifyPredicates;
+    let merge = Merge;
+    let pushdown = LocalPredicatePushdown;
+    let pullup = DistinctPullup;
+    let redundant = RedundantSelfJoin;
+    let prune = ProjectionPrune;
+    let mut traditional: Vec<&dyn RewriteRule> =
+        vec![&simplify, &merge, &pushdown, &pullup, &redundant];
+    if opts.prune_projections {
+        traditional.push(&prune);
+    }
+
+    // Phase 1.
+    let stats1 = engine.run(&mut g, catalog, registry, &traditional)?;
+    g.garbage_collect(false);
+    g.validate()?;
+
+    // Plan optimization #1.
+    planner::annotate_join_orders(&mut g, catalog);
+    let cost_without_magic = planner::estimate_graph_cost(&g, catalog);
+    let phase1 = g.clone();
+
+    if !opts.enable_magic {
+        return Ok(Optimized {
+            initial,
+            phase2: phase1.clone(),
+            phase3: phase1.clone(),
+            phase1,
+            cost_without_magic,
+            cost_with_magic: f64::INFINITY,
+            stats: [stats1, RewriteStats::default(), RewriteStats::default()],
+            plan_optimizations: 1,
+            chose_magic: false,
+        });
+    }
+
+    // Phase 2: EMST active (one rule instance per run: it memoizes
+    // adorned copies).
+    let emst = if opts.use_supplementary {
+        EmstRule::new()
+    } else {
+        EmstRule::without_supplementary()
+    };
+    let stats2 = engine.run(
+        &mut g,
+        catalog,
+        registry,
+        &[&SimplifyPredicates, &emst, &DistinctPullup],
+    )?;
+    g.garbage_collect(true);
+    g.validate()?;
+    let phase2 = g.clone();
+
+    // Phase 3: links are consumed; simplify.
+    for b in g.box_ids() {
+        g.boxed_mut(b).magic_links.clear();
+    }
+    let stats3 = if !opts.cleanup_phase3 {
+        RewriteStats::default()
+    } else {
+        engine.run(&mut g, catalog, registry, &traditional)?
+    };
+    g.garbage_collect(false);
+    g.validate()?;
+
+    // Plan optimization #2.
+    planner::annotate_join_orders(&mut g, catalog);
+    let cost_with_magic = planner::estimate_graph_cost(&g, catalog);
+    let phase3 = g;
+
+    let chose_magic = opts.force_magic || cost_with_magic <= cost_without_magic;
+    Ok(Optimized {
+        initial,
+        phase1,
+        phase2,
+        phase3,
+        cost_without_magic,
+        cost_with_magic,
+        stats: [stats1, stats2, stats3],
+        plan_optimizations: 2,
+        chose_magic,
+    })
+}

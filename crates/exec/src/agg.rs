@@ -1,0 +1,235 @@
+//! Aggregate accumulators with SQL semantics: NULL inputs are skipped;
+//! an empty input yields `COUNT = 0` and NULL for the others; DISTINCT
+//! variants deduplicate before accumulating.
+
+use std::collections::HashSet;
+
+use starmagic_common::{Error, Result, Value};
+use starmagic_sql::AggFunc;
+
+/// One accumulator instance (per group, per aggregate).
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    distinct: bool,
+    seen: HashSet<Value>,
+    count: u64,
+    sum: f64,
+    sum_is_int: bool,
+    int_sum: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc, distinct: bool) -> Accumulator {
+        Accumulator {
+            func,
+            distinct,
+            seen: HashSet::new(),
+            count: 0,
+            sum: 0.0,
+            sum_is_int: true,
+            int_sum: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Feed one value. `COUNT(*)` is fed a non-null dummy per row by
+    /// the caller.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(()); // NULLs never participate
+        }
+        if self.distinct && !self.seen.insert(v.clone()) {
+            return Ok(());
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    self.int_sum = self.int_sum.wrapping_add(*i);
+                    self.sum += *i as f64;
+                }
+                Value::Double(d) => {
+                    self.sum_is_int = false;
+                    self.sum += d;
+                }
+                other => {
+                    return Err(Error::execution(format!(
+                        "{} over non-numeric value {other}",
+                        self.func.sql()
+                    )))
+                }
+            },
+            AggFunc::Min => {
+                let better = self
+                    .min
+                    .as_ref()
+                    .map_or(true, |m| v.group_cmp(m) == std::cmp::Ordering::Less);
+                if better {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let better = self
+                    .max
+                    .as_ref()
+                    .map_or(true, |m| v.group_cmp(m) == std::cmp::Ordering::Greater);
+                if better {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the aggregate.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.sum_is_int {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Double(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, distinct: bool, vals: &[Value]) -> Value {
+        let mut a = Accumulator::new(func, distinct);
+        for v in vals {
+            a.update(v).unwrap();
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        let vals = [Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggFunc::Count, false, &vals), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_int_stays_int() {
+        let vals = [Value::Int(1), Value::Int(2)];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_mixed_promotes() {
+        let vals = [Value::Int(1), Value::Double(0.5)];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Double(1.5));
+    }
+
+    #[test]
+    fn empty_input_semantics() {
+        assert_eq!(run(AggFunc::Count, false, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Sum, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Avg, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, false, &[]), Value::Null);
+    }
+
+    #[test]
+    fn avg_divides_by_nonnull_count() {
+        let vals = [Value::Int(2), Value::Null, Value::Int(4)];
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Double(3.0));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let vals = [Value::Int(5), Value::Int(5), Value::Int(7)];
+        assert_eq!(run(AggFunc::Count, true, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::Sum, true, &vals), Value::Int(12));
+    }
+
+    #[test]
+    fn min_max() {
+        let vals = [Value::str("b"), Value::str("a"), Value::str("c")];
+        assert_eq!(run(AggFunc::Min, false, &vals), Value::str("a"));
+        assert_eq!(run(AggFunc::Max, false, &vals), Value::str("c"));
+    }
+
+    #[test]
+    fn sum_over_strings_errors() {
+        let mut a = Accumulator::new(AggFunc::Sum, false);
+        assert!(a.update(&Value::str("x")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn min_max_with_mixed_numeric_types() {
+        let mut a = Accumulator::new(AggFunc::Min, false);
+        a.update(&Value::Double(1.5)).unwrap();
+        a.update(&Value::Int(1)).unwrap();
+        assert_eq!(a.finish(), Value::Int(1));
+        let mut a = Accumulator::new(AggFunc::Max, false);
+        a.update(&Value::Double(1.5)).unwrap();
+        a.update(&Value::Int(1)).unwrap();
+        assert_eq!(a.finish(), Value::Double(1.5));
+    }
+
+    #[test]
+    fn avg_of_all_nulls_is_null() {
+        let mut a = Accumulator::new(AggFunc::Avg, false);
+        a.update(&Value::Null).unwrap();
+        a.update(&Value::Null).unwrap();
+        assert_eq!(a.finish(), Value::Null);
+    }
+
+    #[test]
+    fn count_star_dummy_rows() {
+        // The executor feeds Int(1) per row for COUNT(*).
+        let mut a = Accumulator::new(AggFunc::Count, false);
+        for _ in 0..5 {
+            a.update(&Value::Int(1)).unwrap();
+        }
+        assert_eq!(a.finish(), Value::Int(5));
+    }
+
+    #[test]
+    fn distinct_min_equals_plain_min() {
+        let vals = [Value::Int(3), Value::Int(3), Value::Int(1)];
+        let mut plain = Accumulator::new(AggFunc::Min, false);
+        let mut distinct = Accumulator::new(AggFunc::Min, true);
+        for v in &vals {
+            plain.update(v).unwrap();
+            distinct.update(v).unwrap();
+        }
+        assert_eq!(plain.finish(), distinct.finish());
+    }
+
+    #[test]
+    fn sum_distinct_with_numeric_coercion() {
+        // 1 and 1.0 are one distinct value under grouping semantics.
+        let mut a = Accumulator::new(AggFunc::Sum, true);
+        a.update(&Value::Int(1)).unwrap();
+        a.update(&Value::Double(1.0)).unwrap();
+        a.update(&Value::Int(2)).unwrap();
+        assert_eq!(a.finish().as_f64(), Some(3.0));
+    }
+}

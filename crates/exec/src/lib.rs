@@ -1,0 +1,35 @@
+//! The starmagic executor: evaluates a query graph over the catalog's
+//! in-memory tables with SQL bag semantics.
+//!
+//! Key properties, all load-bearing for the paper's experiments:
+//!
+//! * **Set-oriented where possible**: every box whose subtree does not
+//!   reference outer quantifiers is materialized exactly once and
+//!   cached — views and magic tables are computed once, common
+//!   subexpressions shared.
+//! * **Tuple-at-a-time where forced**: a correlated subquery (a box
+//!   referencing outer quantifiers) is re-evaluated for every outer
+//!   row, with *no* memoization across bindings — the behaviour of the
+//!   paper's "Correlated" baseline, whose instability Table 1
+//!   demonstrates.
+//! * Hash joins are used whenever equality predicates connect the next
+//!   quantifier to already-bound ones (NULL join keys never match);
+//!   otherwise nested loops with early predicate application.
+//! * Aggregation, duplicate elimination, and set operations follow SQL
+//!   semantics exactly (three-valued logic in predicates, NULLs equal
+//!   for grouping, `COUNT`=0 vs `SUM`=NULL on empty input, bag
+//!   `EXCEPT ALL`/`INTERSECT ALL`).
+//! * Recursive boxes (cyclic subgraphs) are evaluated by naive
+//!   fixpoint iteration with set semantics.
+//!
+//! The executor also counts the rows each operator touches
+//! ([`Metrics`]) so benchmarks can report a deterministic work metric
+//! alongside wall-clock time.
+
+pub mod agg;
+pub mod executor;
+pub mod like;
+pub mod metrics;
+
+pub use executor::{execute, execute_with_indexes, execute_with_metrics, Executor, IndexCache};
+pub use metrics::Metrics;

@@ -1,0 +1,78 @@
+//! SQL `LIKE` pattern matching: `%` matches any sequence, `_` matches
+//! exactly one character. No escape syntax (the paper's subset does
+//! not need one).
+
+/// Match `text` against SQL pattern `pattern`.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative greedy matcher with backtracking over the last `%`.
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        // `%` must be tested before the literal branch: the text itself
+        // may contain a literal '%' character, which would otherwise
+        // consume the wildcard as an exact match.
+        if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_t += 1;
+            ti = star_t;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::like_match;
+
+    #[test]
+    fn exact_match() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+    }
+
+    #[test]
+    fn percent_wildcard() {
+        assert!(like_match("Planning", "Plan%"));
+        assert!(like_match("Planning", "%ning"));
+        assert!(like_match("Planning", "%ann%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("Planning", "Plan%x"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("cart", "c_t"));
+        assert!(like_match("cat", "___"));
+        assert!(!like_match("cat", "____"));
+    }
+
+    #[test]
+    fn combined_wildcards() {
+        assert!(like_match("Dept_17", "Dept__7"));
+        assert!(like_match("abcdef", "a%_f"));
+        assert!(!like_match("af", "a%_f"));
+    }
+
+    #[test]
+    fn multiple_percents_backtrack() {
+        assert!(like_match("aXbXc", "a%b%c"));
+        assert!(like_match("aabbcc", "%a%b%c%"));
+        assert!(!like_match("acb", "a%b%c"));
+    }
+}

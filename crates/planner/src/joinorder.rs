@@ -1,0 +1,322 @@
+//! Selinger-style join ordering per select box.
+//!
+//! Left-deep dynamic programming over the Foreach quantifiers of each
+//! select box, minimizing the sum of intermediate cardinalities with
+//! predicates applied as soon as their quantifiers are bound. Boxes
+//! with more than [`DP_LIMIT`] quantifiers fall back to a greedy
+//! smallest-next-intermediate heuristic — the "pruning" the paper says
+//! real optimizers must keep using (§3.2).
+//!
+//! The chosen order is deposited on each box (`join_order`), which is
+//! exactly the input the EMST rule needs.
+
+use std::collections::BTreeMap;
+
+use starmagic_catalog::Catalog;
+use starmagic_qgm::{BoxId, BoxKind, Qgm, QuantId, ScalarExpr};
+
+use crate::cost::estimate_box_rows;
+use crate::selectivity::selectivity;
+
+/// Maximum quantifier count for exact DP (2^n subsets).
+pub const DP_LIMIT: usize = 14;
+
+/// Annotate every select box in the graph with its optimal left-deep
+/// join order.
+pub fn annotate_join_orders(qgm: &mut Qgm, catalog: &Catalog) {
+    for b in qgm.box_ids() {
+        if !matches!(qgm.boxed(b).kind, BoxKind::Select) {
+            continue;
+        }
+        let order = best_order(qgm, catalog, b);
+        if !order.is_empty() {
+            qgm.boxed_mut(b).join_order = Some(order);
+        }
+    }
+}
+
+/// Compute the best left-deep order for one select box.
+pub fn best_order(qgm: &Qgm, catalog: &Catalog, b: BoxId) -> Vec<QuantId> {
+    let fquants = qgm.foreach_quants(b);
+    let n = fquants.len();
+    if n <= 1 {
+        return fquants;
+    }
+    // Input cardinalities and predicate metadata.
+    let cards: Vec<f64> = fquants
+        .iter()
+        .map(|&q| estimate_box_rows(qgm, catalog, qgm.quant(q).input).max(1.0))
+        .collect();
+    let preds: Vec<(u32, f64)> = qgm
+        .boxed(b)
+        .predicates
+        .iter()
+        .filter_map(|p| pred_mask(qgm, b, &fquants, p).map(|m| (m, selectivity(qgm, catalog, p))))
+        .collect();
+
+    if n <= DP_LIMIT {
+        dp_order(&fquants, &cards, &preds)
+    } else {
+        greedy_order(&fquants, &cards, &preds)
+    }
+}
+
+/// Bitmask of the local Foreach quantifiers a predicate touches, or
+/// `None` when the predicate involves a subquery quantifier (those are
+/// applied after the join, not during it).
+fn pred_mask(qgm: &Qgm, b: BoxId, fquants: &[QuantId], p: &ScalarExpr) -> Option<u32> {
+    let mut mask = 0u32;
+    for q in p.quantifiers() {
+        if let Some(i) = fquants.iter().position(|&x| x == q) {
+            mask |= 1 << i;
+        } else if qgm.boxed(b).quants.contains(&q) {
+            // Subquery quantifier: predicate not usable during the join.
+            return None;
+        }
+        // Correlated quantifier (outside this box): treated as constant.
+    }
+    Some(mask)
+}
+
+/// Cardinality of a subset with all fully-contained predicates applied.
+fn subset_card(mask: u32, cards: &[f64], preds: &[(u32, f64)]) -> f64 {
+    let mut card = 1.0;
+    for (i, &c) in cards.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            card *= c;
+        }
+    }
+    for &(pm, sel) in preds {
+        if pm != 0 && pm & mask == pm {
+            card *= sel;
+        }
+    }
+    card.max(1e-9)
+}
+
+fn dp_order(fquants: &[QuantId], cards: &[f64], preds: &[(u32, f64)]) -> Vec<QuantId> {
+    let n = fquants.len();
+    let full = (1u32 << n) - 1;
+    // best[mask] = (cost, last, prev_mask)
+    let mut best: Vec<Option<(f64, usize, u32)>> = vec![None; (full + 1) as usize];
+    for i in 0..n {
+        let m = 1u32 << i;
+        best[m as usize] = Some((subset_card(m, cards, preds), i, 0));
+    }
+    for mask in 1..=full {
+        let Some((cost_so_far, _, _)) = best[mask as usize] else {
+            continue;
+        };
+        for i in 0..n {
+            let bit = 1u32 << i;
+            if mask & bit != 0 {
+                continue;
+            }
+            let next = mask | bit;
+            let card = subset_card(next, cards, preds);
+            let cost = cost_so_far + card;
+            match best[next as usize] {
+                Some((c, _, _)) if c <= cost => {}
+                _ => best[next as usize] = Some((cost, i, mask)),
+            }
+        }
+    }
+    // Reconstruct.
+    let mut order_rev = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask != 0 {
+        let (_, last, prev) = best[mask as usize].expect("dp table complete");
+        order_rev.push(fquants[last]);
+        mask = prev;
+    }
+    order_rev.reverse();
+    order_rev
+}
+
+fn greedy_order(fquants: &[QuantId], cards: &[f64], preds: &[(u32, f64)]) -> Vec<QuantId> {
+    let n = fquants.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut mask = 0u32;
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let (pos, &next) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                let ca = subset_card(mask | (1 << a), cards, preds);
+                let cb = subset_card(mask | (1 << b), cards, preds);
+                ca.total_cmp(&cb)
+            })
+            .expect("non-empty");
+        mask |= 1 << next;
+        order.push(fquants[next]);
+        remaining.remove(pos);
+    }
+    order
+}
+
+/// The estimated pipeline cost of the box's current join order — used
+/// by tests and the two-pass heuristic.
+pub fn order_cost(qgm: &Qgm, catalog: &Catalog, b: BoxId) -> f64 {
+    let mut memo = BTreeMap::new();
+    crate::cost::join_pipeline_cost(qgm, catalog, b, &mut memo, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starmagic_catalog::generator;
+    use starmagic_qgm::build_qgm;
+
+    fn setup(sql_text: &str) -> (Qgm, Catalog) {
+        let cat = generator::benchmark_catalog(generator::Scale::small()).unwrap();
+        let g = build_qgm(&cat, &starmagic_sql::parse_query(sql_text).unwrap()).unwrap();
+        (g, cat)
+    }
+
+    #[test]
+    fn selective_table_goes_first() {
+        // department filtered to one name (1 row) must precede employee.
+        let (mut g, cat) = setup(
+            "SELECT e.empno FROM employee e, department d \
+             WHERE e.workdept = d.deptno AND d.deptname = 'Planning'",
+        );
+        annotate_join_orders(&mut g, &cat);
+        let order = g.join_order(g.top());
+        assert_eq!(g.quant(order[0]).name, "d");
+        assert_eq!(g.quant(order[1]).name, "e");
+    }
+
+    #[test]
+    fn three_way_join_orders_by_selectivity() {
+        let (mut g, cat) = setup(
+            "SELECT e.empno FROM employee e, department d, project p \
+             WHERE e.workdept = d.deptno AND p.deptno = d.deptno \
+             AND d.deptname = 'Planning'",
+        );
+        annotate_join_orders(&mut g, &cat);
+        let order = g.join_order(g.top());
+        assert_eq!(order.len(), 3);
+        assert_eq!(g.quant(order[0]).name, "d", "filtered table first");
+    }
+
+    #[test]
+    fn annotated_order_no_worse_than_from_order() {
+        let (mut g, cat) = setup(
+            "SELECT e.empno FROM employee e, department d \
+             WHERE e.workdept = d.deptno AND d.deptname = 'Planning'",
+        );
+        let before = order_cost(&g, &cat, g.top());
+        annotate_join_orders(&mut g, &cat);
+        let after = order_cost(&g, &cat, g.top());
+        assert!(after <= before + 1e-6, "{after} > {before}");
+    }
+
+    #[test]
+    fn single_quant_box_gets_trivial_order() {
+        let (mut g, cat) = setup("SELECT empno FROM employee");
+        annotate_join_orders(&mut g, &cat);
+        assert_eq!(g.join_order(g.top()).len(), 1);
+    }
+
+    #[test]
+    fn greedy_matches_dp_on_small_inputs() {
+        let (g, cat) = setup(
+            "SELECT e.empno FROM employee e, department d, project p \
+             WHERE e.workdept = d.deptno AND p.deptno = d.deptno \
+             AND d.deptname = 'Planning'",
+        );
+        let b = g.top();
+        let fquants = g.foreach_quants(b);
+        let cards: Vec<f64> = fquants
+            .iter()
+            .map(|&q| estimate_box_rows(&g, &cat, g.quant(q).input).max(1.0))
+            .collect();
+        let preds: Vec<(u32, f64)> = g
+            .boxed(b)
+            .predicates
+            .iter()
+            .filter_map(|p| {
+                pred_mask(&g, b, &fquants, p).map(|m| (m, selectivity(&g, &cat, p)))
+            })
+            .collect();
+        let dp = dp_order(&fquants, &cards, &preds);
+        let gr = greedy_order(&fquants, &cards, &preds);
+        // Greedy is a heuristic; on this easy instance it should agree.
+        assert_eq!(dp, gr);
+    }
+
+    #[test]
+    fn subquery_quantifiers_are_not_ordered() {
+        let (mut g, cat) = setup(
+            "SELECT e.empno FROM employee e WHERE EXISTS \
+             (SELECT 1 FROM department d WHERE d.mgrno = e.empno)",
+        );
+        annotate_join_orders(&mut g, &cat);
+        let order = g.join_order(g.top());
+        assert_eq!(order.len(), 1, "only the Foreach quantifier is ordered");
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+    use starmagic_qgm::{BoxKind, OutputCol, QuantKind, ScalarExpr};
+    use starmagic_common::Value;
+
+    /// Build a star join with `n` copies of department to force the
+    /// greedy path (n > DP_LIMIT).
+    fn star(n: usize) -> (Qgm, Catalog) {
+        let cat = starmagic_catalog::generator::benchmark_catalog(
+            starmagic_catalog::generator::Scale::small(),
+        )
+        .unwrap();
+        let mut g = Qgm::new();
+        let base = g.add_box("DEPARTMENT", BoxKind::BaseTable { table: "department".into() });
+        g.boxed_mut(base).columns = (0..5)
+            .map(|i| OutputCol {
+                name: format!("c{i}"),
+                expr: ScalarExpr::Literal(Value::Null),
+            })
+            .collect();
+        let top = g.top();
+        let mut quants = Vec::new();
+        for i in 0..n {
+            quants.push(g.add_quant(top, base, QuantKind::Foreach, format!("d{i}")));
+        }
+        // Chain equalities d0.c0 = d1.c0 = ... and one selective filter.
+        for w in quants.windows(2) {
+            let p = ScalarExpr::eq(ScalarExpr::col(w[0], 0), ScalarExpr::col(w[1], 0));
+            g.boxed_mut(top).predicates.push(p);
+        }
+        let filt = ScalarExpr::eq(
+            ScalarExpr::col(*quants.last().unwrap(), 0),
+            ScalarExpr::lit(3i64),
+        );
+        g.boxed_mut(top).predicates.push(filt);
+        g.boxed_mut(top).columns = vec![OutputCol {
+            name: "x".into(),
+            expr: ScalarExpr::col(quants[0], 0),
+        }];
+        g.validate().unwrap();
+        (g, cat)
+    }
+
+    #[test]
+    fn greedy_fallback_orders_every_quantifier() {
+        let n = DP_LIMIT + 3;
+        let (g, cat) = star(n);
+        let order = best_order(&g, &cat, g.top());
+        assert_eq!(order.len(), n, "all quantifiers ordered");
+        // The filtered quantifier should be placed first by greedy.
+        let fq = g.foreach_quants(g.top());
+        assert_eq!(order[0], *fq.last().unwrap(), "selective scan first");
+    }
+
+    #[test]
+    fn dp_handles_the_limit_boundary() {
+        let (g, cat) = star(DP_LIMIT);
+        let order = best_order(&g, &cat, g.top());
+        assert_eq!(order.len(), DP_LIMIT);
+    }
+}

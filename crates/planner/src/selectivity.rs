@@ -1,0 +1,228 @@
+//! Predicate selectivity estimation, System-R style.
+
+use starmagic_catalog::Catalog;
+use starmagic_common::Value;
+use starmagic_qgm::{BoxId, BoxKind, Qgm, QuantId, ScalarExpr};
+use starmagic_sql::BinOp;
+
+/// Default selectivity for predicates we cannot analyze.
+pub const DEFAULT_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity of an equality whose distinct count is unknown.
+pub const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Selectivity assumed for LIKE patterns.
+pub const LIKE_SEL: f64 = 0.1;
+/// Selectivity assumed for quantified (EXISTS/IN) tests.
+pub const EXISTS_SEL: f64 = 0.5;
+
+/// Number of distinct values of the column a `ColRef` chain bottoms
+/// out at, following plain column projections through select and
+/// group-by boxes down to base-table statistics.
+pub fn ndv_of(qgm: &Qgm, catalog: &Catalog, quant: QuantId, col: usize) -> Option<f64> {
+    ndv_in_box(qgm, catalog, qgm.quant(quant).input, col, 0)
+}
+
+fn ndv_in_box(qgm: &Qgm, catalog: &Catalog, b: BoxId, col: usize, depth: usize) -> Option<f64> {
+    if depth > 16 {
+        return None;
+    }
+    let qb = qgm.boxed(b);
+    match &qb.kind {
+        BoxKind::BaseTable { table } => {
+            let t = catalog.table(table).ok()?;
+            Some(t.stats().columns.get(col)?.ndv as f64)
+        }
+        BoxKind::Select | BoxKind::GroupBy(_) | BoxKind::OuterJoin(_) => {
+            // Follow plain column projections (group keys are column 0..k
+            // of a group-by box's output and are themselves expressions).
+            let expr = match &qb.kind {
+                BoxKind::Select | BoxKind::OuterJoin(_) => &qb.columns.get(col)?.expr,
+                BoxKind::GroupBy(g) => {
+                    if col < g.group_keys.len() {
+                        &g.group_keys[col]
+                    } else {
+                        return None; // aggregate output
+                    }
+                }
+                _ => unreachable!(),
+            };
+            match expr {
+                ScalarExpr::ColRef { quant, col: c } => {
+                    ndv_in_box(qgm, catalog, qgm.quant(*quant).input, *c, depth + 1)
+                }
+                ScalarExpr::Literal(_) => Some(1.0),
+                _ => None,
+            }
+        }
+        BoxKind::SetOp(_) => {
+            // Sum of arm NDVs is an upper bound; good enough.
+            let mut total = 0.0;
+            for &q in &qb.quants {
+                total += ndv_in_box(qgm, catalog, qgm.quant(q).input, col, depth + 1)?;
+            }
+            Some(total)
+        }
+    }
+}
+
+/// Estimated fraction of rows satisfying predicate `p` inside box `b`.
+/// `local` restricts which quantifiers count as "inside" — references
+/// to other quantifiers (correlation) are treated as constants.
+pub fn selectivity(qgm: &Qgm, catalog: &Catalog, p: &ScalarExpr) -> f64 {
+    let s = sel(qgm, catalog, p);
+    s.clamp(1e-9, 1.0)
+}
+
+fn sel(qgm: &Qgm, catalog: &Catalog, p: &ScalarExpr) -> f64 {
+    match p {
+        ScalarExpr::Bin { op, left, right } => match op {
+            BinOp::And => sel(qgm, catalog, left) * sel(qgm, catalog, right),
+            BinOp::Or => {
+                let a = sel(qgm, catalog, left);
+                let b = sel(qgm, catalog, right);
+                (a + b - a * b).min(1.0)
+            }
+            BinOp::Eq => eq_selectivity(qgm, catalog, left, right),
+            BinOp::Neq => 1.0 - eq_selectivity(qgm, catalog, left, right),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                range_selectivity(qgm, catalog, *op, left, right)
+            }
+            _ => DEFAULT_SEL,
+        },
+        ScalarExpr::Not(inner) => 1.0 - sel(qgm, catalog, inner),
+        ScalarExpr::IsNull { expr, negated } => {
+            let frac = null_fraction(qgm, catalog, expr).unwrap_or(0.05);
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        ScalarExpr::Like { negated, .. } => {
+            if *negated {
+                1.0 - LIKE_SEL
+            } else {
+                LIKE_SEL
+            }
+        }
+        ScalarExpr::Quantified { .. } => EXISTS_SEL,
+        ScalarExpr::Literal(Value::Bool(true)) => 1.0,
+        ScalarExpr::Literal(Value::Bool(false)) => 0.0,
+        _ => DEFAULT_SEL,
+    }
+}
+
+fn eq_selectivity(qgm: &Qgm, catalog: &Catalog, l: &ScalarExpr, r: &ScalarExpr) -> f64 {
+    let lnd = colref_ndv(qgm, catalog, l);
+    let rnd = colref_ndv(qgm, catalog, r);
+    match (lnd, rnd) {
+        (Some(a), Some(b)) => 1.0 / a.max(b).max(1.0),
+        (Some(a), None) | (None, Some(a)) => 1.0 / a.max(1.0),
+        (None, None) => DEFAULT_EQ_SEL,
+    }
+}
+
+fn range_selectivity(
+    qgm: &Qgm,
+    catalog: &Catalog,
+    _op: BinOp,
+    l: &ScalarExpr,
+    r: &ScalarExpr,
+) -> f64 {
+    // Without histograms, use the classic 1/3 guess; tighten slightly
+    // when one side is a column with many distincts (more selective).
+    let nd = colref_ndv(qgm, catalog, l).or_else(|| colref_ndv(qgm, catalog, r));
+    match nd {
+        Some(n) if n > 3.0 => DEFAULT_SEL,
+        _ => DEFAULT_SEL,
+    }
+}
+
+fn colref_ndv(qgm: &Qgm, catalog: &Catalog, e: &ScalarExpr) -> Option<f64> {
+    match e {
+        ScalarExpr::ColRef { quant, col } => ndv_of(qgm, catalog, *quant, *col),
+        _ => None,
+    }
+}
+
+fn null_fraction(qgm: &Qgm, catalog: &Catalog, e: &ScalarExpr) -> Option<f64> {
+    if let ScalarExpr::ColRef { quant, col } = e {
+        let input = qgm.quant(*quant).input;
+        if let BoxKind::BaseTable { table } = &qgm.boxed(input).kind {
+            let t = catalog.table(table).ok()?;
+            let stats = t.stats();
+            if stats.rows == 0 {
+                return Some(0.0);
+            }
+            return Some(stats.columns.get(*col)?.nulls as f64 / stats.rows as f64);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starmagic_catalog::generator;
+    use starmagic_qgm::build_qgm;
+
+    fn setup(sql_text: &str) -> (Qgm, Catalog) {
+        let cat = generator::benchmark_catalog(generator::Scale::small()).unwrap();
+        let g = build_qgm(&cat, &starmagic_sql::parse_query(sql_text).unwrap()).unwrap();
+        (g, cat)
+    }
+
+    #[test]
+    fn key_equality_is_highly_selective() {
+        let (g, cat) = setup("SELECT deptname FROM department WHERE deptno = 3");
+        let p = &g.boxed(g.top()).predicates[0];
+        let s = selectivity(&g, &cat, p);
+        assert!((s - 1.0 / 20.0).abs() < 1e-9, "1/ndv(deptno)=1/20, got {s}");
+    }
+
+    #[test]
+    fn join_equality_uses_larger_ndv() {
+        let (g, cat) = setup(
+            "SELECT e.empno FROM employee e, department d WHERE e.workdept = d.deptno",
+        );
+        let p = &g.boxed(g.top()).predicates[0];
+        let s = selectivity(&g, &cat, p);
+        // Both sides have ndv 20 (20 departments).
+        assert!((s - 0.05).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn and_multiplies_or_adds() {
+        let (g, cat) = setup(
+            "SELECT empno FROM employee WHERE workdept = 1 AND salary > 0",
+        );
+        let top = g.boxed(g.top());
+        let s_and = selectivity(&g, &cat, &top.predicates[0])
+            * selectivity(&g, &cat, &top.predicates[1]);
+        assert!(s_and < selectivity(&g, &cat, &top.predicates[0]));
+    }
+
+    #[test]
+    fn not_inverts() {
+        let (g, cat) = setup("SELECT empno FROM employee WHERE NOT workdept = 1");
+        let s = selectivity(&g, &cat, &g.boxed(g.top()).predicates[0]);
+        assert!((s - 0.95).abs() < 1e-6, "got {s}");
+    }
+
+    #[test]
+    fn is_null_uses_stats() {
+        let (g, cat) = setup("SELECT empno FROM employee WHERE bonus IS NULL");
+        let s = selectivity(&g, &cat, &g.boxed(g.top()).predicates[0]);
+        // ~5% of bonuses are NULL in the generator.
+        assert!(s > 0.0 && s < 0.2, "got {s}");
+    }
+
+    #[test]
+    fn ndv_follows_projections() {
+        let (g, cat) = setup("SELECT workdept AS w FROM employee");
+        let top = g.boxed(g.top());
+        let ScalarExpr::ColRef { quant, col } = top.columns[0].expr else {
+            panic!()
+        };
+        assert_eq!(ndv_of(&g, &cat, quant, col), Some(20.0));
+    }
+}

@@ -1,0 +1,357 @@
+//! QGM boxes and quantifiers.
+
+use std::fmt;
+
+use starmagic_sql::{AggFunc, SetOpKind};
+
+use crate::expr::ScalarExpr;
+use crate::ids::{BoxId, QuantId};
+
+/// How a box treats duplicates — Starburst's duplicate bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistinctMode {
+    /// The box must eliminate duplicates from its output
+    /// (`SELECT DISTINCT`, `UNION`, freshly created magic boxes).
+    Enforce,
+    /// The output is known duplicate-free without any work — either
+    /// inferred (distinct pullup) or structural (group-by output).
+    Preserve,
+    /// Duplicates are permitted; the output is a bag.
+    Permit,
+}
+
+impl DistinctMode {
+    /// Whether the executor needs to deduplicate this box's output.
+    pub fn needs_dedup(self) -> bool {
+        self == DistinctMode::Enforce
+    }
+}
+
+/// The magic-sets classification of a box (§4.1). Magic flavors are
+/// invisible to ordinary rewrite rules — "to other rewrite rules, the
+/// magic-box is indistinguishable from other select-boxes" — but the
+/// EMST rule itself never re-processes a magic box, and condition-magic
+/// boxes *are* processed by EMST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoxFlavor {
+    Regular,
+    Magic,
+    ConditionMagic,
+    SupplementaryMagic,
+}
+
+/// Adornment of a box copy: one [`AdornChar`] per output column
+/// (§2, "Magic-sets transformation").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Adornment(pub Vec<AdornChar>);
+
+/// One character of a bcf adornment string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdornChar {
+    /// Bound by an equality predicate.
+    Bound,
+    /// Restricted by a predicate other than equality.
+    Conditioned,
+    /// Free.
+    Free,
+}
+
+impl Adornment {
+    /// The all-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![AdornChar::Free; arity])
+    }
+
+    /// Whether every column is free (no restriction — EMST skips).
+    pub fn is_all_free(&self) -> bool {
+        self.0.iter().all(|c| *c == AdornChar::Free)
+    }
+
+    /// Whether any column carries a `c` (condition) adornment.
+    pub fn has_condition(&self) -> bool {
+        self.0.contains(&AdornChar::Conditioned)
+    }
+
+    /// Offsets of the bound (`b`) columns.
+    pub fn bound_cols(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == AdornChar::Bound)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Offsets of the conditioned (`c`) columns.
+    pub fn conditioned_cols(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == AdornChar::Conditioned)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.0 {
+            let ch = match c {
+                AdornChar::Bound => 'b',
+                AdornChar::Conditioned => 'c',
+                AdornChar::Free => 'f',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Quantifier kinds. `F` quantifiers are joined; `E`/`A`/`Scalar`
+/// quantifiers encode subqueries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantKind {
+    /// ForEach — an ordinary FROM-clause reference.
+    Foreach,
+    /// Existential — `EXISTS` / `IN` / `op ANY`. With `negated`,
+    /// `NOT EXISTS` / `NOT IN` (SQL NULL semantics preserved).
+    Existential { negated: bool },
+    /// Universal — `op ALL`.
+    Universal,
+    /// Scalar subquery: produces exactly one value (NULL when empty,
+    /// error when more than one row).
+    Scalar,
+}
+
+impl QuantKind {
+    /// Whether the quantifier participates in the box's join.
+    pub fn is_foreach(self) -> bool {
+        self == QuantKind::Foreach
+    }
+
+    /// One-letter tag used by the printer.
+    pub fn tag(self) -> &'static str {
+        match self {
+            QuantKind::Foreach => "F",
+            QuantKind::Existential { negated: false } => "E",
+            QuantKind::Existential { negated: true } => "!E",
+            QuantKind::Universal => "A",
+            QuantKind::Scalar => "S",
+        }
+    }
+}
+
+/// A quantifier: a reference from a box to the box it ranges over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantifier {
+    pub id: QuantId,
+    /// The box that contains this quantifier.
+    pub parent: BoxId,
+    /// The box this quantifier ranges over.
+    pub input: BoxId,
+    /// Kind: F/E/A/Scalar.
+    pub kind: QuantKind,
+    /// Display name (the SQL alias, or a generated one).
+    pub name: String,
+    /// Whether this quantifier was introduced by EMST to range over a
+    /// magic or supplementary-magic box.
+    pub is_magic: bool,
+}
+
+/// One output column of a box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputCol {
+    pub name: String,
+    pub expr: ScalarExpr,
+}
+
+/// An aggregate computed by a group-by box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub distinct: bool,
+    /// Argument over the box's single input quantifier; `None` for
+    /// `COUNT(*)`.
+    pub arg: Option<ScalarExpr>,
+}
+
+/// Group-by box payload: group keys and aggregates over the single
+/// input quantifier. Output columns are the group keys followed by the
+/// aggregate results.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupByBox {
+    pub group_keys: Vec<ScalarExpr>,
+    pub aggs: Vec<AggSpec>,
+}
+
+/// Set-operation box payload. Quantifiers are the operands, in order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetOpBox {
+    pub op: SetOpKind,
+    pub all: bool,
+}
+
+/// Left-outer-join box payload: the ON-clause conjuncts. The box has
+/// exactly two Foreach quantifiers: the preserved side first, the
+/// null-supplying side second. This operation is the §5 extensibility
+/// example: it was added *after* EMST by defining the box kind, its
+/// executor, and its `OpProperties` (NMQ; only preserved-side output
+/// columns bindable) — the EMST rule itself is untouched.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OuterJoinBox {
+    pub on: Vec<ScalarExpr>,
+}
+
+/// The operation a box performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoxKind {
+    /// A stored base table (leaf). `table` names a catalog table.
+    BaseTable { table: String },
+    /// Join + select + project. The only AMQ operation in the core
+    /// system (outer-join, added in the extensibility example, is NMQ).
+    Select,
+    /// Grouping and aggregation (NMQ).
+    GroupBy(GroupByBox),
+    /// UNION / EXCEPT / INTERSECT (NMQ).
+    SetOp(SetOpBox),
+    /// LEFT OUTER JOIN (NMQ; customizer-added operation).
+    OuterJoin(OuterJoinBox),
+}
+
+impl BoxKind {
+    /// Short label for printing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BoxKind::BaseTable { .. } => "TABLE",
+            BoxKind::Select => "SELECT",
+            BoxKind::GroupBy(_) => "GROUPBY",
+            BoxKind::OuterJoin(_) => "LEFT OUTER JOIN",
+            BoxKind::SetOp(s) => match (s.op, s.all) {
+                (SetOpKind::Union, true) => "UNION ALL",
+                (SetOpKind::Union, false) => "UNION",
+                (SetOpKind::Except, true) => "EXCEPT ALL",
+                (SetOpKind::Except, false) => "EXCEPT",
+                (SetOpKind::Intersect, true) => "INTERSECT ALL",
+                (SetOpKind::Intersect, false) => "INTERSECT",
+            },
+        }
+    }
+}
+
+/// A QGM box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QBox {
+    pub id: BoxId,
+    /// Display name: the view name, `QUERY` for the top box, `T<n>`
+    /// for generated boxes, `M_...`/`SM_...` for magic boxes.
+    pub name: String,
+    pub kind: BoxKind,
+    pub flavor: BoxFlavor,
+    /// Quantifiers contained in this box, in FROM-clause order.
+    pub quants: Vec<QuantId>,
+    /// Conjunctive predicates (select boxes only).
+    pub predicates: Vec<ScalarExpr>,
+    /// Output columns. For base tables these are synthesized ColRef-less
+    /// placeholders (the executor reads the stored rows directly); the
+    /// builder gives them the table's column names.
+    pub columns: Vec<OutputCol>,
+    pub distinct: DistinctMode,
+    /// Adornment, when this box is an adorned copy made by EMST.
+    pub adornment: Option<Adornment>,
+    /// Magic boxes linked to this box (NMQ boxes cannot absorb a magic
+    /// quantifier, so EMST links the magic box here for descendants to
+    /// consume).
+    pub magic_links: Vec<BoxId>,
+    /// Join order over the Foreach quantifiers, deposited by the plan
+    /// optimizer before the second rewrite phase. `None` = FROM order.
+    pub join_order: Option<Vec<QuantId>>,
+    /// Set by EMST once the box has been processed, so the rule is
+    /// idempotent under the forward-chaining engine.
+    pub magic_processed: bool,
+    /// Stratum number (0 = base tables); filled by `strata::assign`.
+    pub stratum: u32,
+}
+
+impl QBox {
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a named output column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lname)
+    }
+
+    /// Whether this is one of the three magic flavors.
+    pub fn is_magic_flavor(&self) -> bool {
+        self.flavor != BoxFlavor::Regular
+    }
+
+    /// Display name with adornment superscript, e.g. `MGRSAL^ffbf`.
+    pub fn display_name(&self) -> String {
+        match &self.adornment {
+            Some(a) => format!("{}^{}", self.name, a),
+            None => self.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adornment_display_and_queries() {
+        let a = Adornment(vec![
+            AdornChar::Free,
+            AdornChar::Free,
+            AdornChar::Bound,
+            AdornChar::Free,
+        ]);
+        assert_eq!(a.to_string(), "ffbf");
+        assert_eq!(a.bound_cols(), vec![2]);
+        assert!(!a.is_all_free());
+        assert!(!a.has_condition());
+        assert!(Adornment::all_free(3).is_all_free());
+    }
+
+    #[test]
+    fn condition_adornment() {
+        let a = Adornment(vec![AdornChar::Conditioned, AdornChar::Free]);
+        assert_eq!(a.to_string(), "cf");
+        assert!(a.has_condition());
+        assert_eq!(a.conditioned_cols(), vec![0]);
+        assert!(a.bound_cols().is_empty());
+    }
+
+    #[test]
+    fn quant_kind_tags() {
+        assert_eq!(QuantKind::Foreach.tag(), "F");
+        assert_eq!(QuantKind::Existential { negated: true }.tag(), "!E");
+        assert_eq!(QuantKind::Universal.tag(), "A");
+        assert!(QuantKind::Foreach.is_foreach());
+        assert!(!QuantKind::Scalar.is_foreach());
+    }
+
+    #[test]
+    fn distinct_mode_dedup() {
+        assert!(DistinctMode::Enforce.needs_dedup());
+        assert!(!DistinctMode::Preserve.needs_dedup());
+        assert!(!DistinctMode::Permit.needs_dedup());
+    }
+
+    #[test]
+    fn box_kind_labels() {
+        assert_eq!(BoxKind::Select.label(), "SELECT");
+        assert_eq!(
+            BoxKind::SetOp(SetOpBox {
+                op: SetOpKind::Union,
+                all: false
+            })
+            .label(),
+            "UNION"
+        );
+    }
+}

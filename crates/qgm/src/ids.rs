@@ -1,0 +1,52 @@
+//! Typed arena indices for the query graph.
+
+use std::fmt;
+
+/// Identifier of a QGM box within a [`crate::Qgm`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoxId(pub u32);
+
+/// Identifier of a quantifier within a [`crate::Qgm`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuantId(pub u32);
+
+impl BoxId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl QuantId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BoxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl fmt::Display for QuantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(BoxId(3).to_string(), "B3");
+        assert_eq!(QuantId(7).to_string(), "Q7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(BoxId(1) < BoxId(2));
+        assert_eq!(QuantId(4).index(), 4);
+    }
+}

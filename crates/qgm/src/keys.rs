@@ -1,0 +1,371 @@
+//! Duplicate-freeness and key inference.
+//!
+//! The distinct-pullup rewrite rule (and phase 3's ability to merge the
+//! magic boxes away, Example 4.1) depends on proving that a box cannot
+//! produce duplicate rows: "we inferred, in phase 2, that duplicates
+//! were guaranteed to be absent from the magic tables". The inference
+//! here is conservative and purely structural:
+//!
+//! * a base table is duplicate-free on its declared primary key;
+//! * a select box joining duplicate-free inputs has, as a key, the
+//!   union of one key per Foreach quantifier (E/A/scalar quantifiers
+//!   never multiply rows);
+//! * a group-by box is keyed by its group columns;
+//! * a non-ALL set operation is keyed by the whole row;
+//! * a box with `DistinctMode::Enforce`/`Preserve` is keyed by the
+//!   whole row.
+
+use std::collections::BTreeSet;
+
+use starmagic_catalog::Catalog;
+
+use crate::boxes::{BoxKind, DistinctMode, QuantKind};
+use crate::expr::ScalarExpr;
+use crate::graph::Qgm;
+use crate::ids::BoxId;
+
+/// Maximum number of candidate keys tracked per box, to bound the
+/// combinatorial growth across joins.
+const MAX_KEYS: usize = 4;
+
+/// Candidate keys of a box's *output*, as sets of output-column
+/// offsets. The empty set is a valid key (at most one row, e.g. a
+/// global aggregate). An empty `Vec` means "no key known".
+pub fn output_keys(qgm: &Qgm, catalog: &Catalog, b: BoxId) -> Vec<BTreeSet<usize>> {
+    let mut visiting = BTreeSet::new();
+    keys_rec(qgm, catalog, b, &mut visiting)
+}
+
+/// Whether the box's output is provably duplicate-free.
+pub fn is_dup_free(qgm: &Qgm, catalog: &Catalog, b: BoxId) -> bool {
+    !output_keys(qgm, catalog, b).is_empty()
+}
+
+fn keys_rec(
+    qgm: &Qgm,
+    catalog: &Catalog,
+    b: BoxId,
+    visiting: &mut BTreeSet<BoxId>,
+) -> Vec<BTreeSet<usize>> {
+    if !visiting.insert(b) {
+        // Recursive cycle: claim nothing.
+        return Vec::new();
+    }
+    let result = keys_inner(qgm, catalog, b, visiting);
+    visiting.remove(&b);
+    result
+}
+
+fn keys_inner(
+    qgm: &Qgm,
+    catalog: &Catalog,
+    b: BoxId,
+    visiting: &mut BTreeSet<BoxId>,
+) -> Vec<BTreeSet<usize>> {
+    let qb = qgm.boxed(b);
+    let mut keys: Vec<BTreeSet<usize>> = Vec::new();
+
+    match &qb.kind {
+        BoxKind::BaseTable { table } => {
+            if let Ok(t) = catalog.table(table) {
+                if let Some(key) = &t.schema().key {
+                    keys.push(key.iter().copied().collect());
+                }
+            }
+        }
+        BoxKind::GroupBy(g) => {
+            // Output columns are group keys first, then aggregates; the
+            // group keys are a key of the output. Zero group keys ⇒
+            // single-row output ⇒ the empty set is a key.
+            keys.push((0..g.group_keys.len()).collect());
+        }
+        BoxKind::SetOp(s) => {
+            if !s.all {
+                keys.push((0..qb.arity()).collect());
+            }
+        }
+        BoxKind::Select | BoxKind::OuterJoin(_) => {
+            // One key from each Foreach quantifier's input; the union,
+            // mapped through the output columns, keys the join output.
+            let fquants: Vec<_> = qb
+                .quants
+                .iter()
+                .copied()
+                .filter(|&q| qgm.quant(q).kind == QuantKind::Foreach)
+                .collect();
+            // Per-quant candidate keys expressed as (quant, input col).
+            let mut per_quant: Vec<Vec<BTreeSet<(u32, usize)>>> = Vec::new();
+            let mut all_have_keys = true;
+            for &q in &fquants {
+                let input = qgm.quant(q).input;
+                let input_keys = keys_rec(qgm, catalog, input, visiting);
+                if input_keys.is_empty() {
+                    all_have_keys = false;
+                    break;
+                }
+                per_quant.push(
+                    input_keys
+                        .into_iter()
+                        .map(|k| k.into_iter().map(|c| (q.0, c)).collect())
+                        .collect(),
+                );
+            }
+            if all_have_keys {
+                // Cartesian combination, truncated to MAX_KEYS.
+                let mut combos: Vec<BTreeSet<(u32, usize)>> = vec![BTreeSet::new()];
+                for options in &per_quant {
+                    let mut next = Vec::new();
+                    for base in &combos {
+                        for opt in options {
+                            let mut merged = base.clone();
+                            merged.extend(opt.iter().copied());
+                            next.push(merged);
+                            if next.len() >= MAX_KEYS {
+                                break;
+                            }
+                        }
+                        if next.len() >= MAX_KEYS {
+                            break;
+                        }
+                    }
+                    combos = next;
+                }
+                // Map each combo through the output columns: every
+                // (quant, col) member must appear as a plain ColRef.
+                'combo: for combo in combos {
+                    let mut offsets = BTreeSet::new();
+                    for (q, c) in &combo {
+                        let found = qb.columns.iter().position(|oc| {
+                            matches!(
+                                &oc.expr,
+                                ScalarExpr::ColRef { quant, col }
+                                    if quant.0 == *q && col == c
+                            )
+                        });
+                        match found {
+                            Some(off) => {
+                                offsets.insert(off);
+                            }
+                            None => continue 'combo,
+                        }
+                    }
+                    keys.push(offsets);
+                }
+            }
+        }
+    }
+
+    // Dedup enforcement (or prior inference) keys the whole row.
+    if matches!(qb.distinct, DistinctMode::Enforce | DistinctMode::Preserve)
+        && !matches!(qb.kind, BoxKind::BaseTable { .. })
+    {
+        keys.push((0..qb.arity()).collect());
+    }
+
+    // Minimize: drop keys that are supersets of other keys; dedupe.
+    keys.sort_by_key(|k| k.len());
+    let mut minimal: Vec<BTreeSet<usize>> = Vec::new();
+    for k in keys {
+        if !minimal.iter().any(|m| m.is_subset(&k)) {
+            minimal.push(k);
+        }
+        if minimal.len() >= MAX_KEYS {
+            break;
+        }
+    }
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::{BoxKind, GroupByBox, OutputCol, QuantKind};
+    use starmagic_catalog::{ColumnDef, Table, TableSchema};
+    use starmagic_common::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(Table::new(
+            TableSchema::new(
+                "dept",
+                vec![
+                    ColumnDef::new("deptno", DataType::Int),
+                    ColumnDef::new("deptname", DataType::Str),
+                ],
+            )
+            .with_key(&["deptno"])
+            .unwrap(),
+        ))
+        .unwrap();
+        c.add_table(Table::new(TableSchema::new(
+            "log",
+            vec![ColumnDef::new("msg", DataType::Str)],
+        )))
+        .unwrap();
+        c
+    }
+
+    fn base_box(g: &mut Qgm, name: &str, cols: &[&str]) -> BoxId {
+        let b = g.add_box(name.to_uppercase(), BoxKind::BaseTable { table: name.into() });
+        g.boxed_mut(b).columns = cols
+            .iter()
+            .map(|c| OutputCol {
+                name: (*c).into(),
+                expr: ScalarExpr::lit(0i64),
+            })
+            .collect();
+        b
+    }
+
+    #[test]
+    fn base_table_key_comes_from_catalog() {
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let keys = output_keys(&g, &cat, d);
+        assert_eq!(keys, vec![[0usize].into_iter().collect::<BTreeSet<_>>()]);
+        assert!(is_dup_free(&g, &cat, d));
+    }
+
+    #[test]
+    fn keyless_table_is_not_dup_free() {
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let l = base_box(&mut g, "log", &["msg"]);
+        assert!(!is_dup_free(&g, &cat, l));
+    }
+
+    #[test]
+    fn select_preserving_key_is_dup_free() {
+        // sm_query := SELECT deptno, deptname FROM dept WHERE ... —
+        // the paper's supplementary box; key deptno survives.
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let sm = g.add_box("SM_QUERY", BoxKind::Select);
+        let q = g.add_quant(sm, d, QuantKind::Foreach, "d");
+        g.boxed_mut(sm).columns = vec![
+            OutputCol {
+                name: "deptno".into(),
+                expr: ScalarExpr::col(q, 0),
+            },
+            OutputCol {
+                name: "deptname".into(),
+                expr: ScalarExpr::col(q, 1),
+            },
+        ];
+        assert!(is_dup_free(&g, &cat, sm));
+        // Projecting the key away loses it.
+        let sm2 = g.add_box("SM2", BoxKind::Select);
+        let q2 = g.add_quant(sm2, d, QuantKind::Foreach, "d");
+        g.boxed_mut(sm2).columns = vec![OutputCol {
+            name: "deptname".into(),
+            expr: ScalarExpr::col(q2, 1),
+        }];
+        assert!(!is_dup_free(&g, &cat, sm2));
+    }
+
+    #[test]
+    fn projection_of_key_through_two_levels() {
+        // m := SELECT deptno FROM sm (sm dup-free with key deptno)
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let sm = g.add_box("SM", BoxKind::Select);
+        let q = g.add_quant(sm, d, QuantKind::Foreach, "d");
+        g.boxed_mut(sm).columns = vec![
+            OutputCol {
+                name: "deptno".into(),
+                expr: ScalarExpr::col(q, 0),
+            },
+            OutputCol {
+                name: "deptname".into(),
+                expr: ScalarExpr::col(q, 1),
+            },
+        ];
+        let m = g.add_box("M", BoxKind::Select);
+        let mq = g.add_quant(m, sm, QuantKind::Foreach, "sm");
+        g.boxed_mut(m).columns = vec![OutputCol {
+            name: "deptno".into(),
+            expr: ScalarExpr::col(mq, 0),
+        }];
+        assert!(is_dup_free(&g, &cat, m), "paper's phase-2 inference");
+    }
+
+    #[test]
+    fn group_by_keyed_by_group_cols() {
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let gb = g.add_box(
+            "G",
+            BoxKind::GroupBy(GroupByBox {
+                group_keys: vec![],
+                aggs: vec![],
+            }),
+        );
+        let q = g.add_quant(gb, d, QuantKind::Foreach, "d");
+        if let BoxKind::GroupBy(spec) = &mut g.boxed_mut(gb).kind {
+            spec.group_keys = vec![ScalarExpr::col(q, 1)];
+        }
+        g.boxed_mut(gb).columns = vec![OutputCol {
+            name: "deptname".into(),
+            expr: ScalarExpr::col(q, 1),
+        }];
+        let keys = output_keys(&g, &cat, gb);
+        assert!(keys.contains(&[0usize].into_iter().collect()));
+    }
+
+    #[test]
+    fn join_union_of_keys() {
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d1 = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let j = g.add_box("J", BoxKind::Select);
+        let qa = g.add_quant(j, d1, QuantKind::Foreach, "a");
+        let qb = g.add_quant(j, d1, QuantKind::Foreach, "b");
+        g.boxed_mut(j).columns = vec![
+            OutputCol {
+                name: "a_no".into(),
+                expr: ScalarExpr::col(qa, 0),
+            },
+            OutputCol {
+                name: "b_no".into(),
+                expr: ScalarExpr::col(qb, 0),
+            },
+        ];
+        assert!(is_dup_free(&g, &cat, j));
+        // Dropping one side's key breaks it.
+        g.boxed_mut(j).columns.pop();
+        assert!(!is_dup_free(&g, &cat, j));
+    }
+
+    #[test]
+    fn enforce_distinct_is_always_dup_free() {
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let l = base_box(&mut g, "log", &["msg"]);
+        let s = g.add_box("S", BoxKind::Select);
+        let q = g.add_quant(s, l, QuantKind::Foreach, "l");
+        g.boxed_mut(s).columns = vec![OutputCol {
+            name: "msg".into(),
+            expr: ScalarExpr::col(q, 0),
+        }];
+        assert!(!is_dup_free(&g, &cat, s));
+        g.boxed_mut(s).distinct = DistinctMode::Enforce;
+        assert!(is_dup_free(&g, &cat, s));
+    }
+
+    #[test]
+    fn recursive_box_claims_nothing() {
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let r = g.add_box("R", BoxKind::Select);
+        let q = g.add_quant(r, r, QuantKind::Foreach, "r");
+        g.boxed_mut(r).columns = vec![OutputCol {
+            name: "x".into(),
+            expr: ScalarExpr::col(q, 0),
+        }];
+        assert!(!is_dup_free(&g, &cat, r));
+    }
+}

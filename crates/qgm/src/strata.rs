@@ -1,0 +1,293 @@
+//! Stratum numbers (§2).
+//!
+//! Build the blob dependency graph (box U → box V when V references U
+//! through a quantifier), collapse strongly connected components
+//! (recursion), and assign stratum numbers by topological order, with
+//! base tables at stratum 0.
+
+use std::collections::BTreeMap;
+
+use crate::boxes::BoxKind;
+use crate::graph::Qgm;
+use crate::ids::BoxId;
+
+/// Assign stratum numbers to every live box in the graph, storing them
+/// on the boxes and returning the map. Boxes in the same strongly
+/// connected component (mutual recursion) share a stratum.
+pub fn assign(qgm: &mut Qgm) -> BTreeMap<BoxId, u32> {
+    let ids = qgm.box_ids();
+    let sccs = tarjan_sccs(qgm, &ids);
+    // Map box → SCC index.
+    let mut scc_of: BTreeMap<BoxId, usize> = BTreeMap::new();
+    for (i, scc) in sccs.iter().enumerate() {
+        for &b in scc {
+            scc_of.insert(b, i);
+        }
+    }
+    // Longest-path layering over the SCC DAG: stratum(scc) =
+    // 1 + max(stratum of scc's inputs), base tables at 0. Tarjan emits
+    // SCCs in reverse topological order, so process in emission order:
+    // every dependency of an SCC appears before it.
+    let mut stratum_of_scc: Vec<u32> = vec![0; sccs.len()];
+    for (i, scc) in sccs.iter().enumerate() {
+        let mut s = 0u32;
+        let mut is_base = true;
+        for &b in scc {
+            if !matches!(qgm.boxed(b).kind, BoxKind::BaseTable { .. }) {
+                is_base = false;
+            }
+            for &q in &qgm.boxed(b).quants {
+                let input = qgm.quant(q).input;
+                let j = scc_of[&input];
+                if j != i {
+                    s = s.max(stratum_of_scc[j] + 1);
+                }
+            }
+        }
+        stratum_of_scc[i] = if is_base { 0 } else { s.max(1) };
+    }
+    let mut out = BTreeMap::new();
+    for id in ids {
+        let s = stratum_of_scc[scc_of[&id]];
+        qgm.boxed_mut(id).stratum = s;
+        out.insert(id, s);
+    }
+    out
+}
+
+/// Whether the graph contains recursion (a non-trivial SCC or a box
+/// that references itself).
+pub fn is_recursive(qgm: &Qgm) -> bool {
+    let ids = qgm.box_ids();
+    for scc in tarjan_sccs(qgm, &ids) {
+        if scc.len() > 1 {
+            return true;
+        }
+        let b = scc[0];
+        for &q in &qgm.boxed(b).quants {
+            if qgm.quant(q).input == b {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Iterative Tarjan SCC over the box graph (edges: box → inputs of its
+/// quantifiers). Emits SCCs in reverse topological order.
+fn tarjan_sccs(qgm: &Qgm, ids: &[BoxId]) -> Vec<Vec<BoxId>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let max = ids.iter().map(|b| b.index() + 1).max().unwrap_or(0);
+    let mut state = vec![
+        NodeState {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false
+        };
+        max
+    ];
+    let mut counter = 0u32;
+    let mut stack: Vec<BoxId> = Vec::new();
+    let mut sccs: Vec<Vec<BoxId>> = Vec::new();
+
+    // Explicit DFS stack: (node, child cursor).
+    for &root in ids {
+        if state[root.index()].visited {
+            continue;
+        }
+        let mut dfs: Vec<(BoxId, usize)> = vec![(root, 0)];
+        while let Some(&mut (node, ref mut cursor)) = dfs.last_mut() {
+            if *cursor == 0 {
+                let st = &mut state[node.index()];
+                st.visited = true;
+                st.index = counter;
+                st.lowlink = counter;
+                st.on_stack = true;
+                counter += 1;
+                stack.push(node);
+            }
+            let children: Vec<BoxId> = qgm
+                .boxed(node)
+                .quants
+                .iter()
+                .map(|&q| qgm.quant(q).input)
+                .collect();
+            if *cursor < children.len() {
+                let child = children[*cursor];
+                *cursor += 1;
+                if !state[child.index()].visited {
+                    dfs.push((child, 0));
+                } else if state[child.index()].on_stack {
+                    let cl = state[child.index()].index;
+                    let st = &mut state[node.index()];
+                    st.lowlink = st.lowlink.min(cl);
+                }
+            } else {
+                // Done with node.
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    let nl = state[node.index()].lowlink;
+                    let st = &mut state[parent.index()];
+                    st.lowlink = st.lowlink.min(nl);
+                }
+                if state[node.index()].lowlink == state[node.index()].index {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        state[w.index()].on_stack = false;
+                        scc.push(w);
+                        if w == node {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxes::{BoxKind, QuantKind};
+
+    fn base(g: &mut Qgm, name: &str) -> BoxId {
+        g.add_box(name, BoxKind::BaseTable { table: name.to_ascii_lowercase() })
+    }
+
+    #[test]
+    fn linear_chain_strata() {
+        // top <- v2 <- v1 <- base
+        let mut g = Qgm::new();
+        let b = base(&mut g, "T");
+        let v1 = g.add_box("V1", BoxKind::Select);
+        g.add_quant(v1, b, QuantKind::Foreach, "t");
+        let v2 = g.add_box("V2", BoxKind::Select);
+        g.add_quant(v2, v1, QuantKind::Foreach, "v1");
+        let top = g.top();
+        g.add_quant(top, v2, QuantKind::Foreach, "v2");
+        let strata = assign(&mut g);
+        assert_eq!(strata[&b], 0);
+        assert_eq!(strata[&v1], 1);
+        assert_eq!(strata[&v2], 2);
+        assert_eq!(strata[&top], 3);
+        assert!(!is_recursive(&g));
+    }
+
+    #[test]
+    fn diamond_takes_longest_path() {
+        // top references both v (stratum 1) and w over v (stratum 2).
+        let mut g = Qgm::new();
+        let b = base(&mut g, "T");
+        let v = g.add_box("V", BoxKind::Select);
+        g.add_quant(v, b, QuantKind::Foreach, "t");
+        let w = g.add_box("W", BoxKind::Select);
+        g.add_quant(w, v, QuantKind::Foreach, "v");
+        let top = g.top();
+        g.add_quant(top, v, QuantKind::Foreach, "v2");
+        g.add_quant(top, w, QuantKind::Foreach, "w");
+        let strata = assign(&mut g);
+        assert_eq!(strata[&top], 3);
+        assert_eq!(strata[&w], 2);
+        assert_eq!(strata[&v], 1);
+    }
+
+    #[test]
+    fn recursion_collapses_to_one_stratum() {
+        // rec references base and itself.
+        let mut g = Qgm::new();
+        let b = base(&mut g, "EDGE");
+        let rec = g.add_box("REACH", BoxKind::Select);
+        g.add_quant(rec, b, QuantKind::Foreach, "e");
+        g.add_quant(rec, rec, QuantKind::Foreach, "r");
+        let top = g.top();
+        g.add_quant(top, rec, QuantKind::Foreach, "reach");
+        let strata = assign(&mut g);
+        assert!(is_recursive(&g));
+        assert_eq!(strata[&rec], 1);
+        assert_eq!(strata[&top], 2);
+    }
+
+    #[test]
+    fn mutual_recursion_shares_stratum() {
+        let mut g = Qgm::new();
+        let b = base(&mut g, "T");
+        let x = g.add_box("X", BoxKind::Select);
+        let y = g.add_box("Y", BoxKind::Select);
+        g.add_quant(x, y, QuantKind::Foreach, "y");
+        g.add_quant(x, b, QuantKind::Foreach, "t");
+        g.add_quant(y, x, QuantKind::Foreach, "x");
+        let top = g.top();
+        g.add_quant(top, x, QuantKind::Foreach, "x");
+        let strata = assign(&mut g);
+        assert_eq!(strata[&x], strata[&y]);
+        assert!(is_recursive(&g));
+    }
+
+    #[test]
+    fn base_tables_are_stratum_zero() {
+        let mut g = Qgm::new();
+        let b = base(&mut g, "T");
+        let top = g.top();
+        g.add_quant(top, b, QuantKind::Foreach, "t");
+        let strata = assign(&mut g);
+        assert_eq!(strata[&b], 0);
+        assert_eq!(strata[&top], 1);
+        assert_eq!(g.boxed(b).stratum, 0);
+    }
+}
+
+#[cfg(test)]
+mod nesting_tests {
+    use super::*;
+    use crate::boxes::{BoxKind, QuantKind};
+
+    #[test]
+    fn subquery_quantifiers_count_as_dependencies() {
+        // A box's stratum is above its subquery inputs too.
+        let mut g = Qgm::new();
+        let b = g.add_box("T", BoxKind::BaseTable { table: "t".into() });
+        let sub = g.add_box("SUB", BoxKind::Select);
+        g.add_quant(sub, b, QuantKind::Foreach, "t");
+        let top = g.top();
+        g.add_quant(top, b, QuantKind::Foreach, "t2");
+        g.add_quant(top, sub, QuantKind::Existential { negated: false }, "e");
+        let strata = assign(&mut g);
+        assert!(strata[&top] > strata[&sub]);
+        assert_eq!(strata[&b], 0);
+    }
+
+    #[test]
+    fn five_level_chain() {
+        let mut g = Qgm::new();
+        let mut prev = g.add_box("T", BoxKind::BaseTable { table: "t".into() });
+        for i in 0..5 {
+            let v = g.add_box(format!("V{i}"), BoxKind::Select);
+            g.add_quant(v, prev, QuantKind::Foreach, "p");
+            prev = v;
+        }
+        let top = g.top();
+        g.add_quant(top, prev, QuantKind::Foreach, "v");
+        let strata = assign(&mut g);
+        assert_eq!(strata[&top], 6);
+    }
+
+    #[test]
+    fn is_recursive_false_on_dag() {
+        let mut g = Qgm::new();
+        let b = g.add_box("T", BoxKind::BaseTable { table: "t".into() });
+        let top = g.top();
+        g.add_quant(top, b, QuantKind::Foreach, "a");
+        g.add_quant(top, b, QuantKind::Foreach, "b"); // diamond, not a cycle
+        assert!(!is_recursive(&g));
+    }
+}

@@ -1,0 +1,181 @@
+//! The forward-chaining rewrite engine.
+//!
+//! A cursor walks the query blocks depth-first from the top box; at
+//! each box every enabled rule is offered the box; the engine repeats
+//! full passes until no rule fires (fixpoint), with a pass budget as a
+//! runaway guard.
+
+use std::collections::BTreeMap;
+
+use starmagic_catalog::Catalog;
+use starmagic_common::{Error, Result};
+use starmagic_qgm::{BoxId, Qgm};
+
+use crate::props::OpRegistry;
+use crate::rules::RewriteRule;
+
+/// Everything a rule may consult or mutate.
+pub struct RuleContext<'a> {
+    pub qgm: &'a mut Qgm,
+    pub catalog: &'a Catalog,
+    pub registry: &'a OpRegistry,
+}
+
+/// Fire counts per rule, for tests and EXPLAIN output.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RewriteStats {
+    pub fires: BTreeMap<String, usize>,
+    pub passes: usize,
+}
+
+impl RewriteStats {
+    /// Fire count of a rule by name (0 when it never fired).
+    pub fn count(&self, rule: &str) -> usize {
+        self.fires.get(rule).copied().unwrap_or(0)
+    }
+}
+
+/// The engine itself. `max_passes` bounds the number of full
+/// depth-first sweeps (a pass that fires nothing ends the run early).
+pub struct RewriteEngine {
+    pub max_passes: usize,
+}
+
+impl Default for RewriteEngine {
+    fn default() -> RewriteEngine {
+        RewriteEngine { max_passes: 64 }
+    }
+}
+
+impl RewriteEngine {
+    /// Run `rules` to fixpoint over the graph. Rules fire one box at a
+    /// time in depth-first order from the top box.
+    pub fn run(
+        &self,
+        qgm: &mut Qgm,
+        catalog: &Catalog,
+        registry: &OpRegistry,
+        rules: &[&dyn RewriteRule],
+    ) -> Result<RewriteStats> {
+        let mut stats = RewriteStats::default();
+        for _pass in 0..self.max_passes {
+            stats.passes += 1;
+            let mut fired = false;
+            let order = depth_first_boxes(qgm);
+            for b in order {
+                if !qgm.box_exists(b) {
+                    continue; // a previous fire removed it
+                }
+                for rule in rules {
+                    if !qgm.box_exists(b) {
+                        break;
+                    }
+                    let mut ctx = RuleContext {
+                        qgm,
+                        catalog,
+                        registry,
+                    };
+                    if rule.apply(&mut ctx, b)? {
+                        *stats.fires.entry(rule.name().to_string()).or_insert(0) += 1;
+                        fired = true;
+                    }
+                }
+            }
+            if !fired {
+                return Ok(stats);
+            }
+        }
+        Err(Error::internal(format!(
+            "rewrite did not reach fixpoint within {} passes (rule loop?)",
+            self.max_passes
+        )))
+    }
+}
+
+/// Depth-first box order from the top box, parents before children —
+/// the traversal the paper's cursor facility uses. Magic links are
+/// visited after quantifier children.
+pub fn depth_first_boxes(qgm: &Qgm) -> Vec<BoxId> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut order = Vec::new();
+    let mut stack = vec![qgm.top()];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        order.push(b);
+        let qb = qgm.boxed(b);
+        let mut children: Vec<BoxId> = qb.quants.iter().map(|&q| qgm.quant(q).input).collect();
+        children.extend(qb.magic_links.iter().copied());
+        for c in children.into_iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starmagic_catalog::generator;
+    use starmagic_qgm::build_qgm;
+
+    struct NopRule;
+    impl RewriteRule for NopRule {
+        fn name(&self) -> &'static str {
+            "nop"
+        }
+        fn apply(&self, _ctx: &mut RuleContext<'_>, _b: BoxId) -> Result<bool> {
+            Ok(false)
+        }
+    }
+
+    struct AlwaysFires;
+    impl RewriteRule for AlwaysFires {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn apply(&self, _ctx: &mut RuleContext<'_>, _b: BoxId) -> Result<bool> {
+            Ok(true)
+        }
+    }
+
+    fn graph() -> (Qgm, Catalog) {
+        let cat = generator::benchmark_catalog(generator::Scale::small()).unwrap();
+        let q = starmagic_sql::parse_query(
+            "SELECT e.empno FROM employee e, department d WHERE e.workdept = d.deptno",
+        )
+        .unwrap();
+        let g = build_qgm(&cat, &q).unwrap();
+        (g, cat)
+    }
+
+    #[test]
+    fn engine_reaches_fixpoint_with_inert_rules() {
+        let (mut g, cat) = graph();
+        let reg = OpRegistry::new();
+        let stats = RewriteEngine::default()
+            .run(&mut g, &cat, &reg, &[&NopRule])
+            .unwrap();
+        assert_eq!(stats.passes, 1);
+        assert_eq!(stats.count("nop"), 0);
+    }
+
+    #[test]
+    fn engine_detects_rule_loops() {
+        let (mut g, cat) = graph();
+        let reg = OpRegistry::new();
+        let err = RewriteEngine { max_passes: 3 }
+            .run(&mut g, &cat, &reg, &[&AlwaysFires])
+            .unwrap_err();
+        assert!(err.to_string().contains("fixpoint"));
+    }
+
+    #[test]
+    fn depth_first_visits_parents_before_children() {
+        let (g, _) = graph();
+        let order = depth_first_boxes(&g);
+        assert_eq!(order[0], g.top());
+        assert_eq!(order.len(), g.box_count());
+    }
+}

@@ -1,0 +1,208 @@
+//! Operation properties: the extensibility interface of §4.2 and §5.
+//!
+//! EMST must work with any box operation, including ones added later by
+//! a database customizer. The paper identifies the one property that
+//! matters — whether the operation *accepts a magic quantifier* (AMQ):
+//! can a new table reference be added to the box with join semantics?
+//! A select box can absorb the magic table as an extra join; a
+//! group-by or set-operation box cannot (NMQ) and instead gets the
+//! magic box *linked*, to be pushed further down.
+//!
+//! The second half of the interface is the per-operation predicate
+//! pushdown knowledge: which output columns of a box can a predicate
+//! restrict? (All of them for a select or union; only the group-key
+//! columns for a group-by; only preserved-side columns for an
+//! outer join.)
+
+use std::collections::BTreeMap;
+
+use starmagic_qgm::{BoxId, BoxKind, Qgm};
+
+/// Which output columns of a box can be restricted by pushed
+/// predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bindable {
+    /// Every output column.
+    All,
+    /// Only the listed output columns.
+    Cols(Vec<usize>),
+    /// No column — predicates cannot be pushed into this box.
+    None,
+}
+
+impl Bindable {
+    /// Whether output column `c` accepts pushed predicates.
+    pub fn allows(&self, c: usize) -> bool {
+        match self {
+            Bindable::All => true,
+            Bindable::Cols(cols) => cols.contains(&c),
+            Bindable::None => false,
+        }
+    }
+}
+
+/// Properties a customizer supplies for a new operation.
+#[derive(Clone)]
+pub struct OpProperties {
+    /// AMQ: the box accepts an extra joined quantifier.
+    pub accepts_magic_quantifier: bool,
+    /// Which output columns can pushed predicates restrict.
+    pub bindable: fn(&Qgm, BoxId) -> Bindable,
+}
+
+/// Registry of operation properties. Built-in operations are wired in;
+/// [`OpRegistry::register`] adds or overrides entries by operation tag
+/// (the extensibility path of §5).
+#[derive(Clone, Default)]
+pub struct OpRegistry {
+    custom: BTreeMap<String, OpProperties>,
+}
+
+impl OpRegistry {
+    pub fn new() -> OpRegistry {
+        OpRegistry::default()
+    }
+
+    /// Register (or override) properties for an operation tag.
+    pub fn register(&mut self, tag: impl Into<String>, props: OpProperties) {
+        self.custom.insert(tag.into(), props);
+    }
+
+    /// The operation tag of a box (used for registry lookups).
+    pub fn tag_of(kind: &BoxKind) -> &'static str {
+        match kind {
+            BoxKind::BaseTable { .. } => "table",
+            BoxKind::Select => "select",
+            BoxKind::GroupBy(_) => "groupby",
+            BoxKind::SetOp(_) => "setop",
+            BoxKind::OuterJoin(_) => "outerjoin",
+        }
+    }
+
+    /// AMQ or NMQ (§4.2): can a magic quantifier be inserted into this
+    /// box with join semantics?
+    pub fn accepts_magic_quantifier(&self, qgm: &Qgm, b: BoxId) -> bool {
+        let kind = &qgm.boxed(b).kind;
+        if let Some(p) = self.custom.get(Self::tag_of(kind)) {
+            return p.accepts_magic_quantifier;
+        }
+        match kind {
+            BoxKind::Select => true,
+            // An outer join cannot absorb an extra joined quantifier
+            // without changing its null-padding semantics: NMQ.
+            BoxKind::BaseTable { .. }
+            | BoxKind::GroupBy(_)
+            | BoxKind::SetOp(_)
+            | BoxKind::OuterJoin(_) => false,
+        }
+    }
+
+    /// Which output columns of box `b` can pushed predicates restrict.
+    pub fn bindable_cols(&self, qgm: &Qgm, b: BoxId) -> Bindable {
+        let kind = &qgm.boxed(b).kind;
+        if let Some(p) = self.custom.get(Self::tag_of(kind)) {
+            return (p.bindable)(qgm, b);
+        }
+        match kind {
+            // Predicates on a select box's output can always be
+            // translated onto its inputs.
+            BoxKind::Select => Bindable::All,
+            // A predicate can pass through a set operation into every
+            // arm (a row-level filter commutes with UNION/EXCEPT/
+            // INTERSECT).
+            BoxKind::SetOp(_) => Bindable::All,
+            // Only the group-key outputs: a predicate on an aggregated
+            // column cannot restrict the input.
+            BoxKind::GroupBy(g) => Bindable::Cols((0..g.group_keys.len()).collect()),
+            // Stored tables take no pushdown (the executor applies the
+            // enclosing box's predicates during the scan).
+            BoxKind::BaseTable { .. } => Bindable::None,
+            // Only output columns computed from the preserved side: a
+            // predicate pushed into the null-supplying side would
+            // change which rows get NULL padding.
+            BoxKind::OuterJoin(_) => Bindable::Cols(outerjoin_preserved_cols(qgm, b)),
+        }
+    }
+}
+
+/// Output columns of an outer-join box that reference only the
+/// preserved (first) quantifier.
+pub fn outerjoin_preserved_cols(qgm: &Qgm, b: BoxId) -> Vec<usize> {
+    let qb = qgm.boxed(b);
+    let Some(&preserved) = qb.quants.first() else {
+        return Vec::new();
+    };
+    qb.columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            let qs = c.expr.quantifiers();
+            !qs.is_empty() && qs.iter().all(|&q| q == preserved)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starmagic_catalog::generator;
+    use starmagic_qgm::build_qgm;
+
+    fn graph(sql_text: &str) -> Qgm {
+        let cat = generator::benchmark_catalog(generator::Scale::small()).unwrap();
+        build_qgm(&cat, &starmagic_sql::parse_query(sql_text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn select_is_amq_groupby_is_nmq() {
+        let g = graph("SELECT workdept, AVG(salary) FROM employee GROUP BY workdept");
+        let reg = OpRegistry::new();
+        let top = g.top(); // T3 select
+        assert!(reg.accepts_magic_quantifier(&g, top));
+        let t2 = g.quant(g.boxed(top).quants[0]).input; // groupby
+        assert!(!reg.accepts_magic_quantifier(&g, t2));
+    }
+
+    #[test]
+    fn groupby_binds_only_group_keys() {
+        let g = graph("SELECT workdept, AVG(salary) FROM employee GROUP BY workdept");
+        let reg = OpRegistry::new();
+        let top = g.top();
+        let t2 = g.quant(g.boxed(top).quants[0]).input;
+        let bind = reg.bindable_cols(&g, t2);
+        assert!(bind.allows(0), "group key column");
+        assert!(!bind.allows(1), "aggregate column");
+    }
+
+    #[test]
+    fn setop_binds_all() {
+        let g = graph("SELECT deptno FROM department UNION SELECT workdept FROM employee");
+        let reg = OpRegistry::new();
+        assert_eq!(reg.bindable_cols(&g, g.top()), Bindable::All);
+        assert!(!reg.accepts_magic_quantifier(&g, g.top()));
+    }
+
+    #[test]
+    fn custom_registration_overrides() {
+        let g = graph("SELECT empno FROM employee");
+        let mut reg = OpRegistry::new();
+        reg.register(
+            "select",
+            OpProperties {
+                accepts_magic_quantifier: false,
+                bindable: |_, _| Bindable::None,
+            },
+        );
+        assert!(!reg.accepts_magic_quantifier(&g, g.top()));
+        assert_eq!(reg.bindable_cols(&g, g.top()), Bindable::None);
+    }
+
+    #[test]
+    fn bindable_allows() {
+        assert!(Bindable::All.allows(7));
+        assert!(Bindable::Cols(vec![1, 3]).allows(3));
+        assert!(!Bindable::Cols(vec![1, 3]).allows(2));
+        assert!(!Bindable::None.allows(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Distinct pullup: when a box that enforces duplicate elimination is
+//! proven unable to produce duplicates in the first place, the
+//! enforcement is dropped (Enforce → Preserve). The paper applies this
+//! "twice in phase 2 to infer that there is no need to eliminate
+//! duplicates from the magic tables", which is what later allows
+//! phase 3 to merge the magic boxes away.
+
+use starmagic_common::Result;
+use starmagic_qgm::keys;
+use starmagic_qgm::{BoxId, DistinctMode};
+
+use crate::engine::RuleContext;
+use crate::rules::RewriteRule;
+
+pub struct DistinctPullup;
+
+impl RewriteRule for DistinctPullup {
+    fn name(&self) -> &'static str {
+        "distinct-pullup"
+    }
+
+    fn apply(&self, ctx: &mut RuleContext<'_>, b: BoxId) -> Result<bool> {
+        if ctx.qgm.boxed(b).distinct != DistinctMode::Enforce {
+            return Ok(false);
+        }
+        // Ask the key inference whether the output is duplicate-free
+        // *without* counting our own enforcement.
+        ctx.qgm.boxed_mut(b).distinct = DistinctMode::Permit;
+        let dup_free = keys::is_dup_free(ctx.qgm, ctx.catalog, b);
+        ctx.qgm.boxed_mut(b).distinct = if dup_free {
+            DistinctMode::Preserve
+        } else {
+            DistinctMode::Enforce
+        };
+        Ok(dup_free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RewriteEngine;
+    use crate::props::OpRegistry;
+    use starmagic_catalog::generator;
+    use starmagic_qgm::{build_qgm, Qgm};
+
+    fn run(sql_text: &str) -> Qgm {
+        let cat = generator::benchmark_catalog(generator::Scale::small()).unwrap();
+        let mut g = build_qgm(&cat, &starmagic_sql::parse_query(sql_text).unwrap()).unwrap();
+        RewriteEngine::default()
+            .run(&mut g, &cat, &OpRegistry::new(), &[&DistinctPullup])
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn distinct_on_key_column_is_pulled_up() {
+        // deptno is the department key: SELECT DISTINCT deptno cannot
+        // produce duplicates.
+        let g = run("SELECT DISTINCT deptno FROM department");
+        assert_eq!(g.boxed(g.top()).distinct, DistinctMode::Preserve);
+    }
+
+    #[test]
+    fn distinct_on_non_key_column_stays() {
+        let g = run("SELECT DISTINCT workdept FROM employee");
+        assert_eq!(g.boxed(g.top()).distinct, DistinctMode::Enforce);
+    }
+
+    #[test]
+    fn distinct_covering_full_key_is_pulled_up() {
+        let g = run("SELECT DISTINCT empno, projno, hours FROM emp_act");
+        assert_eq!(g.boxed(g.top()).distinct, DistinctMode::Preserve);
+    }
+}

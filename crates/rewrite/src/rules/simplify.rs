@@ -1,0 +1,137 @@
+//! Predicate simplification: flatten conjunctions the other rules may
+//! have produced, drop trivially true conjuncts, and fold double
+//! negations. Kept deliberately small — it exists so the other rules
+//! can be written without worrying about cosmetic debris.
+
+use starmagic_common::{Result, Value};
+use starmagic_qgm::{BoxId, ScalarExpr};
+
+use crate::engine::RuleContext;
+use crate::rules::RewriteRule;
+
+pub struct SimplifyPredicates;
+
+impl RewriteRule for SimplifyPredicates {
+    fn name(&self) -> &'static str {
+        "simplify"
+    }
+
+    fn apply(&self, ctx: &mut RuleContext<'_>, b: BoxId) -> Result<bool> {
+        let preds = std::mem::take(&mut ctx.qgm.boxed_mut(b).predicates);
+        let mut out: Vec<ScalarExpr> = Vec::with_capacity(preds.len());
+        let mut changed = false;
+        for p in preds {
+            for conj in p.conjuncts() {
+                let s = fold(conj);
+                match s {
+                    (ScalarExpr::Literal(Value::Bool(true)), _) => {
+                        changed = true; // dropped
+                    }
+                    (expr, ch) => {
+                        changed |= ch;
+                        out.push(expr);
+                    }
+                }
+            }
+        }
+        // Splitting counts as change only if it altered the list shape;
+        // `conjuncts` on an already-flat list is identity, so compare.
+        ctx.qgm.boxed_mut(b).predicates = out;
+        Ok(changed)
+    }
+}
+
+/// Fold an expression; returns the result and whether anything changed.
+fn fold(e: ScalarExpr) -> (ScalarExpr, bool) {
+    match e {
+        ScalarExpr::Not(inner) => match *inner {
+            ScalarExpr::Not(x) => {
+                let (f, _) = fold(*x);
+                (f, true)
+            }
+            ScalarExpr::Literal(Value::Bool(v)) => (ScalarExpr::Literal(Value::Bool(!v)), true),
+            other => {
+                let (f, ch) = fold(other);
+                (ScalarExpr::Not(Box::new(f)), ch)
+            }
+        },
+        ScalarExpr::Bin { op, left, right } => {
+            let (l, cl) = fold(*left);
+            let (r, cr) = fold(*right);
+            (ScalarExpr::bin(op, l, r), cl || cr)
+        }
+        other => (other, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{RewriteEngine, RuleContext};
+    use crate::props::OpRegistry;
+    use starmagic_catalog::generator;
+    use starmagic_qgm::{build_qgm, Qgm};
+    use starmagic_sql::BinOp;
+
+    fn setup() -> (Qgm, starmagic_catalog::Catalog) {
+        let cat = generator::benchmark_catalog(generator::Scale::small()).unwrap();
+        let g = build_qgm(
+            &cat,
+            &starmagic_sql::parse_query("SELECT empno FROM employee").unwrap(),
+        )
+        .unwrap();
+        (g, cat)
+    }
+
+    #[test]
+    fn drops_true_conjuncts() {
+        let (mut g, cat) = setup();
+        let top = g.top();
+        g.boxed_mut(top)
+            .predicates
+            .push(ScalarExpr::lit(true));
+        RewriteEngine::default()
+            .run(&mut g, &cat, &OpRegistry::new(), &[&SimplifyPredicates])
+            .unwrap();
+        assert!(g.boxed(g.top()).predicates.is_empty());
+    }
+
+    #[test]
+    fn folds_double_negation() {
+        let (mut g, cat) = setup();
+        let top = g.top();
+        let q = g.boxed(top).quants[0];
+        let inner = ScalarExpr::bin(BinOp::Gt, ScalarExpr::col(q, 3), ScalarExpr::lit(5i64));
+        g.boxed_mut(top)
+            .predicates
+            .push(ScalarExpr::Not(Box::new(ScalarExpr::Not(Box::new(
+                inner.clone(),
+            )))));
+        RewriteEngine::default()
+            .run(&mut g, &cat, &OpRegistry::new(), &[&SimplifyPredicates])
+            .unwrap();
+        assert_eq!(g.boxed(g.top()).predicates, vec![inner]);
+    }
+
+    #[test]
+    fn splits_nested_conjunctions() {
+        let (mut g, cat) = setup();
+        let top = g.top();
+        let q = g.boxed(top).quants[0];
+        let a = ScalarExpr::bin(BinOp::Gt, ScalarExpr::col(q, 3), ScalarExpr::lit(1i64));
+        let b = ScalarExpr::bin(BinOp::Lt, ScalarExpr::col(q, 3), ScalarExpr::lit(9i64));
+        g.boxed_mut(top)
+            .predicates
+            .push(ScalarExpr::bin(BinOp::And, a.clone(), b.clone()));
+        let mut ctx_run = || {
+            let mut ctx = RuleContext {
+                qgm: &mut g,
+                catalog: &cat,
+                registry: &OpRegistry::new(),
+            };
+            SimplifyPredicates.apply(&mut ctx, top).unwrap()
+        };
+        ctx_run();
+        assert_eq!(g.boxed(top).predicates, vec![a, b]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The abstract syntax tree produced by the parser.
+
+use starmagic_common::Value;
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query (possibly a set expression over blocks).
+    Query(Query),
+    /// `CREATE [RECURSIVE] VIEW name (col, ...) AS query`.
+    CreateView {
+        name: String,
+        columns: Vec<String>,
+        query: Query,
+        recursive: bool,
+    },
+    /// `CREATE TABLE name (col TYPE, ..., [PRIMARY KEY (col, ...)])`.
+    CreateTable {
+        name: String,
+        columns: Vec<(String, starmagic_common::DataType)>,
+        key: Vec<String>,
+    },
+    /// `INSERT INTO name VALUES (lit, ...), (lit, ...)`.
+    Insert {
+        table: String,
+        rows: Vec<Vec<Expr>>,
+    },
+}
+
+/// A query: a set expression. (ORDER BY is deliberately absent — the
+/// paper's subset has no ordering, and results are bags.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub body: SetExpr,
+}
+
+/// Body of a query: a single block or a set operation between bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<SelectBlock>),
+    SetOp {
+        op: SetOpKind,
+        all: bool,
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+    },
+}
+
+/// UNION / EXCEPT / INTERSECT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOpKind {
+    Union,
+    Except,
+    Intersect,
+}
+
+/// A single SELECT block — the paper's "block" (§2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBlock {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named table or view, with optional alias.
+    Named { name: String, alias: Option<String> },
+    /// A derived table: `(query) AS alias`.
+    Derived { query: Query, alias: String },
+    /// `left LEFT [OUTER] JOIN right ON condition`.
+    LeftJoin {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        on: Expr,
+    },
+}
+
+impl TableRef {
+    /// The name this reference binds in the enclosing block (joins
+    /// bind through their sides, not themselves).
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+            TableRef::LeftJoin { left, .. } => left.binding_name(),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Whether this is a comparison operator.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Parse an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// `ANY` or `ALL` in a quantified comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantified {
+    Any,
+    All,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference `[qualifier.]name`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Unary negation `-e` or logical `NOT e`.
+    Neg(Box<Expr>),
+    Not(Box<Expr>),
+    /// `e IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `e [NOT] BETWEEN lo AND hi`.
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `e [NOT] LIKE 'pattern'` (SQL `%`/`_` wildcards).
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// `e [NOT] IN (v1, v2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `e [NOT] IN (subquery)`.
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists { query: Box<Query>, negated: bool },
+    /// `e op ANY|ALL (subquery)`.
+    QuantifiedCmp {
+        expr: Box<Expr>,
+        op: BinOp,
+        quantifier: Quantified,
+        query: Box<Query>,
+    },
+    /// Scalar subquery `(SELECT ...)` used as a value.
+    ScalarSubquery(Box<Query>),
+    /// Aggregate call. `arg == None` means `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        arg: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor: column without qualifier.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Convenience constructor: qualified column.
+    pub fn qcol(q: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Convenience constructor: binary op.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    /// Whether this expression (tree) contains any aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            Expr::QuantifiedCmp { expr, .. } => expr.contains_aggregate(),
+            Expr::Column { .. }
+            | Expr::Literal(_)
+            | Expr::Exists { .. }
+            | Expr::ScalarSubquery(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableRef::Named {
+            name: "employee".into(),
+            alias: Some("e".into()),
+        };
+        assert_eq!(t.binding_name(), "e");
+        let t = TableRef::Named {
+            name: "employee".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), "employee");
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::Ge.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+    }
+
+    #[test]
+    fn agg_from_name() {
+        assert_eq!(AggFunc::from_name("AVG"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let e = Expr::bin(
+            BinOp::Gt,
+            Expr::col("salary"),
+            Expr::Agg {
+                func: AggFunc::Avg,
+                distinct: false,
+                arg: Some(Box::new(Expr::col("salary"))),
+            },
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("salary").contains_aggregate());
+    }
+}

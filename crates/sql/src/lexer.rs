@@ -1,0 +1,299 @@
+//! The SQL lexer.
+
+use starmagic_common::{Error, Result};
+
+use crate::token::{Token, TokenKind};
+
+/// Tokenize an SQL string. Identifiers are lowercased; string literals
+/// keep their case. `--` line comments are skipped.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                    end += 1;
+                }
+                let mut is_double = false;
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && end + 1 < bytes.len()
+                    && (bytes[end + 1] as char).is_ascii_digit()
+                {
+                    is_double = true;
+                    end += 1;
+                    while end < bytes.len() && (bytes[end] as char).is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                let text = &input[i..end];
+                let kind = if is_double {
+                    TokenKind::Double(text.parse().map_err(|_| Error::Parse {
+                        message: format!("bad number {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| Error::Parse {
+                        message: format!("bad integer {text}"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() {
+                    let c = bytes[end] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..end].to_ascii_lowercase()),
+                    offset: start,
+                });
+                i = end;
+            }
+            _ => {
+                let (kind, len) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
+                    ('<', Some('=')) => (TokenKind::Le, 2),
+                    ('<', Some('>')) => (TokenKind::Neq, 2),
+                    ('>', Some('=')) => (TokenKind::Ge, 2),
+                    ('!', Some('=')) => (TokenKind::Neq, 2),
+                    ('=', _) => (TokenKind::Eq, 1),
+                    ('<', _) => (TokenKind::Lt, 1),
+                    ('>', _) => (TokenKind::Gt, 1),
+                    ('+', _) => (TokenKind::Plus, 1),
+                    ('-', _) => (TokenKind::Minus, 1),
+                    ('*', _) => (TokenKind::Star, 1),
+                    ('/', _) => (TokenKind::Slash, 1),
+                    ('(', _) => (TokenKind::LParen, 1),
+                    (')', _) => (TokenKind::RParen, 1),
+                    (',', _) => (TokenKind::Comma, 1),
+                    ('.', _) => (TokenKind::Dot, 1),
+                    (';', _) => (TokenKind::Semi, 1),
+                    _ => {
+                        return Err(Error::Parse {
+                            message: format!("unexpected character {c:?}"),
+                            offset: start,
+                        })
+                    }
+                };
+                tokens.push(Token { kind, offset: start });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_keywords_lowercase() {
+        assert_eq!(
+            kinds("SELECT DeptName"),
+            vec![Ident("select".into()), Ident("deptname".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42 3.5"), vec![Int(42), Double(3.5), Eof]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds("'Plan''ing'"),
+            vec![Str("Plan'ing".into()), Eof]
+        );
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn strings_keep_case() {
+        assert_eq!(kinds("'Planning'"), vec![Str("Planning".into()), Eof]);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a <= b <> c != d >= e"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                Neq,
+                Ident("c".into()),
+                Neq,
+                Ident("d".into()),
+                Ge,
+                Ident("e".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("select -- comment here\n x"),
+            vec![Ident("select".into()), Ident("x".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn dotted_names() {
+        assert_eq!(
+            kinds("e.empno"),
+            vec![Ident("e".into()), Dot, Ident("empno".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(lex("select @x").is_err());
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn number_then_dot_is_not_double_without_digit() {
+        // "1.x" lexes as Int(1), Dot, Ident(x) — qualified-name style.
+        assert_eq!(
+            kinds("1.x"),
+            vec![Int(1), Dot, Ident("x".into()), Eof]
+        );
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        let toks = lex("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, Eof);
+    }
+
+    #[test]
+    fn comment_only_input() {
+        let toks = lex("-- nothing here").unwrap();
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_operators() {
+        let kinds: Vec<_> = lex("a<=b>=c<>d").unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                Ge,
+                Ident("c".into()),
+                Neq,
+                Ident("d".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_string_literal() {
+        let kinds: Vec<_> = lex("''").unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![Str(String::new()), Eof]);
+    }
+
+    #[test]
+    fn doubled_quotes_only() {
+        let kinds: Vec<_> = lex("''''").unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![Str("'".into()), Eof]);
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        let kinds: Vec<_> = lex("_x x_1 emp_act").unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Ident("_x".into()),
+                Ident("x_1".into()),
+                Ident("emp_act".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn large_integer_overflow_is_an_error() {
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! SQL frontend for starmagic: lexer, AST, and recursive-descent
+//! parser for the Starburst SQL subset the paper works with —
+//! `SELECT ... FROM ... WHERE ... GROUP BY ... HAVING`, `DISTINCT`,
+//! `UNION`/`EXCEPT`/`INTERSECT` (with and without `ALL`), views,
+//! subqueries (`EXISTS`, `IN`, quantified and scalar, correlated),
+//! aggregates, `BETWEEN`, `LIKE`, `IS NULL`, and NULL literals.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::*;
+pub use parser::{parse_query, parse_statement};

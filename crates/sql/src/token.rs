@@ -1,0 +1,78 @@
+//! Token definitions for the SQL lexer.
+
+use std::fmt;
+
+/// A lexical token plus its byte offset in the source (for error
+/// messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// The token kinds of the SQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword, normalized to lowercase. Keywords are
+    /// recognized contextually by the parser (SQL keywords are
+    /// reserved only where the grammar needs them).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// String literal, quotes stripped and `''` unescaped.
+    Str(String),
+    // Operators and punctuation.
+    Eq,       // =
+    Neq,      // <> or !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    LParen,   // (
+    RParen,   // )
+    Comma,    // ,
+    Dot,      // .
+    Semi,     // ;
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether this token is the given (case-insensitive) keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Double(d) => write!(f, "{d}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Neq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Architecture assertions for Figures 2 and 3: the rewrite runs in
+//! three phases, EMST fires only in phase 2, and the plan optimizer is
+//! invoked exactly twice; the cost-based heuristic never degrades.
+
+use starmagic::{Engine, Strategy};
+use starmagic_catalog::generator::{benchmark_catalog, Scale};
+
+const QUERY_D: &str = "SELECT d.deptname, s.workdept, s.avgsalary \
+                       FROM department d, avgMgrSal s \
+                       WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
+
+fn engine() -> Engine {
+    let mut e = Engine::new(benchmark_catalog(Scale::small()).unwrap());
+    e.run_sql(
+        "CREATE VIEW mgrSal (empno, empname, workdept, salary) AS \
+         SELECT e.empno, e.empname, e.workdept, e.salary \
+         FROM employee e, department d WHERE e.empno = d.mgrno",
+    )
+    .unwrap();
+    e.run_sql(
+        "CREATE VIEW avgMgrSal (workdept, avgsalary) AS \
+         SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept",
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn plan_optimizer_runs_exactly_twice_with_magic() {
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    assert_eq!(o.plan_optimizations, 2);
+}
+
+#[test]
+fn plan_optimizer_runs_once_without_magic() {
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Original).unwrap();
+    assert_eq!(o.plan_optimizations, 1);
+}
+
+#[test]
+fn emst_fires_only_in_phase_2() {
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    assert_eq!(o.stats[0].count("emst"), 0, "phase 1 must not run EMST");
+    assert!(o.stats[1].count("emst") > 0, "phase 2 must run EMST");
+    assert_eq!(o.stats[2].count("emst"), 0, "phase 3 must not run EMST");
+}
+
+#[test]
+fn phase_1_runs_the_traditional_rules() {
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    assert!(o.stats[0].count("merge") >= 2, "{:?}", o.stats[0]);
+}
+
+#[test]
+fn phase_3_merges_magic_debris() {
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    assert!(o.stats[2].count("merge") >= 1, "{:?}", o.stats[2]);
+    assert!(o.phase3.box_count() < o.phase2.box_count());
+}
+
+#[test]
+fn join_orders_deposited_before_phase_2() {
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    // Every select box in phase 1 carries a planner join order.
+    for b in o.phase1.box_ids() {
+        let qb = o.phase1.boxed(b);
+        if matches!(qb.kind, starmagic::qgm::BoxKind::Select)
+            && !o.phase1.foreach_quants(b).is_empty()
+        {
+            assert!(qb.join_order.is_some(), "box {} unordered", qb.name);
+        }
+    }
+    // Query D's order matches the paper: department before avgMgrSal.
+    let top = o.phase1.top();
+    let order = o.phase1.join_order(top);
+    assert_eq!(o.phase1.quant(order[0]).name, "d");
+}
+
+#[test]
+fn heuristic_guarantee_magic_never_degrades() {
+    // "Usage of the EMST rewrite rule cannot degrade a query plan
+    // produced without using the EMST rule."
+    let e = engine();
+    for sql in [
+        QUERY_D,
+        "SELECT e.empno FROM employee e WHERE e.salary > 0",
+        "SELECT d.deptname, s.avgsalary FROM department d, avgMgrSal s \
+         WHERE d.deptno = s.workdept",
+        "SELECT COUNT(*) FROM mgrSal",
+    ] {
+        let chosen = e.query_with(sql, Strategy::CostBased).unwrap();
+        let original = e.query_with(sql, Strategy::Original).unwrap();
+        assert!(
+            chosen.metrics.work() <= original.metrics.work(),
+            "cost-based did more work than original for:\n{sql}\n{} vs {}",
+            chosen.metrics.work(),
+            original.metrics.work()
+        );
+    }
+}
+
+#[test]
+fn cost_estimates_track_actual_work_direction() {
+    // Where magic cuts estimated cost, it must also cut measured work.
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    assert!(o.cost_with_magic < o.cost_without_magic);
+    let orig = e.query_with(QUERY_D, Strategy::Original).unwrap().metrics;
+    let magic = e.query_with(QUERY_D, Strategy::Magic).unwrap().metrics;
+    assert!(magic.work() < orig.work());
+}
+
+#[test]
+fn explain_renders_all_four_graphs_and_decision() {
+    let e = engine();
+    let text = e.explain(QUERY_D).unwrap();
+    assert!(text.contains("initial query graph"), "{text}");
+    assert!(text.contains("after phase 1 rewrite"));
+    assert!(text.contains("after phase 2 (EMST)"));
+    assert!(text.contains("after phase 3 cleanup"));
+    assert!(text.contains("SQL after optimization"));
+    assert!(text.contains("decision: magic plan"));
+    // The trace shows the supplementary box and an adornment.
+    assert!(text.contains("SM_QUERY"));
+    assert!(text.contains("^bf"));
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let e = engine();
+    let a = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    let b = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    assert_eq!(a.phase3.box_count(), b.phase3.box_count());
+    assert_eq!(a.cost_with_magic, b.cost_with_magic);
+    assert_eq!(a.stats[1].fires, b.stats[1].fires);
+}
+
+#[test]
+fn rewrite_stats_expose_rule_names() {
+    let e = engine();
+    let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
+    let all: Vec<&String> = o.stats.iter().flat_map(|s| s.fires.keys()).collect();
+    assert!(all.iter().any(|n| n.as_str() == "emst"), "{all:?}");
+    assert!(all.iter().any(|n| n.as_str() == "merge"), "{all:?}");
+    assert!(
+        all.iter().any(|n| n.as_str() == "distinct-pullup"),
+        "{all:?}"
+    );
+}
