@@ -42,13 +42,14 @@ fn scale() -> Scale {
 
 fn magic_graph(engine: &Engine, sql: &str, opts: PipelineOptions) -> Qgm {
     let query = starmagic::sql::parse_query(sql).expect("parse");
-    let optimized =
-        optimize(engine.catalog(), engine.registry(), &query, opts).expect("optimize");
+    let optimized = optimize(engine.catalog(), engine.registry(), &query, opts).expect("optimize");
     optimized.phase3.clone()
 }
 
 fn run_graph(engine: &Engine, g: &Qgm) -> usize {
-    starmagic::exec::execute(g, engine.catalog()).expect("execute").len()
+    starmagic::exec::execute(g, engine.catalog())
+        .expect("execute")
+        .len()
 }
 
 fn ablation(c: &mut Criterion) {
@@ -72,10 +73,10 @@ fn ablation(c: &mut Criterion) {
         let mut group = c.benchmark_group("ablation/phase3_cleanup");
         group.sample_size(20);
         group.bench_function("with_cleanup", |b| {
-            b.iter(|| run_graph(&engine, &with_cleanup))
+            b.iter(|| run_graph(&engine, &with_cleanup));
         });
         group.bench_function("without_cleanup", |b| {
-            b.iter(|| run_graph(&engine, &without_cleanup))
+            b.iter(|| run_graph(&engine, &without_cleanup));
         });
         group.finish();
     }
@@ -94,10 +95,10 @@ fn ablation(c: &mut Criterion) {
         let mut group = c.benchmark_group("ablation/supplementary_magic");
         group.sample_size(20);
         group.bench_function("with_supplementary", |b| {
-            b.iter(|| run_graph(&engine, &with_sm))
+            b.iter(|| run_graph(&engine, &with_sm));
         });
         group.bench_function("without_supplementary", |b| {
-            b.iter(|| run_graph(&engine, &without_sm))
+            b.iter(|| run_graph(&engine, &without_sm));
         });
         group.finish();
     }
@@ -132,10 +133,10 @@ fn ablation(c: &mut Criterion) {
         let mut group = c.benchmark_group("ablation/join_order");
         group.sample_size(20);
         group.bench_function("emst_with_planned_orders", |b| {
-            b.iter(|| run_graph(&engine, &planned))
+            b.iter(|| run_graph(&engine, &planned));
         });
         group.bench_function("no_emst_baseline", |b| {
-            b.iter(|| run_graph(&engine, &unplanned))
+            b.iter(|| run_graph(&engine, &unplanned));
         });
         group.finish();
     }
@@ -159,10 +160,10 @@ fn decorrelation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/decorrelation");
     group.sample_size(10);
     group.bench_function("correlated_tuple_at_a_time", |b| {
-        b.iter(|| engine.execute_prepared(&correlated).expect("run"))
+        b.iter(|| engine.execute_prepared(&correlated).expect("run"));
     });
     group.bench_function("magic_decorrelated", |b| {
-        b.iter(|| engine.execute_prepared(&decorrelated).expect("run"))
+        b.iter(|| engine.execute_prepared(&decorrelated).expect("run"));
     });
     group.finish();
 }

@@ -41,13 +41,13 @@ fn table1(c: &mut Criterion) {
         let correlated = prepare(&engine, exp.correlated_sql, Strategy::Original);
         let magic = prepare(&engine, exp.original_sql, Strategy::Magic);
         group.bench_function("original", |b| {
-            b.iter(|| engine.execute_prepared(&original).expect("run"))
+            b.iter(|| engine.execute_prepared(&original).expect("run"));
         });
         group.bench_function("correlated", |b| {
-            b.iter(|| engine.execute_prepared(&correlated).expect("run"))
+            b.iter(|| engine.execute_prepared(&correlated).expect("run"));
         });
         group.bench_function("emst", |b| {
-            b.iter(|| engine.execute_prepared(&magic).expect("run"))
+            b.iter(|| engine.execute_prepared(&magic).expect("run"));
         });
         group.finish();
     }

@@ -29,7 +29,10 @@ fn main() {
     println!("Figure 1 — magic introduces more joins, but leads to better");
     println!("performance (left: original query graph; right: after magic)");
     println!("================================================================\n");
-    println!("--- original query graph ({} boxes) ---", o.initial.box_count());
+    println!(
+        "--- original query graph ({} boxes) ---",
+        o.initial.box_count()
+    );
     println!("{}", printer::print_graph(&o.initial));
     println!(
         "--- after the magic transformation ({} boxes) ---",
@@ -62,7 +65,8 @@ fn main() {
     println!("{}", render_sql::render_graph(&o.phase3));
 
     println!("================================================================");
-    println!("costs: without magic {:.0}, with magic {:.0} — the optimizer {}",
+    println!(
+        "costs: without magic {:.0}, with magic {:.0} — the optimizer {}",
         o.cost_without_magic,
         o.cost_with_magic,
         if o.cost_with_magic <= o.cost_without_magic {

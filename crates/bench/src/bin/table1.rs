@@ -51,8 +51,16 @@ fn main() {
     );
     println!(
         "{:<6} | {:>9} {:>11} {:>8} | {:>9} {:>11} {:>8} | {:>9} {:>11} {:>8}",
-        "Query", "Original", "Correlated", "EMST", "Original", "Correlated", "EMST", "Original",
-        "Correlated", "EMST"
+        "Query",
+        "Original",
+        "Correlated",
+        "EMST",
+        "Original",
+        "Correlated",
+        "EMST",
+        "Original",
+        "Correlated",
+        "EMST"
     );
     println!("{}", "-".repeat(100));
     for exp in experiments() {

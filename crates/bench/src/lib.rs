@@ -332,7 +332,7 @@ pub fn run_experiment(engine: &Engine, exp: &Experiment) -> Result<ExperimentRes
 /// agree before trusting any timing.
 pub fn sorted_rows(engine: &Engine, sql: &str, strategy: Strategy) -> Result<Vec<Row>> {
     let mut rows = engine.query_with(sql, strategy)?.rows;
-    rows.sort_by(|a, b| a.group_cmp(b));
+    rows.sort_by(starmagic_common::Row::group_cmp);
     Ok(rows)
 }
 
@@ -350,7 +350,11 @@ mod tests {
         for exp in experiments() {
             let r = run_experiment(&engine, &exp)
                 .unwrap_or_else(|e| panic!("experiment {} failed: {e}", exp.id));
-            assert!(r.original.rows > 0, "experiment {} returned no rows", exp.id);
+            assert!(
+                r.original.rows > 0,
+                "experiment {} returned no rows",
+                exp.id
+            );
         }
     }
 
@@ -383,6 +387,44 @@ mod tests {
                     exp.id,
                     r.emst.work,
                     r.original.work
+                );
+            }
+        }
+    }
+
+    /// The whole Table 1 suite optimizes under per-fire lint checking:
+    /// every rule application leaves the graph semantically valid, and
+    /// the chosen plans carry zero error diagnostics.
+    #[test]
+    fn experiment_suite_lints_clean_under_per_fire() {
+        use starmagic::rewrite::CheckLevel;
+        use starmagic::{optimize, PipelineOptions};
+        let engine = small_engine();
+        let per_fire = PipelineOptions {
+            check: CheckLevel::PerFire,
+            ..PipelineOptions::default()
+        };
+        for exp in experiments() {
+            for (sql, opts) in [
+                (exp.original_sql, per_fire),
+                (
+                    exp.original_sql,
+                    PipelineOptions {
+                        force_magic: true,
+                        ..per_fire
+                    },
+                ),
+                (exp.correlated_sql, per_fire),
+            ] {
+                let query = starmagic::sql::parse_query(sql).unwrap();
+                let o = optimize(engine.catalog(), engine.registry(), &query, opts).unwrap_or_else(
+                    |e| panic!("experiment {}: a rule broke an invariant: {e}", exp.id),
+                );
+                assert!(
+                    !o.lint.has_errors(),
+                    "experiment {}: chosen plan has lint errors: {:?}",
+                    exp.id,
+                    o.lint.diagnostics
                 );
             }
         }

@@ -52,7 +52,11 @@ impl Catalog {
             name.clone(),
             ViewDef {
                 name,
-                columns: view.columns.iter().map(|c| c.to_ascii_lowercase()).collect(),
+                columns: view
+                    .columns
+                    .iter()
+                    .map(|c| c.to_ascii_lowercase())
+                    .collect(),
                 ..view
             },
         );
@@ -87,12 +91,15 @@ impl Catalog {
 
     /// All base-table names, sorted.
     pub fn table_names(&self) -> Vec<&str> {
-        self.tables.keys().map(|s| s.as_str()).collect()
+        self.tables
+            .keys()
+            .map(std::string::String::as_str)
+            .collect()
     }
 
     /// All view names, sorted.
     pub fn view_names(&self) -> Vec<&str> {
-        self.views.keys().map(|s| s.as_str()).collect()
+        self.views.keys().map(std::string::String::as_str).collect()
     }
 
     /// Drop a view (used by benchmarks that redefine workloads).

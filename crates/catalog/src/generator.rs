@@ -65,8 +65,16 @@ impl Scale {
 /// Division names: ten divisions give a ~10% selectivity knob for the
 /// mid-selectivity experiments.
 const DIVISIONS: [&str; 10] = [
-    "Research", "Sales", "Marketing", "Support", "Operations", "Finance", "Legal", "Design",
-    "Quality", "Facilities",
+    "Research",
+    "Sales",
+    "Marketing",
+    "Support",
+    "Operations",
+    "Finance",
+    "Legal",
+    "Design",
+    "Quality",
+    "Facilities",
 ];
 
 /// Build the benchmark catalog:

@@ -22,7 +22,9 @@ impl Row {
 
     /// The empty row (used as the seed for uncorrelated apply).
     pub fn empty() -> Row {
-        Row { values: Arc::from([]) }
+        Row {
+            values: Arc::from([]),
+        }
     }
 
     /// Number of columns.
@@ -117,7 +119,7 @@ mod tests {
     #[test]
     fn group_cmp_sorts_lexicographically() {
         let mut rows = [row(&[2, 1]), row(&[1, 9]), row(&[1, 2])];
-        rows.sort_by(|a, b| a.group_cmp(b));
+        rows.sort_by(super::Row::group_cmp);
         assert_eq!(rows[0], row(&[1, 2]));
         assert_eq!(rows[1], row(&[1, 9]));
         assert_eq!(rows[2], row(&[2, 1]));

@@ -143,13 +143,10 @@ impl Value {
                 _ => Err(Error::internal(format!("unknown arithmetic op {op}"))),
             };
         }
-        let (x, y) = match (self.as_f64(), other.as_f64()) {
-            (Some(x), Some(y)) => (x, y),
-            _ => {
-                return Err(Error::execution(format!(
-                    "arithmetic on non-numeric values {self} {op} {other}"
-                )))
-            }
+        let (Some(x), Some(y)) = (self.as_f64(), other.as_f64()) else {
+            return Err(Error::execution(format!(
+                "arithmetic on non-numeric values {self} {op} {other}"
+            )));
         };
         match op {
             '+' => Ok(Value::Double(x + y)),
@@ -333,11 +330,13 @@ mod tests {
 
     #[test]
     fn group_cmp_total_order_nulls_first() {
-        let mut vals = [Value::Int(2),
+        let mut vals = [
+            Value::Int(2),
             Value::Null,
             Value::str("x"),
-            Value::Double(1.5)];
-        vals.sort_by(|a, b| a.group_cmp(b));
+            Value::Double(1.5),
+        ];
+        vals.sort_by(super::Value::group_cmp);
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Double(1.5));
         assert_eq!(vals[2], Value::Int(2));

@@ -73,7 +73,10 @@ pub fn adorn_quantifier(
             if !bound.iter().any(|x| x.col == binding.col) {
                 bound.push(binding);
             }
-        } else if !conditioned.iter().any(|x| x.col == binding.col && x.op == binding.op) {
+        } else if !conditioned
+            .iter()
+            .any(|x| x.col == binding.col && x.op == binding.op)
+        {
             conditioned.push(binding);
         }
     }
@@ -209,9 +212,7 @@ mod tests {
 
     #[test]
     fn equality_with_eligible_binds() {
-        let (g, reg) = setup(
-            "SELECT e.empno FROM department d, emp e WHERE e.workdept = d.deptno",
-        );
+        let (g, reg) = setup("SELECT e.empno FROM department d, emp e WHERE e.workdept = d.deptno");
         let top = g.top();
         let d = quant_named(&g, top, "d");
         let e = quant_named(&g, top, "e");
@@ -224,9 +225,7 @@ mod tests {
 
     #[test]
     fn ineligible_source_does_not_bind() {
-        let (g, reg) = setup(
-            "SELECT e.empno FROM department d, emp e WHERE e.workdept = d.deptno",
-        );
+        let (g, reg) = setup("SELECT e.empno FROM department d, emp e WHERE e.workdept = d.deptno");
         let top = g.top();
         let e = quant_named(&g, top, "e");
         let r = adorn_quantifier(&g, &reg, top, e, &BTreeSet::new());
@@ -244,9 +243,7 @@ mod tests {
 
     #[test]
     fn range_predicate_gives_condition_adornment() {
-        let (g, reg) = setup(
-            "SELECT e.empno FROM department d, emp e WHERE e.salary > d.budget",
-        );
+        let (g, reg) = setup("SELECT e.empno FROM department d, emp e WHERE e.salary > d.budget");
         let top = g.top();
         let d = quant_named(&g, top, "d");
         let e = quant_named(&g, top, "e");
@@ -259,9 +256,7 @@ mod tests {
 
     #[test]
     fn flipped_comparison_is_normalized() {
-        let (g, reg) = setup(
-            "SELECT e.empno FROM department d, emp e WHERE d.budget < e.salary",
-        );
+        let (g, reg) = setup("SELECT e.empno FROM department d, emp e WHERE d.budget < e.salary");
         let top = g.top();
         let d = quant_named(&g, top, "d");
         let e = quant_named(&g, top, "e");
@@ -279,8 +274,7 @@ mod tests {
             c.add_view(starmagic_catalog::ViewDef {
                 name: "deptavg".into(),
                 columns: vec!["workdept".into(), "avgsal".into()],
-                body_sql: "SELECT workdept, AVG(salary) FROM employee GROUP BY workdept"
-                    .into(),
+                body_sql: "SELECT workdept, AVG(salary) FROM employee GROUP BY workdept".into(),
                 recursive: false,
             })
             .unwrap();
@@ -311,9 +305,8 @@ mod tests {
 
     #[test]
     fn neq_never_binds() {
-        let (g, reg) = setup(
-            "SELECT e.empno FROM department d, emp e WHERE e.workdept <> d.deptno",
-        );
+        let (g, reg) =
+            setup("SELECT e.empno FROM department d, emp e WHERE e.workdept <> d.deptno");
         let top = g.top();
         let d = quant_named(&g, top, "d");
         let e = quant_named(&g, top, "e");

@@ -4,12 +4,12 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use starmagic_common::Result;
+use starmagic_qgm::boxes::SetOpBox;
+use starmagic_qgm::expr::QuantMode;
 use starmagic_qgm::{
     BoxFlavor, BoxId, BoxKind, DistinctMode, OutputCol, Qgm, QuantId, QuantKind, ScalarExpr,
     SetOpKind,
 };
-use starmagic_qgm::boxes::SetOpBox;
-use starmagic_qgm::expr::QuantMode;
 use starmagic_rewrite::{OpRegistry, RewriteRule, RuleContext};
 
 use crate::bindings::{adorn_quantifier, AdornResult, Binding};
@@ -165,9 +165,7 @@ impl EmstRule {
         let fquants: BTreeSet<QuantId> = ctx.qgm.foreach_quants(b).into_iter().collect();
         for q in bquants {
             let quant = ctx.qgm.quant(q).clone();
-            if quant.is_magic
-                || quant.kind != (QuantKind::Existential { negated: false })
-            {
+            if quant.is_magic || quant.kind != (QuantKind::Existential { negated: false }) {
                 continue;
             }
             let s = quant.input;
@@ -182,12 +180,10 @@ impl EmstRule {
                 continue;
             }
             // The Quantified test must be a standalone conjunct.
-            let Some(pos) = ctx
-                .qgm
-                .boxed(b)
-                .predicates
-                .iter()
-                .position(|p| matches!(p, ScalarExpr::Quantified { quant: qq, .. } if *qq == q))
+            let Some(pos) =
+                ctx.qgm.boxed(b).predicates.iter().position(
+                    |p| matches!(p, ScalarExpr::Quantified { quant: qq, .. } if *qq == q),
+                )
             else {
                 continue;
             };
@@ -230,11 +226,12 @@ impl EmstRule {
                 order.insert(0, mq);
             }
             let rewrite = |e: &ScalarExpr| {
-                e.map_colrefs(&mut |rq, rc| {
-                    match outer_refs.iter().position(|&(oq, oc)| oq == rq && oc == rc) {
-                        Some(j) => ScalarExpr::col(mq, j),
-                        None => ScalarExpr::ColRef { quant: rq, col: rc },
-                    }
+                e.map_colrefs(&mut |rq, rc| match outer_refs
+                    .iter()
+                    .position(|&(oq, oc)| oq == rq && oc == rc)
+                {
+                    Some(j) => ScalarExpr::col(mq, j),
+                    None => ScalarExpr::ColRef { quant: rq, col: rc },
                 })
             };
             {
@@ -402,10 +399,7 @@ impl EmstRule {
             let child_adorn = starmagic_qgm::Adornment(chars);
 
             let qgm = &mut *ctx.qgm;
-            let magic = qgm.add_box(
-                format!("M_{}", qgm.boxed(child).name),
-                BoxKind::Select,
-            );
+            let magic = qgm.add_box(format!("M_{}", qgm.boxed(child).name), BoxKind::Select);
             let mq = qgm.add_quant(magic, m, QuantKind::Foreach, "m");
             {
                 let mb = qgm.boxed_mut(magic);
@@ -875,7 +869,9 @@ fn attach_magic(
                 .collect();
             let cb = qgm.boxed_mut(copy);
             cb.predicates.extend(preds);
-            if let Some(order) = &mut cb.join_order { order.insert(0, mq) }
+            if let Some(order) = &mut cb.join_order {
+                order.insert(0, mq);
+            }
         }
         if let Some(cm) = cond_magic {
             let cq = qgm.add_quant(copy, cm, QuantKind::Existential { negated: false }, "cm");
@@ -884,12 +880,10 @@ fn attach_magic(
                 .conditioned
                 .iter()
                 .enumerate()
-                .map(|(j, bnd)| {
-                    ScalarExpr::Bin {
-                        op: bnd.op,
-                        left: Box::new(qgm.boxed(copy).columns[bnd.col].expr.clone()),
-                        right: Box::new(ScalarExpr::col(cq, j)),
-                    }
+                .map(|(j, bnd)| ScalarExpr::Bin {
+                    op: bnd.op,
+                    left: Box::new(qgm.boxed(copy).columns[bnd.col].expr.clone()),
+                    right: Box::new(ScalarExpr::col(cq, j)),
                 })
                 .collect();
             qgm.boxed_mut(copy).predicates.push(ScalarExpr::Quantified {
@@ -1212,7 +1206,12 @@ mod tests {
         let adorned: Vec<_> = p2
             .box_ids()
             .into_iter()
-            .filter(|&b| p2.boxed(b).adornment.as_ref().is_some_and(|a| !a.is_all_free()))
+            .filter(|&b| {
+                p2.boxed(b)
+                    .adornment
+                    .as_ref()
+                    .is_some_and(|a| !a.is_all_free())
+            })
             .collect();
         assert_eq!(adorned.len(), 1, "shared adorned copy:\n{dump}");
         assert_eq!(p2.users(adorned[0]).len(), 2, "\n{dump}");
@@ -1244,7 +1243,9 @@ mod tests {
         assert!(cm >= 1, "condition-magic box expected:\n{dump}");
         // Some adorned copy carries a c adornment.
         assert!(
-            names(&p2).iter().any(|n| n.contains('c') && n.contains('^')),
+            names(&p2)
+                .iter()
+                .any(|n| n.contains('c') && n.contains('^')),
             "c adornment expected:\n{dump}"
         );
     }
@@ -1288,7 +1289,12 @@ mod decorrelation_tests {
         starmagic_planner::annotate_join_orders(&mut g, cat);
         let emst = EmstRule::new();
         RewriteEngine::default()
-            .run(&mut g, cat, &OpRegistry::new(), &[&SimplifyPredicates, &emst, &DistinctPullup])
+            .run(
+                &mut g,
+                cat,
+                &OpRegistry::new(),
+                &[&SimplifyPredicates, &emst, &DistinctPullup],
+            )
             .unwrap();
         g.garbage_collect(true);
         g.validate().unwrap();
@@ -1365,11 +1371,7 @@ mod decorrelation_tests {
             "SELECT e.empno FROM employee e WHERE e.empno IN \
              (SELECT d.mgrno FROM department d WHERE d.deptno = e.workdept)",
         );
-        assert!(
-            is_fully_decorrelated(&g),
-            "{}",
-            printer::print_graph(&g)
-        );
+        assert!(is_fully_decorrelated(&g), "{}", printer::print_graph(&g));
     }
 
     #[test]
@@ -1423,8 +1425,8 @@ mod decorrelation_tests {
         let (r2, m2) = starmagic_exec::execute_with_metrics(&g2, &cat).unwrap();
         let mut r1s = r1;
         let mut r2s = r2;
-        r1s.sort_by(|a, b| a.group_cmp(b));
-        r2s.sort_by(|a, b| a.group_cmp(b));
+        r1s.sort_by(starmagic_common::Row::group_cmp);
+        r2s.sort_by(starmagic_common::Row::group_cmp);
         assert_eq!(r1s, r2s, "decorrelation changed results");
         assert!(
             m2.work() < m1.work(),
@@ -1484,8 +1486,8 @@ mod decorrelation_tests {
         let (mut r1, _) = starmagic_exec::execute_with_metrics(&g1, &cat).unwrap();
         let g2 = run_emst(&cat, sql);
         let (mut r2, _) = starmagic_exec::execute_with_metrics(&g2, &cat).unwrap();
-        r1.sort_by(|a, b| a.group_cmp(b));
-        r2.sort_by(|a, b| a.group_cmp(b));
+        r1.sort_by(starmagic_common::Row::group_cmp);
+        r2.sort_by(starmagic_common::Row::group_cmp);
         assert_eq!(r1, r2);
         assert_eq!(r1.len(), 1, "only id=1 has a matching k");
     }
@@ -1557,11 +1559,7 @@ mod setop_magic_tests {
             .map(|&q| g.quant(q).input)
             .collect();
         for arm in arms {
-            let has_magic_quant = g
-                .boxed(arm)
-                .quants
-                .iter()
-                .any(|&q| g.quant(q).is_magic);
+            let has_magic_quant = g.boxed(arm).quants.iter().any(|&q| g.quant(q).is_magic);
             assert!(
                 has_magic_quant,
                 "arm {} not restricted:\n{dump}",
@@ -1577,8 +1575,8 @@ mod setop_magic_tests {
         let (mut r0, m0) = starmagic_exec::execute_with_metrics(&g0, &cat).unwrap();
         let g = run_emst(&cat, SQL);
         let (mut r1, m1) = starmagic_exec::execute_with_metrics(&g, &cat).unwrap();
-        r0.sort_by(|a, b| a.group_cmp(b));
-        r1.sort_by(|a, b| a.group_cmp(b));
+        r0.sort_by(starmagic_common::Row::group_cmp);
+        r1.sort_by(starmagic_common::Row::group_cmp);
         assert_eq!(r0, r1);
         assert!(
             m1.work() < m0.work(),

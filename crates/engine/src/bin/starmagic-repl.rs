@@ -7,6 +7,7 @@
 //! Statements end with `;`. Meta-commands:
 //!
 //! * `\explain <query>` — print the full optimization trace;
+//! * `\lint <query>` — run the semantic linter over the chosen plan;
 //! * `\strategy original|magic|cost` — pin the optimizer strategy;
 //! * `\tables` / `\views` — list catalog contents;
 //! * `\quit`.
@@ -28,7 +29,7 @@ fn main() {
     println!(
         "starmagic — magic-sets in a relational system (SIGMOD '94 reproduction)\n\
          database: {} departments × {} employees/dept; end statements with ';'\n\
-         meta: \\explain <q>  \\strategy original|magic|cost  \\tables  \\views  \\quit",
+         meta: \\explain <q>  \\lint <q>  \\strategy original|magic|cost  \\tables  \\views  \\quit",
         scale.departments, scale.emps_per_dept
     );
 
@@ -36,10 +37,7 @@ fn main() {
     let mut buffer = String::new();
     prompt(&buffer);
     for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
-        };
+        let Ok(line) = line else { break };
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
             if !meta_command(&mut engine, &mut strategy, trimmed) {
@@ -104,6 +102,10 @@ fn meta_command(engine: &mut Engine, strategy: &mut Strategy, cmd: &str) -> bool
             Ok(text) => println!("{text}"),
             Err(e) => println!("error: {e}"),
         },
+        "\\lint" => match engine.lint(rest.trim().trim_end_matches(';')) {
+            Ok(report) => print!("{report}"),
+            Err(e) => println!("error: {e}"),
+        },
         other => println!("unknown meta-command {other}"),
     }
     true
@@ -127,8 +129,11 @@ fn run_statement(engine: &mut Engine, strategy: Strategy, sql: &str) {
             println!("{}", result.columns.join(" | "));
             println!("{}", "-".repeat(result.columns.join(" | ").len().max(8)));
             for row in result.rows.iter().take(50) {
-                let cells: Vec<String> =
-                    row.values().iter().map(|v| v.to_string()).collect();
+                let cells: Vec<String> = row
+                    .values()
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect();
                 println!("{}", cells.join(" | "));
             }
             if result.rows.len() > 50 {
@@ -138,7 +143,11 @@ fn run_statement(engine: &mut Engine, strategy: Strategy, sql: &str) {
                 "{} rows in {:?}; plan: {}; work: {} rows",
                 result.rows.len(),
                 start.elapsed(),
-                if result.used_magic { "magic" } else { "original" },
+                if result.used_magic {
+                    "magic"
+                } else {
+                    "original"
+                },
                 result.metrics.work()
             );
         }

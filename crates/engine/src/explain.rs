@@ -11,7 +11,11 @@ use crate::pipeline::Optimized;
 /// Render the full optimization trace.
 pub fn render(o: &Optimized) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== initial query graph ({} boxes)", o.initial.box_count());
+    let _ = writeln!(
+        out,
+        "== initial query graph ({} boxes)",
+        o.initial.box_count()
+    );
     out.push_str(&printer::print_graph(&o.initial));
     let _ = writeln!(
         out,
@@ -20,7 +24,11 @@ pub fn render(o: &Optimized) -> String {
         o.cost_without_magic
     );
     out.push_str(&printer::print_graph(&o.phase1));
-    let _ = writeln!(out, "== after phase 2 (EMST) ({} boxes)", o.phase2.box_count());
+    let _ = writeln!(
+        out,
+        "== after phase 2 (EMST) ({} boxes)",
+        o.phase2.box_count()
+    );
     out.push_str(&printer::print_graph(&o.phase2));
     let _ = writeln!(
         out,
@@ -29,6 +37,19 @@ pub fn render(o: &Optimized) -> String {
         o.cost_with_magic
     );
     out.push_str(&printer::print_graph(&o.phase3));
+    if o.lint.diagnostics.is_empty() {
+        let _ = writeln!(out, "== lint (chosen plan): clean");
+    } else {
+        let errors = o.lint.errors().count();
+        let warns = o.lint.warnings().count();
+        let _ = writeln!(
+            out,
+            "== lint (chosen plan): {errors} error(s), {warns} warning(s)"
+        );
+        for d in &o.lint.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+    }
     let _ = writeln!(out, "== SQL after optimization");
     out.push_str(&render_sql::render_graph(o.chosen()));
     let _ = writeln!(

@@ -43,6 +43,7 @@ pub use pipeline::{optimize, Optimized, PipelineOptions};
 pub use starmagic_catalog as catalog;
 pub use starmagic_common as common;
 pub use starmagic_exec as exec;
+pub use starmagic_lint as lint;
 pub use starmagic_magic as magic;
 pub use starmagic_planner as planner;
 pub use starmagic_qgm as qgm;
@@ -292,6 +293,15 @@ impl Engine {
         let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
         Ok(explain::render(&optimized))
     }
+
+    /// Run the semantic linter over a query's chosen plan. The report
+    /// is clean (no errors, no warnings) for every plan the pipeline
+    /// considers healthy; warnings flag hygiene issues such as
+    /// unreachable boxes or unused columns.
+    pub fn lint(&self, sql: &str) -> Result<starmagic_lint::LintReport> {
+        let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
+        Ok(optimized.lint)
+    }
 }
 
 /// Evaluate a literal INSERT expression (literals and negation only —
@@ -383,8 +393,8 @@ mod tests {
         let e = paper_engine();
         let mut orig = e.query_with(QUERY_D, Strategy::Original).unwrap().rows;
         let mut magic = e.query_with(QUERY_D, Strategy::Magic).unwrap().rows;
-        orig.sort_by(|a, b| a.group_cmp(b));
-        magic.sort_by(|a, b| a.group_cmp(b));
+        orig.sort_by(starmagic_common::Row::group_cmp);
+        magic.sort_by(starmagic_common::Row::group_cmp);
         assert_eq!(orig, magic);
     }
 
@@ -441,10 +451,8 @@ mod tests {
 
     #[test]
     fn extract_view_body_handles_column_list() {
-        let body = extract_view_body(
-            "CREATE VIEW v (a, b) AS SELECT x AS a, y AS b FROM t;",
-        )
-        .unwrap();
+        let body =
+            extract_view_body("CREATE VIEW v (a, b) AS SELECT x AS a, y AS b FROM t;").unwrap();
         assert_eq!(body, "SELECT x AS a, y AS b FROM t");
     }
 
@@ -464,6 +472,61 @@ mod tests {
         let o = e.optimize_sql(QUERY_D, Strategy::CostBased).unwrap();
         assert_eq!(o.plan_optimizations, 2);
     }
+
+    #[test]
+    fn explain_includes_lint_verdict() {
+        let e = paper_engine();
+        let text = e.explain(QUERY_D).unwrap();
+        assert!(text.contains("== lint (chosen plan):"), "{text}");
+    }
+
+    #[test]
+    fn chosen_plans_lint_without_errors() {
+        let e = paper_engine();
+        for strategy in [Strategy::CostBased, Strategy::Original, Strategy::Magic] {
+            let o = e.optimize_sql(QUERY_D, strategy).unwrap();
+            assert!(
+                !o.lint.has_errors(),
+                "{strategy:?} plan has lint errors: {:?}",
+                o.lint.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn projection_pruning_clears_unused_column_warnings() {
+        use starmagic_lint::Code;
+        let e = paper_engine();
+        // With pruning off, the chosen plan legitimately carries unused
+        // view columns — the linter warns (L102) but does not error.
+        let kept = e.optimize_sql(QUERY_D, Strategy::CostBased).unwrap();
+        assert!(kept.lint.find(Code::L102UnusedOutputColumn).is_some());
+        // Turning the pruning rule on removes exactly that hygiene
+        // issue: the plan lints fully clean.
+        let query = starmagic_sql::parse_query(QUERY_D).unwrap();
+        let pruned = optimize(
+            e.catalog(),
+            e.registry(),
+            &query,
+            PipelineOptions {
+                prune_projections: true,
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            pruned.lint.is_clean(),
+            "pruned plan not clean: {:?}",
+            pruned.lint.diagnostics
+        );
+    }
+
+    #[test]
+    fn lint_method_reports_on_the_chosen_plan() {
+        let e = paper_engine();
+        let report = e.lint(QUERY_D).unwrap();
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    }
 }
 
 #[cfg(test)]
@@ -473,10 +536,8 @@ mod ddl_tests {
     #[test]
     fn create_table_insert_query_roundtrip() {
         let mut e = Engine::new(Catalog::new());
-        e.run_sql(
-            "CREATE TABLE dept (deptno INTEGER, name VARCHAR, PRIMARY KEY (deptno))",
-        )
-        .unwrap();
+        e.run_sql("CREATE TABLE dept (deptno INTEGER, name VARCHAR, PRIMARY KEY (deptno))")
+            .unwrap();
         e.run_sql("INSERT INTO dept VALUES (1, 'Planning'), (2, 'Sales')")
             .unwrap();
         let r = e.query("SELECT name FROM dept WHERE deptno = 2").unwrap();
@@ -487,7 +548,8 @@ mod ddl_tests {
     #[test]
     fn insert_respects_primary_key() {
         let mut e = Engine::new(Catalog::new());
-        e.run_sql("CREATE TABLE t (id INT, PRIMARY KEY (id))").unwrap();
+        e.run_sql("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+            .unwrap();
         e.run_sql("INSERT INTO t VALUES (1)").unwrap();
         assert!(e.run_sql("INSERT INTO t VALUES (1)").is_err());
         // The failed insert must not have corrupted the table.
@@ -505,7 +567,8 @@ mod ddl_tests {
     #[test]
     fn insert_invalidates_cached_indexes() {
         let mut e = Engine::new(Catalog::new());
-        e.run_sql("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))").unwrap();
+        e.run_sql("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))")
+            .unwrap();
         e.run_sql("INSERT INTO t VALUES (1, 10)").unwrap();
         // Build the index through a point query.
         let r = e.query("SELECT v FROM t WHERE id = 1").unwrap();

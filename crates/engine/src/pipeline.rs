@@ -20,13 +20,14 @@
 
 use starmagic_catalog::Catalog;
 use starmagic_common::Result;
+use starmagic_lint::LintReport;
 use starmagic_magic::EmstRule;
 use starmagic_planner as planner;
-use starmagic_qgm::{build_qgm, Qgm};
-use starmagic_rewrite::engine::RewriteEngine;
+use starmagic_qgm::{build_qgm, strata, Qgm};
+use starmagic_rewrite::engine::{CheckLevel, RewriteEngine};
 use starmagic_rewrite::rules::{
-    DistinctPullup, LocalPredicatePushdown, Merge, ProjectionPrune, RedundantSelfJoin,
-    RewriteRule, SimplifyPredicates,
+    DistinctPullup, LocalPredicatePushdown, Merge, ProjectionPrune, RedundantSelfJoin, RewriteRule,
+    SimplifyPredicates,
 };
 use starmagic_rewrite::{OpRegistry, RewriteStats};
 use starmagic_sql::Query;
@@ -53,6 +54,9 @@ pub struct Optimized {
     pub plan_optimizations: usize,
     /// Whether the chosen plan is the EMST one.
     pub chose_magic: bool,
+    /// Lint report over the chosen graph (always computed, whatever
+    /// the engine's [`CheckLevel`]); surfaced by EXPLAIN and `\lint`.
+    pub lint: LintReport,
 }
 
 impl Optimized {
@@ -87,6 +91,11 @@ pub struct PipelineOptions {
     /// shapes; turning it on narrows every exclusive select box to its
     /// referenced columns.
     pub prune_projections: bool,
+    /// How aggressively the rewrite engine lints while rewriting:
+    /// [`CheckLevel::PerFire`] aborts on the first rule application
+    /// that leaves the graph semantically invalid, attributed to the
+    /// rule. Defaults to PerFire in debug builds, Off in release.
+    pub check: CheckLevel,
 }
 
 impl Default for PipelineOptions {
@@ -97,6 +106,7 @@ impl Default for PipelineOptions {
             use_supplementary: true,
             cleanup_phase3: true,
             prune_projections: false,
+            check: CheckLevel::default(),
         }
     }
 }
@@ -108,7 +118,7 @@ pub fn optimize(
     query: &Query,
     opts: PipelineOptions,
 ) -> Result<Optimized> {
-    let engine = RewriteEngine::default();
+    let engine = RewriteEngine::with_check(opts.check);
     let initial = build_qgm(catalog, query)?;
     let mut g = initial.clone();
 
@@ -129,6 +139,9 @@ pub fn optimize(
     let stats1 = engine.run(&mut g, catalog, registry, &traditional)?;
     g.garbage_collect(false);
     g.validate()?;
+    // Merges may have removed whole layers: renumber the strata so the
+    // stored values stay authoritative (L104 hygiene).
+    strata::assign(&mut g);
 
     // Plan optimization #1.
     planner::annotate_join_orders(&mut g, catalog);
@@ -136,6 +149,7 @@ pub fn optimize(
     let phase1 = g.clone();
 
     if !opts.enable_magic {
+        let lint = starmagic_lint::lint(&phase1, catalog);
         return Ok(Optimized {
             initial,
             phase2: phase1.clone(),
@@ -146,6 +160,7 @@ pub fn optimize(
             stats: [stats1, RewriteStats::default(), RewriteStats::default()],
             plan_optimizations: 1,
             chose_magic: false,
+            lint,
         });
     }
 
@@ -177,6 +192,9 @@ pub fn optimize(
     };
     g.garbage_collect(false);
     g.validate()?;
+    // EMST copied and created boxes without renumbering: refresh the
+    // strata now that the graph has its final shape.
+    strata::assign(&mut g);
 
     // Plan optimization #2.
     planner::annotate_join_orders(&mut g, catalog);
@@ -184,6 +202,7 @@ pub fn optimize(
     let phase3 = g;
 
     let chose_magic = opts.force_magic || cost_with_magic <= cost_without_magic;
+    let lint = starmagic_lint::lint(if chose_magic { &phase3 } else { &phase1 }, catalog);
     Ok(Optimized {
         initial,
         phase1,
@@ -194,5 +213,6 @@ pub fn optimize(
         stats: [stats1, stats2, stats3],
         plan_optimizations: 2,
         chose_magic,
+        lint,
     })
 }

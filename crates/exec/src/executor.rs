@@ -528,15 +528,14 @@ impl<'a> Executor<'a> {
                             .into_iter()
                             .filter(|x| local_f.contains(x))
                             .collect();
-                        let (probe, build) = if lq.iter().all(|x| bound.contains(x))
-                            && rq == vec![q]
-                        {
-                            (l.clone(), r.clone())
-                        } else if rq.iter().all(|x| bound.contains(x)) && lq == vec![q] {
-                            (r.clone(), l.clone())
-                        } else {
-                            continue;
-                        };
+                        let (probe, build) =
+                            if lq.iter().all(|x| bound.contains(x)) && rq == vec![q] {
+                                (l.clone(), r.clone())
+                            } else if rq.iter().all(|x| bound.contains(x)) && lq == vec![q] {
+                                (r.clone(), l.clone())
+                            } else {
+                                continue;
+                            };
                         hash_preds.push((probe, build));
                         applied[i] = true;
                     }
@@ -552,7 +551,10 @@ impl<'a> Executor<'a> {
             let index_plan: Option<(String, usize, usize)> = if hash_preds.is_empty() {
                 None
             } else if let BoxKind::BaseTable { table } = &self.qgm.boxed(child).kind {
-                let trows = self.catalog.table(table).map(|t| t.row_count()).unwrap_or(0);
+                let trows = self
+                    .catalog
+                    .table(table)
+                    .map_or(0, starmagic_catalog::Table::row_count);
                 if combos.len().saturating_mul(4) < trows.max(1) {
                     hash_preds
                         .iter()
@@ -1209,10 +1211,30 @@ mod tests {
                 .with_key(&["empno"])
                 .unwrap(),
                 vec![
-                    Row::new(vec![Value::Int(10), Value::Int(1), Value::Int(100), Value::Int(5)]),
-                    Row::new(vec![Value::Int(11), Value::Int(1), Value::Int(200), Value::Null]),
-                    Row::new(vec![Value::Int(12), Value::Int(2), Value::Int(300), Value::Int(7)]),
-                    Row::new(vec![Value::Int(13), Value::Null, Value::Int(400), Value::Int(9)]),
+                    Row::new(vec![
+                        Value::Int(10),
+                        Value::Int(1),
+                        Value::Int(100),
+                        Value::Int(5),
+                    ]),
+                    Row::new(vec![
+                        Value::Int(11),
+                        Value::Int(1),
+                        Value::Int(200),
+                        Value::Null,
+                    ]),
+                    Row::new(vec![
+                        Value::Int(12),
+                        Value::Int(2),
+                        Value::Int(300),
+                        Value::Int(7),
+                    ]),
+                    Row::new(vec![
+                        Value::Int(13),
+                        Value::Null,
+                        Value::Int(400),
+                        Value::Int(9),
+                    ]),
                 ],
             )
             .unwrap(),
@@ -1244,7 +1266,7 @@ mod tests {
     fn run(cat: &Catalog, sql_text: &str) -> Vec<Row> {
         let g = build_qgm(cat, &starmagic_sql::parse_query(sql_text).unwrap()).unwrap();
         let mut rows = execute(&g, cat).unwrap();
-        rows.sort_by(|a, b| a.group_cmp(b));
+        rows.sort_by(starmagic_common::Row::group_cmp);
         rows
     }
 
@@ -1321,12 +1343,7 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let m: Vec<(String, f64)> = rows
             .iter()
-            .map(|r| {
-                (
-                    r.get(0).to_string(),
-                    r.get(1).as_f64().unwrap(),
-                )
-            })
+            .map(|r| (r.get(0).to_string(), r.get(1).as_f64().unwrap()))
             .collect();
         assert!(m.contains(&("NULL".into(), 400.0)));
         assert!(m.contains(&("1".into(), 150.0)));
@@ -1346,7 +1363,10 @@ mod tests {
     #[test]
     fn global_aggregate_on_empty_input() {
         let cat = catalog();
-        let rows = run(&cat, "SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 10000");
+        let rows = run(
+            &cat,
+            "SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 10000",
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(0), &Value::Int(0));
         assert!(rows[0].get(1).is_null());
@@ -1493,7 +1513,10 @@ mod tests {
     #[test]
     fn between_and_inlist() {
         let cat = catalog();
-        let rows = run(&cat, "SELECT empno FROM emp WHERE salary BETWEEN 150 AND 350");
+        let rows = run(
+            &cat,
+            "SELECT empno FROM emp WHERE salary BETWEEN 150 AND 350",
+        );
         assert_eq!(ints(&rows), vec![vec![11], vec![12]]);
         let rows = run(&cat, "SELECT empno FROM emp WHERE empno IN (10, 13, 99)");
         assert_eq!(ints(&rows), vec![vec![10], vec![13]]);
@@ -1509,7 +1532,10 @@ mod tests {
             recursive: false,
         })
         .unwrap();
-        let rows = run(&cat, "SELECT r.empno FROM rich r, dept d WHERE r.deptno = d.deptno");
+        let rows = run(
+            &cat,
+            "SELECT r.empno FROM rich r, dept d WHERE r.deptno = d.deptno",
+        );
         assert_eq!(ints(&rows), vec![vec![11], vec![12]]);
     }
 
@@ -1556,10 +1582,8 @@ mod tests {
         .unwrap();
         let g = build_qgm(
             &cat,
-            &starmagic_sql::parse_query(
-                "SELECT a.deptno FROM v a, v b WHERE a.deptno = b.deptno",
-            )
-            .unwrap(),
+            &starmagic_sql::parse_query("SELECT a.deptno FROM v a, v b WHERE a.deptno = b.deptno")
+                .unwrap(),
         )
         .unwrap();
         let (_, m) = execute_with_metrics(&g, &cat).unwrap();
@@ -1624,7 +1648,7 @@ mod outerjoin_fixpoint_tests {
     fn run(cat: &Catalog, sql_text: &str) -> Vec<Row> {
         let g = build_qgm(cat, &starmagic_sql::parse_query(sql_text).unwrap()).unwrap();
         let mut rows = execute(&g, cat).unwrap();
-        rows.sort_by(|a, b| a.group_cmp(b));
+        rows.sort_by(starmagic_common::Row::group_cmp);
         rows
     }
 
@@ -1782,7 +1806,11 @@ mod access_path_tests {
         let (rows, m) = execute_with_metrics(&g, &cat).unwrap();
         assert_eq!(rows.len(), 240);
         // Both tables scanned once (hash join), no per-row probing blowup.
-        assert!(m.rows_scanned <= 240 + 20 + 240, "scanned {}", m.rows_scanned);
+        assert!(
+            m.rows_scanned <= 240 + 20 + 240,
+            "scanned {}",
+            m.rows_scanned
+        );
     }
 
     #[test]

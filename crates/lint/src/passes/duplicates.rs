@@ -1,0 +1,38 @@
+//! Pass 4: duplicate-semantics consistency.
+//!
+//! `DistinctMode::Preserve` is a *claim*: the box's output is
+//! duplicate-free without any enforcement. Distinct pullup makes the
+//! claim only after proving it (Example 4.1: "we inferred, in phase 2,
+//! that duplicates were guaranteed to be absent from the magic
+//! tables"), but nothing re-checks it as later rules restructure the
+//! graph — and `keys::is_dup_free` itself trusts Preserve marks, so a
+//! broken claim can silently launder further claims. This pass
+//! re-proves every claim from scratch: the box's mark is flipped to
+//! `Permit` on a probe clone (so the proof cannot assume its own
+//! conclusion) and key inference must still find a key.
+
+use starmagic_catalog::Catalog;
+use starmagic_qgm::{keys, DistinctMode, Qgm};
+
+use crate::diag::{Code, LintReport};
+
+pub fn run(qgm: &Qgm, catalog: &Catalog, report: &mut LintReport) {
+    for id in qgm.box_ids() {
+        if qgm.boxed(id).distinct != DistinctMode::Preserve {
+            continue;
+        }
+        let mut probe = qgm.clone();
+        probe.boxed_mut(id).distinct = DistinctMode::Permit;
+        if !keys::is_dup_free(&probe, catalog, id) {
+            report.push(
+                Code::L030UnprovableDistinctClaim,
+                Some(id),
+                None,
+                format!(
+                    "{} claims Preserve but its output is not provably duplicate-free",
+                    qgm.boxed(id).name
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Pass 3: magic/EMST well-formedness.
+//!
+//! The EMST lifecycle leaves a precise trail on the graph: adorned
+//! copies carry the magic links for their descendants to consume
+//! (§4.1 — NMQ boxes cannot absorb a magic quantifier), magic boxes
+//! themselves are created duplicate-free, and every adornment matches
+//! the arity of the box it annotates. A rule that breaks any of these
+//! produces magic tables that silently change query answers.
+
+use starmagic_qgm::{BoxFlavor, DistinctMode, Qgm};
+
+use crate::diag::{Code, LintReport};
+
+pub fn run(qgm: &Qgm, report: &mut LintReport) {
+    for id in qgm.box_ids() {
+        let b = qgm.boxed(id);
+
+        if let Some(a) = &b.adornment {
+            if a.0.len() != b.arity() {
+                report.push(
+                    Code::L020AdornmentArity,
+                    Some(id),
+                    None,
+                    format!(
+                        "{} has adornment {a} of length {} but arity {}",
+                        b.name,
+                        a.0.len(),
+                        b.arity()
+                    ),
+                );
+            }
+        }
+
+        if b.is_magic_flavor() {
+            if !b.magic_links.is_empty() {
+                report.push(
+                    Code::L022MisplacedMagicLink,
+                    Some(id),
+                    None,
+                    format!(
+                        "magic-flavored box {} carries {} magic link(s); EMST never links into its own magic boxes",
+                        b.name,
+                        b.magic_links.len()
+                    ),
+                );
+            }
+            // Magic and condition-magic boxes are joined into adorned
+            // copies as filters: a duplicate binding would multiply
+            // result rows. Supplementary-magic boxes are exempt — they
+            // *replace* the original quantifiers, so they must keep
+            // the query's bag semantics (Permit is their natural
+            // state).
+            if b.flavor != BoxFlavor::SupplementaryMagic && b.distinct == DistinctMode::Permit {
+                report.push(
+                    Code::L023MagicDuplicates,
+                    Some(id),
+                    None,
+                    format!(
+                        "magic box {} permits duplicates; magic tables must be Enforce or proven Preserve",
+                        b.name
+                    ),
+                );
+            }
+        } else if !b.magic_links.is_empty() && b.adornment.is_none() {
+            report.push(
+                Code::L022MisplacedMagicLink,
+                Some(id),
+                None,
+                format!(
+                    "{} carries magic link(s) but no adornment; links belong on adorned EMST copies",
+                    b.name
+                ),
+            );
+        }
+    }
+}

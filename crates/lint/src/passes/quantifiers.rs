@@ -1,0 +1,83 @@
+//! Pass 5: quantifier-kind rules.
+//!
+//! Existential and universal quantifiers encode subquery *tests*: they
+//! restrict rows but never produce columns. A rewrite that lets one
+//! leak into an output column (or a group key or aggregate argument)
+//! has turned a boolean test into a join — the executor would multiply
+//! rows. Symmetrically, a quantified test must range over an E/A
+//! quantifier; pointing it at a Foreach quantifier double-counts that
+//! input (it is already joined).
+
+use starmagic_qgm::{BoxKind, Qgm, QuantId, QuantKind, ScalarExpr};
+
+use crate::diag::{Code, LintReport};
+
+pub fn run(qgm: &Qgm, report: &mut LintReport) {
+    for id in qgm.box_ids() {
+        let b = qgm.boxed(id);
+
+        // E/A quantifiers may be referenced only from predicates.
+        let check_projection = |e: &ScalarExpr, what: &str, report: &mut LintReport| {
+            for q in e.quantifiers() {
+                if is_subquery_quant(qgm, q) {
+                    report.push(
+                        Code::L040SubqueryQuantProjected,
+                        Some(id),
+                        Some(q),
+                        format!(
+                            "{what} of {} references subquery quantifier {q} ({})",
+                            b.name,
+                            qgm.quant(q).kind.tag()
+                        ),
+                    );
+                }
+            }
+        };
+        for c in &b.columns {
+            check_projection(&c.expr, "output column", report);
+        }
+        if let BoxKind::GroupBy(g) = &b.kind {
+            for k in &g.group_keys {
+                check_projection(k, "group key", report);
+            }
+            for a in &g.aggs {
+                if let Some(arg) = &a.arg {
+                    check_projection(arg, "aggregate argument", report);
+                }
+            }
+        }
+
+        // Quantified tests must range over E/A quantifiers.
+        for p in &b.predicates {
+            p.walk(&mut |sub| {
+                if let ScalarExpr::Quantified { quant, .. } = sub {
+                    if qgm.quant_exists(*quant)
+                        && matches!(
+                            qgm.quant(*quant).kind,
+                            QuantKind::Foreach | QuantKind::Scalar
+                        )
+                    {
+                        report.push(
+                            Code::L041QuantifiedOverForeach,
+                            Some(id),
+                            Some(*quant),
+                            format!(
+                                "quantified test in {} ranges over {} quantifier {quant}",
+                                b.name,
+                                qgm.quant(*quant).kind.tag()
+                            ),
+                        );
+                    }
+                }
+            });
+        }
+    }
+}
+
+fn is_subquery_quant(qgm: &Qgm, q: QuantId) -> bool {
+    qgm.quant_exists(q)
+        && matches!(
+            qgm.quant(q).kind,
+            QuantKind::Existential { .. } | QuantKind::Universal
+        )
+}

@@ -1,0 +1,233 @@
+//! Pass 1: structural integrity.
+//!
+//! The diagnostic form of [`Qgm::validate`], extended with join-order
+//! and magic-link liveness. Unlike `validate`, which stops at the
+//! first violation, this pass reports every finding. Later passes
+//! assume the properties checked here (they dereference ids freely),
+//! so [`crate::lint`] skips them when this pass reports errors.
+
+use starmagic_qgm::{BoxKind, Qgm, ScalarExpr};
+
+use crate::diag::{Code, LintReport};
+
+pub fn run(qgm: &Qgm, report: &mut LintReport) {
+    if !qgm.box_exists(qgm.top()) {
+        report.push(Code::L008DeadTopBox, None, None, "top box is dead");
+    }
+    for id in qgm.box_ids() {
+        let b = qgm.boxed(id);
+
+        // Quantifier list: liveness, ownership, input liveness.
+        for &q in &b.quants {
+            if !qgm.quant_exists(q) {
+                report.push(
+                    Code::L001DanglingQuant,
+                    Some(id),
+                    Some(q),
+                    format!("box {} lists dead quantifier {q}", b.name),
+                );
+                continue;
+            }
+            let quant = qgm.quant(q);
+            if quant.parent != id {
+                report.push(
+                    Code::L002QuantParentMismatch,
+                    Some(id),
+                    Some(q),
+                    format!(
+                        "{q} is listed in {} but claims parent {}",
+                        b.name, quant.parent
+                    ),
+                );
+            }
+            if !qgm.box_exists(quant.input) {
+                report.push(
+                    Code::L003QuantOverDeadBox,
+                    Some(id),
+                    Some(q),
+                    format!("{q} ranges over dead box {}", quant.input),
+                );
+            }
+        }
+
+        // Every expression the box owns: scope and offsets.
+        let check_expr = |e: &ScalarExpr, what: &str, report: &mut LintReport| {
+            e.walk(&mut |sub| match sub {
+                ScalarExpr::ColRef { quant, col } => {
+                    if !qgm.quant_exists(*quant) {
+                        report.push(
+                            Code::L004ExprDeadQuant,
+                            Some(id),
+                            Some(*quant),
+                            format!("{what} of {} references dead quantifier {quant}", b.name),
+                        );
+                        return;
+                    }
+                    let input = qgm.quant(*quant).input;
+                    if !qgm.box_exists(input) {
+                        report.push(
+                            Code::L004ExprDeadQuant,
+                            Some(id),
+                            Some(*quant),
+                            format!("{what} of {}: {quant} input box is dead", b.name),
+                        );
+                    } else if *col >= qgm.boxed(input).arity() {
+                        report.push(
+                            Code::L005ColumnOutOfRange,
+                            Some(id),
+                            Some(*quant),
+                            format!(
+                                "{what} of {}: column {col} out of range for {quant} over {}",
+                                b.name,
+                                qgm.boxed(input).name
+                            ),
+                        );
+                    }
+                }
+                ScalarExpr::Quantified { quant, .. } if !qgm.quant_exists(*quant) => {
+                    report.push(
+                        Code::L004ExprDeadQuant,
+                        Some(id),
+                        Some(*quant),
+                        format!(
+                            "{what} of {}: quantified test over dead quantifier {quant}",
+                            b.name
+                        ),
+                    );
+                }
+                _ => {}
+            });
+        };
+        for p in &b.predicates {
+            check_expr(p, "predicate", report);
+        }
+        for c in &b.columns {
+            check_expr(&c.expr, "output column", report);
+        }
+
+        // Deposited join order: dead entries are an error (the foreign/
+        // non-Foreach hygiene case is the L103 warning).
+        if let Some(order) = &b.join_order {
+            for &q in order {
+                if !qgm.quant_exists(q) {
+                    report.push(
+                        Code::L009JoinOrderDeadQuant,
+                        Some(id),
+                        Some(q),
+                        format!("join order of {} references dead quantifier {q}", b.name),
+                    );
+                }
+            }
+        }
+
+        // Magic links must target live boxes.
+        for &m in &b.magic_links {
+            if !qgm.box_exists(m) {
+                report.push(
+                    Code::L021MagicLinkDead,
+                    Some(id),
+                    None,
+                    format!("{} holds a magic link to dead box {m}", b.name),
+                );
+            }
+        }
+
+        // Per-kind shape rules.
+        match &b.kind {
+            BoxKind::GroupBy(g) => {
+                let f = live_foreach_count(qgm, id);
+                if f != 1 {
+                    report.push(
+                        Code::L006BoxShape,
+                        Some(id),
+                        None,
+                        format!(
+                            "group-by box {} must have exactly one Foreach quantifier, has {f}",
+                            b.name
+                        ),
+                    );
+                }
+                for k in &g.group_keys {
+                    check_expr(k, "group key", report);
+                }
+                for a in &g.aggs {
+                    if let Some(arg) = &a.arg {
+                        check_expr(arg, "aggregate argument", report);
+                    }
+                }
+            }
+            BoxKind::SetOp(_) => {
+                let arity = b.arity();
+                for &q in &b.quants {
+                    if !qgm.quant_exists(q) {
+                        continue; // L001 above
+                    }
+                    let quant = qgm.quant(q);
+                    if !quant.kind.is_foreach() {
+                        report.push(
+                            Code::L006BoxShape,
+                            Some(id),
+                            Some(q),
+                            format!(
+                                "set-op box {} operand {q} must be Foreach, is {}",
+                                b.name,
+                                quant.kind.tag()
+                            ),
+                        );
+                    }
+                    if qgm.box_exists(quant.input) && qgm.boxed(quant.input).arity() != arity {
+                        report.push(
+                            Code::L007SetOpArity,
+                            Some(id),
+                            Some(q),
+                            format!(
+                                "set-op box {} has arity {arity} but operand {} has arity {}",
+                                b.name,
+                                qgm.boxed(quant.input).name,
+                                qgm.boxed(quant.input).arity()
+                            ),
+                        );
+                    }
+                }
+            }
+            BoxKind::BaseTable { .. } => {
+                if !b.quants.is_empty() {
+                    report.push(
+                        Code::L006BoxShape,
+                        Some(id),
+                        None,
+                        format!("base table box {} must not contain quantifiers", b.name),
+                    );
+                }
+            }
+            BoxKind::OuterJoin(oj) => {
+                let f = live_foreach_count(qgm, id);
+                if f != 2 {
+                    report.push(
+                        Code::L006BoxShape,
+                        Some(id),
+                        None,
+                        format!(
+                            "outer-join box {} must have exactly two Foreach quantifiers, has {f}",
+                            b.name
+                        ),
+                    );
+                }
+                for p in &oj.on {
+                    check_expr(p, "ON predicate", report);
+                }
+            }
+            BoxKind::Select => {}
+        }
+    }
+}
+
+/// Foreach quantifiers of a box, counting only live ones (the dangling
+/// case is reported separately as L001).
+fn live_foreach_count(qgm: &Qgm, b: starmagic_qgm::BoxId) -> usize {
+    qgm.boxed(b)
+        .quants
+        .iter()
+        .filter(|&&q| qgm.quant_exists(q) && qgm.quant(q).kind.is_foreach())
+        .count()
+}

@@ -47,10 +47,7 @@ fn rows(
     memo.insert(b, 1000.0);
     let qb = qgm.boxed(b);
     let r = match &qb.kind {
-        BoxKind::BaseTable { table } => catalog
-            .table(table)
-            .map(|t| t.row_count() as f64)
-            .unwrap_or(0.0),
+        BoxKind::BaseTable { table } => catalog.table(table).map_or(0.0, |t| t.row_count() as f64),
         BoxKind::Select | BoxKind::OuterJoin(_) => {
             let mut card: f64 = 1.0;
             for &q in &qb.quants {
@@ -58,11 +55,10 @@ fn rows(
                     card *= rows(qgm, catalog, qgm.quant(q).input, memo, depth + 1).max(1.0);
                 }
             }
-            let pred_iter: Box<dyn Iterator<Item = &starmagic_qgm::ScalarExpr>> =
-                match &qb.kind {
-                    BoxKind::OuterJoin(oj) => Box::new(oj.on.iter()),
-                    _ => Box::new(qb.predicates.iter()),
-                };
+            let pred_iter: Box<dyn Iterator<Item = &starmagic_qgm::ScalarExpr>> = match &qb.kind {
+                BoxKind::OuterJoin(oj) => Box::new(oj.on.iter()),
+                _ => Box::new(qb.predicates.iter()),
+            };
             for p in pred_iter {
                 card *= selectivity(qgm, catalog, p);
             }
@@ -99,7 +95,7 @@ fn rows(
             match s.op {
                 SetOpKind::Union => arm_rows.iter().sum(),
                 SetOpKind::Except => arm_rows.first().copied().unwrap_or(0.0),
-                SetOpKind::Intersect => arm_rows.iter().cloned().fold(f64::MAX, f64::min),
+                SetOpKind::Intersect => arm_rows.iter().copied().fold(f64::MAX, f64::min),
             }
         }
     };
@@ -150,17 +146,20 @@ fn graph_cost(
     let mut cost = 0.0;
     match &qb.kind {
         BoxKind::BaseTable { table } => {
-            cost += catalog
-                .table(table)
-                .map(|t| t.row_count() as f64)
-                .unwrap_or(0.0);
+            cost += catalog.table(table).map_or(0.0, |t| t.row_count() as f64);
         }
         BoxKind::OuterJoin(_) => {
             // Both sides once, plus the match work (approximated by
             // the output cardinality).
             for &q in &qb.quants {
-                let child =
-                    graph_cost(qgm, catalog, qgm.quant(q).input, rows_memo, cost_memo, depth + 1);
+                let child = graph_cost(
+                    qgm,
+                    catalog,
+                    qgm.quant(q).input,
+                    rows_memo,
+                    cost_memo,
+                    depth + 1,
+                );
                 cost += child;
                 cost += rows(qgm, catalog, qgm.quant(q).input, rows_memo, depth + 1);
             }
@@ -189,8 +188,14 @@ fn graph_cost(
                     // shared between evaluations) once per row.
                     let mut fresh_rows = BTreeMap::new();
                     let mut fresh_cost = BTreeMap::new();
-                    let sub_cost =
-                        graph_cost(qgm, catalog, sub, &mut fresh_rows, &mut fresh_cost, depth + 1);
+                    let sub_cost = graph_cost(
+                        qgm,
+                        catalog,
+                        sub,
+                        &mut fresh_rows,
+                        &mut fresh_cost,
+                        depth + 1,
+                    );
                     cost += fjoin_rows * sub_cost.max(1.0);
                 } else {
                     cost += graph_cost(qgm, catalog, sub, rows_memo, cost_memo, depth + 1);
@@ -248,9 +253,9 @@ pub fn join_pipeline_cost(
                 bound.contains(x) || !qb.quants.contains(x) // correlation: constant
             });
             // Skip predicates that involve subquery quantifiers.
-            let references_subquery = qs.iter().any(|x| {
-                qb.quants.contains(x) && !qgm.quant(*x).kind.is_foreach()
-            });
+            let references_subquery = qs
+                .iter()
+                .any(|x| qb.quants.contains(x) && !qgm.quant(*x).kind.is_foreach());
             if all_bound && !references_subquery {
                 applied[i] = true;
                 card *= selectivity(qgm, catalog, p);
@@ -340,9 +345,8 @@ mod tests {
 
     #[test]
     fn join_estimate_reflects_selectivity() {
-        let (g, cat) = setup(
-            "SELECT e.empno FROM employee e, department d WHERE e.workdept = d.deptno",
-        );
+        let (g, cat) =
+            setup("SELECT e.empno FROM employee e, department d WHERE e.workdept = d.deptno");
         let r = estimate_box_rows(&g, &cat, g.top());
         // 240 * 20 * (1/20) = 240
         assert!((r - 240.0).abs() < 10.0, "got {r}");
@@ -363,9 +367,8 @@ mod tests {
 
     #[test]
     fn union_adds() {
-        let (g, cat) = setup(
-            "SELECT deptno FROM department UNION ALL SELECT workdept FROM employee",
-        );
+        let (g, cat) =
+            setup("SELECT deptno FROM department UNION ALL SELECT workdept FROM employee");
         let r = estimate_box_rows(&g, &cat, g.top());
         assert!((r - 260.0).abs() < 1.0, "got {r}");
     }
@@ -468,9 +471,7 @@ mod shape_tests {
 
     #[test]
     fn shared_boxes_are_charged_once() {
-        let (g, cat) = setup_with_views(
-            "SELECT a.no FROM people a, people b WHERE a.no = b.no",
-        );
+        let (g, cat) = setup_with_views("SELECT a.no FROM people a, people b WHERE a.no = b.no");
         let cost = estimate_graph_cost(&g, &cat);
         let (g1, _) = setup_with_views("SELECT no FROM people");
         let single = estimate_graph_cost(&g1, &cat);

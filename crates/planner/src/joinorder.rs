@@ -236,9 +236,7 @@ mod tests {
             .boxed(b)
             .predicates
             .iter()
-            .filter_map(|p| {
-                pred_mask(&g, b, &fquants, p).map(|m| (m, selectivity(&g, &cat, p)))
-            })
+            .filter_map(|p| pred_mask(&g, b, &fquants, p).map(|m| (m, selectivity(&g, &cat, p))))
             .collect();
         let dp = dp_order(&fquants, &cards, &preds);
         let gr = greedy_order(&fquants, &cards, &preds);
@@ -261,8 +259,8 @@ mod tests {
 #[cfg(test)]
 mod scale_tests {
     use super::*;
-    use starmagic_qgm::{BoxKind, OutputCol, QuantKind, ScalarExpr};
     use starmagic_common::Value;
+    use starmagic_qgm::{BoxKind, OutputCol, QuantKind, ScalarExpr};
 
     /// Build a star join with `n` copies of department to force the
     /// greedy path (n > DP_LIMIT).
@@ -272,7 +270,12 @@ mod scale_tests {
         )
         .unwrap();
         let mut g = Qgm::new();
-        let base = g.add_box("DEPARTMENT", BoxKind::BaseTable { table: "department".into() });
+        let base = g.add_box(
+            "DEPARTMENT",
+            BoxKind::BaseTable {
+                table: "department".into(),
+            },
+        );
         g.boxed_mut(base).columns = (0..5)
             .map(|i| OutputCol {
                 name: format!("c{i}"),

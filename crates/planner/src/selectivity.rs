@@ -181,9 +181,8 @@ mod tests {
 
     #[test]
     fn join_equality_uses_larger_ndv() {
-        let (g, cat) = setup(
-            "SELECT e.empno FROM employee e, department d WHERE e.workdept = d.deptno",
-        );
+        let (g, cat) =
+            setup("SELECT e.empno FROM employee e, department d WHERE e.workdept = d.deptno");
         let p = &g.boxed(g.top()).predicates[0];
         let s = selectivity(&g, &cat, p);
         // Both sides have ndv 20 (20 departments).
@@ -192,12 +191,10 @@ mod tests {
 
     #[test]
     fn and_multiplies_or_adds() {
-        let (g, cat) = setup(
-            "SELECT empno FROM employee WHERE workdept = 1 AND salary > 0",
-        );
+        let (g, cat) = setup("SELECT empno FROM employee WHERE workdept = 1 AND salary > 0");
         let top = g.boxed(g.top());
-        let s_and = selectivity(&g, &cat, &top.predicates[0])
-            * selectivity(&g, &cat, &top.predicates[1]);
+        let s_and =
+            selectivity(&g, &cat, &top.predicates[0]) * selectivity(&g, &cat, &top.predicates[1]);
         assert!(s_and < selectivity(&g, &cat, &top.predicates[0]));
     }
 

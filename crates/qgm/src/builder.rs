@@ -15,9 +15,7 @@ use std::collections::BTreeMap;
 
 use starmagic_catalog::Catalog;
 use starmagic_common::{Error, Result, Value};
-use starmagic_sql::{
-    self as sql, BinOp, Query, SelectBlock, SelectItem, SetExpr, TableRef,
-};
+use starmagic_sql::{self as sql, BinOp, Query, SelectBlock, SelectItem, SetExpr, TableRef};
 
 use crate::boxes::{
     AggSpec, BoxKind, DistinctMode, GroupByBox, OuterJoinBox, OutputCol, QuantKind, SetOpBox,
@@ -212,7 +210,10 @@ impl<'a> Builder<'a> {
                 Ok(id)
             }
             SetExpr::SetOp {
-                op, all, left, right,
+                op,
+                all,
+                left,
+                right,
             } => {
                 let name = self.tmp_name();
                 let id = self
@@ -278,7 +279,7 @@ impl<'a> Builder<'a> {
             || block
                 .having
                 .as_ref()
-                .is_some_and(|h| h.contains_aggregate());
+                .is_some_and(starmagic_sql::Expr::contains_aggregate);
 
         if !grouped {
             if block.having.is_some() {
@@ -382,7 +383,7 @@ impl<'a> Builder<'a> {
                 }
                 sql::Expr::Neg(x) | sql::Expr::Not(x) => collect_aggs(x, out),
                 sql::Expr::IsNull { expr, .. } | sql::Expr::Like { expr, .. } => {
-                    collect_aggs(expr, out)
+                    collect_aggs(expr, out);
                 }
                 sql::Expr::Between {
                     expr, low, high, ..
@@ -515,9 +516,7 @@ impl<'a> Builder<'a> {
         for (i, item) in block.items.iter().enumerate() {
             match item {
                 SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
-                    return Err(Error::semantic(
-                        "SELECT * is not allowed with GROUP BY",
-                    ))
+                    return Err(Error::semantic("SELECT * is not allowed with GROUP BY"))
                 }
                 SelectItem::Expr { expr, alias } => {
                     let e = self.translate_grouped(expr, &scope, t1, final_id, &group_map)?;
@@ -531,31 +530,26 @@ impl<'a> Builder<'a> {
         }
         if let Some(h) = &block.having {
             let e = self.translate_grouped(h, &scope, t1, final_id, &group_map)?;
-            self.qgm.boxed_mut(final_id).predicates.extend(e.conjuncts());
+            self.qgm
+                .boxed_mut(final_id)
+                .predicates
+                .extend(e.conjuncts());
         }
         self.qgm.boxed_mut(final_id).columns = columns;
         Ok(())
     }
 
-    fn build_from(
-        &mut self,
-        id: BoxId,
-        from: &[TableRef],
-        scope: &mut Scope<'_>,
-    ) -> Result<()> {
+    fn build_from(&mut self, id: BoxId, from: &[TableRef], scope: &mut Scope<'_>) -> Result<()> {
         for item in from {
             let (input, aliases) = self.build_from_tree(item, scope)?;
             let qname = aliases
                 .first()
-                .map(|(n, _, _)| n.clone())
-                .unwrap_or_else(|| "j".into());
+                .map_or_else(|| "j".into(), |(n, _, _)| n.clone());
             let q = self.qgm.add_quant(id, input, QuantKind::Foreach, qname);
             let single = aliases.len() == 1;
             for (alias, start, len) in aliases {
                 if scope.bindings.iter().any(|b| b.name == alias) {
-                    return Err(Error::semantic(format!(
-                        "duplicate table binding {alias}"
-                    )));
+                    return Err(Error::semantic(format!("duplicate table binding {alias}")));
                 }
                 scope.bindings.push(ScopeBinding {
                     name: alias,
@@ -601,9 +595,10 @@ impl<'a> Builder<'a> {
                 let (lb, lmap) = self.build_from_tree(left, scope)?;
                 let (rb, rmap) = self.build_from_tree(right, scope)?;
                 let name = self.tmp_name();
-                let oj = self
-                    .qgm
-                    .add_box(format!("{name}_OJ"), BoxKind::OuterJoin(OuterJoinBox::default()));
+                let oj = self.qgm.add_box(
+                    format!("{name}_OJ"),
+                    BoxKind::OuterJoin(OuterJoinBox::default()),
+                );
                 let lq = self.qgm.add_quant(oj, lb, QuantKind::Foreach, "l");
                 let rq = self.qgm.add_quant(oj, rb, QuantKind::Foreach, "r");
                 // Output: all left columns then all right columns.
@@ -772,12 +767,7 @@ impl<'a> Builder<'a> {
 
     /// Translate an AST expression in the given scope. Subqueries
     /// create quantifiers in `sink`.
-    fn translate(
-        &mut self,
-        e: &sql::Expr,
-        scope: &Scope<'_>,
-        sink: BoxId,
-    ) -> Result<ScalarExpr> {
+    fn translate(&mut self, e: &sql::Expr, scope: &Scope<'_>, sink: BoxId) -> Result<ScalarExpr> {
         Ok(match e {
             sql::Expr::Column { qualifier, name } => {
                 self.resolve_column(qualifier.as_deref(), name, scope)?
@@ -912,9 +902,7 @@ impl<'a> Builder<'a> {
                     }
                     sql::Quantified::All => (QuantKind::Universal, QuantMode::ForAll),
                 };
-                let q = self
-                    .qgm
-                    .add_quant(sink, sub, kind, format!("q{}", sub.0));
+                let q = self.qgm.add_quant(sink, sub, kind, format!("q{}", sub.0));
                 ScalarExpr::Quantified {
                     mode,
                     quant: q,
@@ -969,11 +957,7 @@ impl<'a> Builder<'a> {
         }
         // Whole expression equal to a group key?
         if let Ok(t1frame) = self.translate(e, t1_scope, t1) {
-            if let Some(i) = frame
-                .group_keys_t1frame
-                .iter()
-                .position(|k| *k == t1frame)
-            {
+            if let Some(i) = frame.group_keys_t1frame.iter().position(|k| *k == t1frame) {
                 return Ok(ScalarExpr::col(frame.t3q, i));
             }
             // A column that is not a group key is an error *if* it
@@ -1154,9 +1138,7 @@ mod tests {
 
     #[test]
     fn shared_view_is_common_subexpression() {
-        let g = build(
-            "SELECT a.empno FROM mgrsal a, mgrsal b WHERE a.workdept = b.workdept",
-        );
+        let g = build("SELECT a.empno FROM mgrsal a, mgrsal b WHERE a.workdept = b.workdept");
         let mgr_boxes: Vec<_> = g
             .box_ids()
             .into_iter()
@@ -1247,16 +1229,14 @@ mod tests {
     #[test]
     fn non_grouped_column_in_grouped_select_is_rejected() {
         let cat = catalog();
-        let q = sql::parse_query("SELECT empno, AVG(salary) FROM employee GROUP BY workdept")
-            .unwrap();
+        let q =
+            sql::parse_query("SELECT empno, AVG(salary) FROM employee GROUP BY workdept").unwrap();
         assert!(build_qgm(&cat, &q).is_err());
     }
 
     #[test]
     fn union_builds_setop_box() {
-        let g = build(
-            "SELECT deptno FROM department UNION SELECT workdept FROM employee",
-        );
+        let g = build("SELECT deptno FROM department UNION SELECT workdept FROM employee");
         let top = g.boxed(g.top());
         assert!(matches!(top.kind, BoxKind::SetOp(_)));
         assert_eq!(top.quants.len(), 2);
@@ -1266,9 +1246,7 @@ mod tests {
 
     #[test]
     fn union_all_permits_duplicates() {
-        let g = build(
-            "SELECT deptno FROM department UNION ALL SELECT workdept FROM employee",
-        );
+        let g = build("SELECT deptno FROM department UNION ALL SELECT workdept FROM employee");
         assert_eq!(g.boxed(g.top()).distinct, DistinctMode::Permit);
     }
 
@@ -1280,9 +1258,7 @@ mod tests {
 
     #[test]
     fn derived_table() {
-        let g = build(
-            "SELECT v.d FROM (SELECT workdept AS d FROM employee) AS v WHERE v.d = 3",
-        );
+        let g = build("SELECT v.d FROM (SELECT workdept AS d FROM employee) AS v WHERE v.d = 3");
         g.validate().unwrap();
         assert_eq!(g.boxed(g.top()).columns[0].name, "d");
     }
@@ -1377,7 +1353,11 @@ mod tests {
              FROM department d, avgmgrsal s WHERE d.deptno = s.workdept",
         );
         let top = g.boxed(g.top());
-        assert!(top.stratum >= 3, "query over view over view: {}", top.stratum);
+        assert!(
+            top.stratum >= 3,
+            "query over view over view: {}",
+            top.stratum
+        );
     }
 
     #[test]

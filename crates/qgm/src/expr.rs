@@ -32,7 +32,10 @@ pub enum ScalarExpr {
     /// Logical NOT.
     Not(Box<ScalarExpr>),
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<ScalarExpr>, negated: bool },
+    IsNull {
+        expr: Box<ScalarExpr>,
+        negated: bool,
+    },
     /// `expr [NOT] LIKE 'pattern'`.
     Like {
         expr: Box<ScalarExpr>,
@@ -277,9 +280,7 @@ impl ScalarExpr {
     /// `(op, left, right)`.
     pub fn as_comparison(&self) -> Option<(BinOp, &ScalarExpr, &ScalarExpr)> {
         match self {
-            ScalarExpr::Bin { op, left, right } if op.is_comparison() => {
-                Some((*op, left, right))
-            }
+            ScalarExpr::Bin { op, left, right } if op.is_comparison() => Some((*op, left, right)),
             _ => None,
         }
     }

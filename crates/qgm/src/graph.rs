@@ -4,9 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use starmagic_common::{Error, Result};
 
-use crate::boxes::{
-    BoxFlavor, BoxKind, DistinctMode, OutputCol, QBox, QuantKind, Quantifier,
-};
+use crate::boxes::{BoxFlavor, BoxKind, DistinctMode, OutputCol, QBox, QuantKind, Quantifier};
 use crate::expr::ScalarExpr;
 use crate::ids::{BoxId, QuantId};
 
@@ -143,6 +141,20 @@ impl Qgm {
             .unwrap_or_else(|| panic!("dangling quantifier id {id}"))
     }
 
+    /// Whether a quantifier id is still live.
+    pub fn quant_exists(&self, id: QuantId) -> bool {
+        self.quants.get(id.index()).is_some_and(Option::is_some)
+    }
+
+    /// All live quantifier ids, ascending.
+    pub fn quant_ids(&self) -> Vec<QuantId> {
+        self.quants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|_| QuantId(i as u32)))
+            .collect()
+    }
+
     /// All live box ids, ascending.
     pub fn box_ids(&self) -> Vec<BoxId> {
         self.boxes
@@ -196,9 +208,10 @@ impl Qgm {
                 // Drop anything a rewrite left behind that is not a
                 // live Foreach quantifier of this box.
                 result.extend(order.iter().copied().filter(|&q| {
-                    self.quants.get(q.index()).and_then(Option::as_ref).is_some_and(
-                        |quant| quant.parent == b && quant.kind.is_foreach(),
-                    )
+                    self.quants
+                        .get(q.index())
+                        .and_then(Option::as_ref)
+                        .is_some_and(|quant| quant.parent == b && quant.kind.is_foreach())
                 }));
                 result
             }
@@ -231,7 +244,11 @@ impl Qgm {
     /// references in predicates and output columns are remapped to the
     /// fresh quantifiers; correlated references are left untouched.
     /// Returns the new box id and the old→new quantifier mapping.
-    pub fn copy_box(&mut self, src: BoxId, name: impl Into<String>) -> (BoxId, BTreeMap<QuantId, QuantId>) {
+    pub fn copy_box(
+        &mut self,
+        src: BoxId,
+        name: impl Into<String>,
+    ) -> (BoxId, BTreeMap<QuantId, QuantId>) {
         let old = self.boxed(src).clone();
         let new_id = self.add_box(name, old.kind.clone());
         let mut map: BTreeMap<QuantId, QuantId> = BTreeMap::new();
@@ -478,6 +495,29 @@ impl Qgm {
             for c in &b.columns {
                 check_expr(&c.expr)?;
             }
+            if let Some(order) = &b.join_order {
+                for &q in order {
+                    if self
+                        .quants
+                        .get(q.index())
+                        .and_then(Option::as_ref)
+                        .is_none()
+                    {
+                        return Err(Error::internal(format!(
+                            "join order of {} references dead quant {q}",
+                            b.name
+                        )));
+                    }
+                }
+            }
+            for &m in &b.magic_links {
+                if !self.box_exists(m) {
+                    return Err(Error::internal(format!(
+                        "{} holds a magic link to dead box {m}",
+                        b.name
+                    )));
+                }
+            }
             match &b.kind {
                 BoxKind::GroupBy(g) => {
                     let f = self.foreach_quants(id);
@@ -592,10 +632,13 @@ mod tests {
     #[test]
     fn validate_catches_arity_mismatch_in_setop() {
         let (mut g, base, _) = tiny();
-        let u = g.add_box("U", BoxKind::SetOp(crate::boxes::SetOpBox {
-            op: starmagic_sql::SetOpKind::Union,
-            all: false,
-        }));
+        let u = g.add_box(
+            "U",
+            BoxKind::SetOp(crate::boxes::SetOpBox {
+                op: starmagic_sql::SetOpKind::Union,
+                all: false,
+            }),
+        );
         g.add_quant(u, base, QuantKind::Foreach, "x");
         g.boxed_mut(u).columns = vec![]; // arity 0 != operand arity 2
         let top = g.top();
@@ -607,9 +650,11 @@ mod tests {
     fn copy_box_remaps_own_refs_only() {
         let (mut g, base, q) = tiny();
         let top = g.top();
-        g.boxed_mut(top)
-            .predicates
-            .push(ScalarExpr::bin(BinOp::Gt, ScalarExpr::col(q, 1), ScalarExpr::lit(5i64)));
+        g.boxed_mut(top).predicates.push(ScalarExpr::bin(
+            BinOp::Gt,
+            ScalarExpr::col(q, 1),
+            ScalarExpr::lit(5i64),
+        ));
         let (copy, map) = g.copy_box(top, "COPY");
         let nq = map[&q];
         assert_ne!(nq, q);
@@ -702,8 +747,14 @@ mod mutation_tests {
         let mut g = Qgm::new();
         let base = g.add_box("T", BoxKind::BaseTable { table: "t".into() });
         g.boxed_mut(base).columns = vec![
-            OutputCol { name: "a".into(), expr: ScalarExpr::lit(0i64) },
-            OutputCol { name: "b".into(), expr: ScalarExpr::lit(0i64) },
+            OutputCol {
+                name: "a".into(),
+                expr: ScalarExpr::lit(0i64),
+            },
+            OutputCol {
+                name: "b".into(),
+                expr: ScalarExpr::lit(0i64),
+            },
         ];
         let top = g.top();
         let q1 = g.add_quant(top, base, QuantKind::Foreach, "x");

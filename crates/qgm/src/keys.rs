@@ -163,7 +163,7 @@ fn keys_inner(
     }
 
     // Minimize: drop keys that are supersets of other keys; dedupe.
-    keys.sort_by_key(|k| k.len());
+    keys.sort_by_key(std::collections::BTreeSet::len);
     let mut minimal: Vec<BTreeSet<usize>> = Vec::new();
     for k in keys {
         if !minimal.iter().any(|m| m.is_subset(&k)) {
@@ -206,7 +206,10 @@ mod tests {
     }
 
     fn base_box(g: &mut Qgm, name: &str, cols: &[&str]) -> BoxId {
-        let b = g.add_box(name.to_uppercase(), BoxKind::BaseTable { table: name.into() });
+        let b = g.add_box(
+            name.to_uppercase(),
+            BoxKind::BaseTable { table: name.into() },
+        );
         g.boxed_mut(b).columns = cols
             .iter()
             .map(|c| OutputCol {

@@ -80,10 +80,7 @@ pub fn print_box(qgm: &Qgm, b: BoxId) -> String {
         let _ = writeln!(out, "  from: {}", names.join(", "));
     }
     if let Some(order) = &qb.join_order {
-        let names: Vec<&str> = order
-            .iter()
-            .map(|&q| qgm.quant(q).name.as_str())
-            .collect();
+        let names: Vec<&str> = order.iter().map(|&q| qgm.quant(q).name.as_str()).collect();
         let _ = writeln!(out, "  join order: {}", names.join(" >< "));
     }
     for p in &qb.predicates {
@@ -127,8 +124,7 @@ pub fn expr_str(qgm: &Qgm, home: BoxId, e: &ScalarExpr) -> String {
                 .boxed(q.input)
                 .columns
                 .get(*col)
-                .map(|c| c.name.clone())
-                .unwrap_or_else(|| format!("#{col}"));
+                .map_or_else(|| format!("#{col}"), |c| c.name.clone());
             if q.parent == home {
                 format!("{}.{}", q.name, colname)
             } else {

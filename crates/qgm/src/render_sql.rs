@@ -73,8 +73,7 @@ pub fn render_box(qgm: &Qgm, b: BoxId) -> String {
                 qgm.quant(input_quant).name,
             );
             if !g.group_keys.is_empty() {
-                let keys: Vec<String> =
-                    g.group_keys.iter().map(|k| expr_str(qgm, b, k)).collect();
+                let keys: Vec<String> = g.group_keys.iter().map(|k| expr_str(qgm, b, k)).collect();
                 let _ = write!(out, " GROUPBY {}", keys.join(", "));
             }
         }
@@ -152,11 +151,7 @@ fn render_select(qgm: &Qgm, b: BoxId) -> String {
         let _ = write!(out, " FROM {}", from.join(", "));
     }
     if !qb.predicates.is_empty() {
-        let preds: Vec<String> = qb
-            .predicates
-            .iter()
-            .map(|p| expr_str(qgm, b, p))
-            .collect();
+        let preds: Vec<String> = qb.predicates.iter().map(|p| expr_str(qgm, b, p)).collect();
         let _ = write!(out, " WHERE {}", preds.join(" AND "));
     }
     out
@@ -177,8 +172,8 @@ fn render_output(qgm: &Qgm, b: BoxId, e: &ScalarExpr, name: &str) -> String {
 mod tests {
     use super::*;
     use crate::builder::build_qgm;
-    use starmagic_catalog::{generator, ViewDef};
     use starmagic_catalog::Catalog;
+    use starmagic_catalog::{generator, ViewDef};
 
     fn catalog() -> Catalog {
         let mut c = generator::benchmark_catalog(generator::Scale::small()).unwrap();
@@ -280,9 +275,8 @@ mod more_tests {
 
     #[test]
     fn renders_between_and_like_desugarings() {
-        let g = build(
-            "SELECT empno FROM employee WHERE salary BETWEEN 1 AND 2 AND empname LIKE 'E%'",
-        );
+        let g =
+            build("SELECT empno FROM employee WHERE salary BETWEEN 1 AND 2 AND empname LIKE 'E%'");
         let s = render_graph(&g);
         assert!(s.contains(">="), "{s}");
         assert!(s.contains("<="), "{s}");

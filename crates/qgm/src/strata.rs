@@ -55,6 +55,14 @@ pub fn assign(qgm: &mut Qgm) -> BTreeMap<BoxId, u32> {
     out
 }
 
+/// The strongly connected components of the box dependency graph, in
+/// reverse topological order. Exposed for the lint passes, which need
+/// SCC membership (recursive cliques share a stratum) without mutating
+/// the graph.
+pub fn sccs(qgm: &Qgm) -> Vec<Vec<BoxId>> {
+    tarjan_sccs(qgm, &qgm.box_ids())
+}
+
 /// Whether the graph contains recursion (a non-trivial SCC or a box
 /// that references itself).
 pub fn is_recursive(qgm: &Qgm) -> bool {
@@ -161,7 +169,12 @@ mod tests {
     use crate::boxes::{BoxKind, QuantKind};
 
     fn base(g: &mut Qgm, name: &str) -> BoxId {
-        g.add_box(name, BoxKind::BaseTable { table: name.to_ascii_lowercase() })
+        g.add_box(
+            name,
+            BoxKind::BaseTable {
+                table: name.to_ascii_lowercase(),
+            },
+        )
     }
 
     #[test]

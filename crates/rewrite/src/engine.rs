@@ -9,10 +9,39 @@ use std::collections::BTreeMap;
 
 use starmagic_catalog::Catalog;
 use starmagic_common::{Error, Result};
-use starmagic_qgm::{BoxId, Qgm};
+use starmagic_lint::LintReport;
+use starmagic_qgm::{printer, BoxId, Qgm};
 
 use crate::props::OpRegistry;
 use crate::rules::RewriteRule;
+
+/// How much semantic checking the engine performs while rewriting.
+///
+/// Each level runs the full `starmagic-lint` pass set; they differ in
+/// *when* and in how precisely a violation is attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckLevel {
+    /// No checking. The release-build default: rules are trusted.
+    Off,
+    /// Lint once after each full pass over the graph. Cheap, but a
+    /// violation can only be blamed on the pass, not the rule.
+    PerPass,
+    /// Lint after every rule application. Any error-severity finding
+    /// aborts the run, attributed to the firing rule by name, with the
+    /// pass number, the box the rule was offered, and the pre-/
+    /// post-fire graph printouts. The debug-build (and test) default.
+    PerFire,
+}
+
+impl Default for CheckLevel {
+    fn default() -> CheckLevel {
+        if cfg!(debug_assertions) {
+            CheckLevel::PerFire
+        } else {
+            CheckLevel::Off
+        }
+    }
+}
 
 /// Everything a rule may consult or mutate.
 pub struct RuleContext<'a> {
@@ -36,18 +65,31 @@ impl RewriteStats {
 }
 
 /// The engine itself. `max_passes` bounds the number of full
-/// depth-first sweeps (a pass that fires nothing ends the run early).
+/// depth-first sweeps (a pass that fires nothing ends the run early);
+/// `check` selects how aggressively the lint passes police each fire.
 pub struct RewriteEngine {
     pub max_passes: usize,
+    pub check: CheckLevel,
 }
 
 impl Default for RewriteEngine {
     fn default() -> RewriteEngine {
-        RewriteEngine { max_passes: 64 }
+        RewriteEngine {
+            max_passes: 64,
+            check: CheckLevel::default(),
+        }
     }
 }
 
 impl RewriteEngine {
+    /// An engine with an explicit check level (other fields default).
+    pub fn with_check(check: CheckLevel) -> RewriteEngine {
+        RewriteEngine {
+            check,
+            ..RewriteEngine::default()
+        }
+    }
+
     /// Run `rules` to fixpoint over the graph. Rules fire one box at a
     /// time in depth-first order from the top box.
     pub fn run(
@@ -58,7 +100,7 @@ impl RewriteEngine {
         rules: &[&dyn RewriteRule],
     ) -> Result<RewriteStats> {
         let mut stats = RewriteStats::default();
-        for _pass in 0..self.max_passes {
+        for pass in 0..self.max_passes {
             stats.passes += 1;
             let mut fired = false;
             let order = depth_first_boxes(qgm);
@@ -66,6 +108,11 @@ impl RewriteEngine {
                 if !qgm.box_exists(b) {
                     continue; // a previous fire removed it
                 }
+                // In PerFire mode, keep a snapshot of the graph as it
+                // was before the next fire, for the violation report.
+                // Refreshed after each clean fire, so the cost is one
+                // clone per visited box plus one per fire.
+                let mut pre = (self.check == CheckLevel::PerFire).then(|| qgm.clone());
                 for rule in rules {
                     if !qgm.box_exists(b) {
                         break;
@@ -78,7 +125,27 @@ impl RewriteEngine {
                     if rule.apply(&mut ctx, b)? {
                         *stats.fires.entry(rule.name().to_string()).or_insert(0) += 1;
                         fired = true;
+                        if let Some(snapshot) = &pre {
+                            let report = starmagic_lint::lint(qgm, catalog);
+                            if report.has_errors() {
+                                return Err(fire_violation(
+                                    rule.name(),
+                                    pass + 1,
+                                    b,
+                                    snapshot,
+                                    qgm,
+                                    &report,
+                                ));
+                            }
+                            pre = Some(qgm.clone());
+                        }
                     }
+                }
+            }
+            if self.check == CheckLevel::PerPass {
+                let report = starmagic_lint::lint(qgm, catalog);
+                if report.has_errors() {
+                    return Err(pass_violation(pass + 1, qgm, &report));
                 }
             }
             if !fired {
@@ -90,6 +157,47 @@ impl RewriteEngine {
             self.max_passes
         )))
     }
+}
+
+/// Build the PerFire violation error: which rule, which pass, which
+/// box, every error-severity finding, and the graph before and after
+/// the fire.
+fn fire_violation(
+    rule: &str,
+    pass: usize,
+    b: BoxId,
+    pre: &Qgm,
+    post: &Qgm,
+    report: &LintReport,
+) -> Error {
+    let box_name = if pre.box_exists(b) {
+        pre.boxed(b).display_name()
+    } else {
+        "<removed>".to_string()
+    };
+    let mut msg = format!(
+        "lint: rule `{rule}` broke invariant(s) firing at box {box_name} ({b}) on pass {pass}:\n"
+    );
+    for d in report.errors() {
+        msg.push_str(&format!("  {d}\n"));
+    }
+    msg.push_str(&format!(
+        "graph before `{rule}` fired:\n{}",
+        printer::print_graph(pre)
+    ));
+    msg.push_str(&format!("graph after:\n{}", printer::print_graph(post)));
+    Error::internal(msg)
+}
+
+/// Build the PerPass violation error (no rule attribution: any rule
+/// that fired during the pass may be to blame).
+fn pass_violation(pass: usize, qgm: &Qgm, report: &LintReport) -> Error {
+    let mut msg = format!("lint: pass {pass} left the graph invalid:\n");
+    for d in report.errors() {
+        msg.push_str(&format!("  {d}\n"));
+    }
+    msg.push_str(&format!("graph:\n{}", printer::print_graph(qgm)));
+    Error::internal(msg)
 }
 
 /// Depth-first box order from the top box, parents before children —
@@ -165,10 +273,96 @@ mod tests {
     fn engine_detects_rule_loops() {
         let (mut g, cat) = graph();
         let reg = OpRegistry::new();
-        let err = RewriteEngine { max_passes: 3 }
-            .run(&mut g, &cat, &reg, &[&AlwaysFires])
-            .unwrap_err();
+        let err = RewriteEngine {
+            max_passes: 3,
+            ..RewriteEngine::default()
+        }
+        .run(&mut g, &cat, &reg, &[&AlwaysFires])
+        .unwrap_err();
         assert!(err.to_string().contains("fixpoint"));
+    }
+
+    /// A deliberately broken rule: on its first fire it injects an
+    /// out-of-range column reference into the box it was offered.
+    struct CorruptsGraph;
+    impl RewriteRule for CorruptsGraph {
+        fn name(&self) -> &'static str {
+            "corrupts-graph"
+        }
+        fn apply(&self, ctx: &mut RuleContext<'_>, b: BoxId) -> Result<bool> {
+            let Some(&q) = ctx.qgm.boxed(b).quants.first() else {
+                return Ok(false);
+            };
+            let bad = starmagic_qgm::ScalarExpr::col(q, 99);
+            if ctx.qgm.boxed(b).predicates.contains(&bad) {
+                return Ok(false);
+            }
+            ctx.qgm.boxed_mut(b).predicates.push(bad);
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn per_fire_attributes_violation_to_rule_pass_and_box() {
+        let (mut g, cat) = graph();
+        let reg = OpRegistry::new();
+        let top_name = g.boxed(g.top()).name.clone();
+        let err = RewriteEngine::with_check(CheckLevel::PerFire)
+            .run(&mut g, &cat, &reg, &[&NopRule, &CorruptsGraph])
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("`corrupts-graph`"),
+            "rule name missing:\n{msg}"
+        );
+        assert!(msg.contains("on pass 1"), "pass number missing:\n{msg}");
+        assert!(msg.contains(&top_name), "box name missing:\n{msg}");
+        assert!(msg.contains("L005"), "diagnostic code missing:\n{msg}");
+        assert!(
+            msg.contains("graph before `corrupts-graph` fired:"),
+            "pre-fire printout missing:\n{msg}"
+        );
+        assert!(
+            msg.contains("graph after:"),
+            "post-fire printout missing:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn per_pass_reports_without_rule_attribution() {
+        let (mut g, cat) = graph();
+        let reg = OpRegistry::new();
+        let err = RewriteEngine::with_check(CheckLevel::PerPass)
+            .run(&mut g, &cat, &reg, &[&CorruptsGraph])
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("pass 1 left the graph invalid"), "{msg}");
+        assert!(
+            !msg.contains("corrupts-graph`"),
+            "per-pass must not attribute: {msg}"
+        );
+    }
+
+    #[test]
+    fn check_off_lets_corruption_through() {
+        let (mut g, cat) = graph();
+        let reg = OpRegistry::new();
+        // With checking off the engine happily reaches fixpoint on a
+        // corrupted graph — the violation only surfaces downstream.
+        RewriteEngine::with_check(CheckLevel::Off)
+            .run(&mut g, &cat, &reg, &[&CorruptsGraph])
+            .unwrap();
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn default_check_level_follows_build_profile() {
+        let expected = if cfg!(debug_assertions) {
+            CheckLevel::PerFire
+        } else {
+            CheckLevel::Off
+        };
+        assert_eq!(RewriteEngine::default().check, expected);
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod engine;
 pub mod props;
 pub mod rules;
 
-pub use engine::{RewriteEngine, RewriteStats, RuleContext};
+pub use engine::{CheckLevel, RewriteEngine, RewriteStats, RuleContext};
 pub use props::{Bindable, OpRegistry};
 pub use rules::RewriteRule;

@@ -99,7 +99,8 @@ fn merge_child(qgm: &mut Qgm, b: BoxId, q: QuantId) {
         .collect();
     {
         let bb = qgm.boxed_mut(b);
-        bb.quants.splice(position..position, child_quants.iter().copied());
+        bb.quants
+            .splice(position..position, child_quants.iter().copied());
         // Patch the join order if the planner already deposited one.
         if let Some(order) = &mut bb.join_order {
             if let Some(jpos) = order.iter().position(|&x| x == q) {
@@ -266,7 +267,12 @@ mod tests {
              WHERE d.deptno = s.workdept AND d.deptname = 'Planning'",
         );
         // Boxes: QUERY, groupby, T1(select), DEPARTMENT, EMPLOYEE = 5.
-        assert_eq!(g.box_count(), 5, "\n{}", starmagic_qgm::printer::print_graph(&g));
+        assert_eq!(
+            g.box_count(),
+            5,
+            "\n{}",
+            starmagic_qgm::printer::print_graph(&g)
+        );
         // QUERY joins department with the group-by box directly.
         let top = g.boxed(g.top());
         assert_eq!(top.quants.len(), 2);

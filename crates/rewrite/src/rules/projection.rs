@@ -111,10 +111,11 @@ fn prune(qgm: &mut Qgm, q: QuantId, child: BoxId, used: &BTreeSet<usize>) {
     let keep: Vec<usize> = used.iter().copied().collect();
     // Narrow the child's output.
     let old_cols = std::mem::take(&mut qgm.boxed_mut(child).columns);
-    qgm.boxed_mut(child).columns = keep
-        .iter()
-        .map(|&i| old_cols[i].clone())
-        .collect();
+    qgm.boxed_mut(child).columns = keep.iter().map(|&i| old_cols[i].clone()).collect();
+    // An adornment is positional — narrow it in step with the columns.
+    if let Some(a) = &mut qgm.boxed_mut(child).adornment {
+        a.0 = keep.iter().map(|&i| a.0[i]).collect();
+    }
     // Remap every reference through the new offsets (global: correlated
     // references may live anywhere).
     let remap: Vec<ScalarExpr> = {
@@ -192,8 +193,8 @@ mod tests {
         let rows0 = starmagic_exec::execute(&g0, &cat).unwrap();
         let mut a = rows;
         let mut b = rows0;
-        a.sort_by(|x, y| x.group_cmp(y));
-        b.sort_by(|x, y| x.group_cmp(y));
+        a.sort_by(starmagic_common::Row::group_cmp);
+        b.sort_by(starmagic_common::Row::group_cmp);
         assert_eq!(a, b);
     }
 

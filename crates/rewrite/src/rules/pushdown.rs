@@ -111,9 +111,7 @@ fn try_push(qgm: &mut Qgm, registry: &OpRegistry, _b: BoxId, q: QuantId, p: &Sca
             let arms: Vec<QuantId> = qgm.boxed(c).quants.clone();
             for &aq in &arms {
                 let arm = qgm.quant(aq).input;
-                if !matches!(qgm.boxed(arm).kind, BoxKind::Select)
-                    || qgm.users(arm).len() != 1
-                {
+                if !matches!(qgm.boxed(arm).kind, BoxKind::Select) || qgm.users(arm).len() != 1 {
                     return false;
                 }
             }
@@ -213,7 +211,10 @@ mod tests {
     #[test]
     fn pushes_group_key_predicate_below_groupby() {
         let cat = catalog();
-        let g = run(&cat, "SELECT workdept, avgsal FROM deptavg WHERE workdept = 3");
+        let g = run(
+            &cat,
+            "SELECT workdept, avgsal FROM deptavg WHERE workdept = 3",
+        );
         // The predicate lands in the T1 select box under the group-by.
         let gb = g
             .box_ids()
@@ -227,7 +228,10 @@ mod tests {
     #[test]
     fn does_not_push_aggregate_column_predicate() {
         let cat = catalog();
-        let g = run(&cat, "SELECT workdept, avgsal FROM deptavg WHERE avgsal > 50000");
+        let g = run(
+            &cat,
+            "SELECT workdept, avgsal FROM deptavg WHERE avgsal > 50000",
+        );
         // Predicate on the aggregated column stays above the view.
         let stays = g
             .box_ids()

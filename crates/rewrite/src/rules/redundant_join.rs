@@ -151,10 +151,8 @@ mod tests {
 
     #[test]
     fn self_join_on_non_key_survives() {
-        let g = run(
-            "SELECT a.empno, b.empno FROM employee a, employee b \
-             WHERE a.workdept = b.workdept",
-        );
+        let g = run("SELECT a.empno, b.empno FROM employee a, employee b \
+             WHERE a.workdept = b.workdept");
         assert_eq!(g.boxed(g.top()).quants.len(), 2);
     }
 
@@ -162,22 +160,16 @@ mod tests {
     fn composite_key_requires_all_columns() {
         // emp_act key is (empno, projno): equating only empno is not
         // enough.
-        let g = run(
-            "SELECT a.hours FROM emp_act a, emp_act b WHERE a.empno = b.empno",
-        );
+        let g = run("SELECT a.hours FROM emp_act a, emp_act b WHERE a.empno = b.empno");
         assert_eq!(g.boxed(g.top()).quants.len(), 2);
-        let g = run(
-            "SELECT a.hours, b.hours FROM emp_act a, emp_act b \
-             WHERE a.empno = b.empno AND a.projno = b.projno",
-        );
+        let g = run("SELECT a.hours, b.hours FROM emp_act a, emp_act b \
+             WHERE a.empno = b.empno AND a.projno = b.projno");
         assert_eq!(g.boxed(g.top()).quants.len(), 1);
     }
 
     #[test]
     fn different_tables_never_eliminate() {
-        let g = run(
-            "SELECT e.empno FROM employee e, department d WHERE e.empno = d.deptno",
-        );
+        let g = run("SELECT e.empno FROM employee e, department d WHERE e.empno = d.deptno");
         assert_eq!(g.boxed(g.top()).quants.len(), 2);
     }
 }

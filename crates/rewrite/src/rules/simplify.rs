@@ -87,9 +87,7 @@ mod tests {
     fn drops_true_conjuncts() {
         let (mut g, cat) = setup();
         let top = g.top();
-        g.boxed_mut(top)
-            .predicates
-            .push(ScalarExpr::lit(true));
+        g.boxed_mut(top).predicates.push(ScalarExpr::lit(true));
         RewriteEngine::default()
             .run(&mut g, &cat, &OpRegistry::new(), &[&SimplifyPredicates])
             .unwrap();

@@ -21,10 +21,7 @@ pub enum Statement {
         key: Vec<String>,
     },
     /// `INSERT INTO name VALUES (lit, ...), (lit, ...)`.
-    Insert {
-        table: String,
-        rows: Vec<Vec<Expr>>,
-    },
+    Insert { table: String, rows: Vec<Vec<Expr>> },
 }
 
 /// A query: a set expression. (ORDER BY is deliberately absent — the
@@ -209,7 +206,10 @@ pub enum Expr {
     Neg(Box<Expr>),
     Not(Box<Expr>),
     /// `e IS [NOT] NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `e [NOT] BETWEEN lo AND hi`.
     Between {
         expr: Box<Expr>,
@@ -236,7 +236,10 @@ pub enum Expr {
         negated: bool,
     },
     /// `[NOT] EXISTS (subquery)`.
-    Exists { query: Box<Query>, negated: bool },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
     /// `e op ANY|ALL (subquery)`.
     QuantifiedCmp {
         expr: Box<Expr>,
@@ -291,14 +294,10 @@ impl Expr {
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, .. } => expr.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
-                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
             Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
             Expr::QuantifiedCmp { expr, .. } => expr.contains_aggregate(),

@@ -81,7 +81,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         offset: start,
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -125,7 +128,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         })
                     }
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i += len;
             }
         }
@@ -161,10 +167,7 @@ mod tests {
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(
-            kinds("'Plan''ing'"),
-            vec![Str("Plan'ing".into()), Eof]
-        );
+        assert_eq!(kinds("'Plan''ing'"), vec![Str("Plan'ing".into()), Eof]);
         assert!(lex("'open").is_err());
     }
 
@@ -223,10 +226,7 @@ mod tests {
     #[test]
     fn number_then_dot_is_not_double_without_digit() {
         // "1.x" lexes as Int(1), Dot, Ident(x) — qualified-name style.
-        assert_eq!(
-            kinds("1.x"),
-            vec![Int(1), Dot, Ident("x".into()), Eof]
-        );
+        assert_eq!(kinds("1.x"), vec![Int(1), Dot, Ident("x".into()), Eof]);
     }
 }
 
@@ -250,7 +250,11 @@ mod edge_tests {
 
     #[test]
     fn adjacent_operators() {
-        let kinds: Vec<_> = lex("a<=b>=c<>d").unwrap().into_iter().map(|t| t.kind).collect();
+        let kinds: Vec<_> = lex("a<=b>=c<>d")
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
         assert_eq!(
             kinds,
             vec![
@@ -280,7 +284,11 @@ mod edge_tests {
 
     #[test]
     fn underscore_identifiers() {
-        let kinds: Vec<_> = lex("_x x_1 emp_act").unwrap().into_iter().map(|t| t.kind).collect();
+        let kinds: Vec<_> = lex("_x x_1 emp_act")
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
         assert_eq!(
             kinds,
             vec![

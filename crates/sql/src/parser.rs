@@ -505,7 +505,9 @@ impl Parser {
 
         // [NOT] BETWEEN / IN / LIKE
         let negated = if self.peek().is_kw("not")
-            && (self.peek2().is_kw("between") || self.peek2().is_kw("in") || self.peek2().is_kw("like"))
+            && (self.peek2().is_kw("between")
+                || self.peek2().is_kw("in")
+                || self.peek2().is_kw("like"))
         {
             self.bump();
             true
@@ -528,7 +530,9 @@ impl Parser {
         if self.eat_kw("like") {
             let pattern = match self.bump() {
                 TokenKind::Str(s) => s,
-                other => return Err(self.error(format!("LIKE needs a string pattern, found {other}"))),
+                other => {
+                    return Err(self.error(format!("LIKE needs a string pattern, found {other}")))
+                }
             };
             return Ok(Expr::Like {
                 expr: Box::new(left),
@@ -790,7 +794,9 @@ mod tests {
             "SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept",
         ] {
             let q = parse_query(sql).unwrap();
-            let SetExpr::Select(b) = &q.body else { panic!() };
+            let SetExpr::Select(b) = &q.body else {
+                panic!()
+            };
             assert_eq!(b.group_by.len(), 1, "for {sql}");
         }
     }
@@ -801,14 +807,18 @@ mod tests {
             "SELECT workdept, AVG(salary) FROM employee GROUP BY workdept HAVING AVG(salary) > 50000",
         )
         .unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(b.having.is_some());
     }
 
     #[test]
     fn parses_distinct_and_aliases() {
         let q = parse_query("SELECT DISTINCT deptno AS dn FROM department dep").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(b.distinct);
         match &b.items[0] {
             SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("dn")),
@@ -819,10 +829,8 @@ mod tests {
 
     #[test]
     fn parses_set_operations_with_precedence() {
-        let q = parse_query(
-            "SELECT x FROM a UNION SELECT x FROM b INTERSECT SELECT x FROM c",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT x FROM a UNION SELECT x FROM b INTERSECT SELECT x FROM c").unwrap();
         // INTERSECT binds tighter: a UNION (b INTERSECT c)
         let SetExpr::SetOp { op, right, .. } = &q.body else {
             panic!()
@@ -853,7 +861,9 @@ mod tests {
              (SELECT deptno FROM department d WHERE d.mgrno = e.empno)",
         )
         .unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(
             b.where_clause.as_ref().unwrap(),
             Expr::Exists { negated: false, .. }
@@ -867,7 +877,9 @@ mod tests {
              (SELECT 1 FROM department d WHERE d.mgrno = e.empno)",
         )
         .unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(
             b.where_clause.as_ref().unwrap(),
             Expr::Exists { negated: true, .. }
@@ -877,14 +889,18 @@ mod tests {
     #[test]
     fn parses_in_subquery_and_list() {
         let q = parse_query("SELECT x FROM t WHERE x IN (SELECT y FROM u)").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(
             b.where_clause.as_ref().unwrap(),
             Expr::InSubquery { .. }
         ));
 
         let q = parse_query("SELECT x FROM t WHERE x NOT IN (1, 2, 3)").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(
             b.where_clause.as_ref().unwrap(),
             Expr::InList { negated: true, .. }
@@ -894,7 +910,9 @@ mod tests {
     #[test]
     fn parses_quantified_comparison() {
         let q = parse_query("SELECT x FROM t WHERE x > ALL (SELECT y FROM u)").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(
             b.where_clause.as_ref().unwrap(),
             Expr::QuantifiedCmp {
@@ -912,10 +930,16 @@ mod tests {
              (SELECT AVG(salary) FROM employee f WHERE f.workdept = e.workdept)",
         )
         .unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         match b.where_clause.as_ref().unwrap() {
-            Expr::Binary { op: BinOp::Gt, right, .. } => {
-                assert!(matches!(right.as_ref(), Expr::ScalarSubquery(_)))
+            Expr::Binary {
+                op: BinOp::Gt,
+                right,
+                ..
+            } => {
+                assert!(matches!(right.as_ref(), Expr::ScalarSubquery(_)));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -927,7 +951,9 @@ mod tests {
             "SELECT x FROM t WHERE x BETWEEN 1 AND 10 AND name LIKE 'A%' AND bonus IS NOT NULL",
         )
         .unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         let w = b.where_clause.as_ref().unwrap();
         // Just verify it parsed into a conjunction with the three parts.
         let Expr::Binary { op: BinOp::And, .. } = w else {
@@ -938,7 +964,9 @@ mod tests {
     #[test]
     fn parses_arithmetic_precedence() {
         let q = parse_query("SELECT a + b * c FROM t").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         let SelectItem::Expr { expr, .. } = &b.items[0] else {
             panic!()
         };
@@ -960,7 +988,9 @@ mod tests {
     #[test]
     fn parses_derived_table() {
         let q = parse_query("SELECT v.x FROM (SELECT empno AS x FROM employee) AS v").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(&b.from[0], TableRef::Derived { .. }));
     }
 
@@ -994,13 +1024,21 @@ mod tests {
              SELECT src, dst FROM edge UNION SELECT r.src, e.dst FROM reach r, edge e WHERE r.dst = e.src",
         )
         .unwrap();
-        assert!(matches!(s, Statement::CreateView { recursive: true, .. }));
+        assert!(matches!(
+            s,
+            Statement::CreateView {
+                recursive: true,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_count_star_and_distinct_agg() {
         let q = parse_query("SELECT COUNT(*), COUNT(DISTINCT deptno) FROM department").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(
             &b.items[0],
             SelectItem::Expr {
@@ -1029,7 +1067,9 @@ mod tests {
     #[test]
     fn parses_qualified_wildcard() {
         let q = parse_query("SELECT e.* FROM employee e").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(&b.items[0], SelectItem::QualifiedWildcard(x) if x == "e"));
     }
 
@@ -1059,14 +1099,18 @@ mod tests {
     fn not_precedence() {
         // NOT a = b parses as NOT (a = b)
         let q = parse_query("SELECT x FROM t WHERE NOT a = b").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         assert!(matches!(b.where_clause.as_ref().unwrap(), Expr::Not(_)));
     }
 
     #[test]
     fn null_literal() {
         let q = parse_query("SELECT x FROM t WHERE x = NULL").unwrap();
-        let SetExpr::Select(b) = &q.body else { panic!() };
+        let SetExpr::Select(b) = &q.body else {
+            panic!()
+        };
         let Expr::Binary { right, .. } = b.where_clause.as_ref().unwrap() else {
             panic!()
         };
@@ -1104,11 +1148,10 @@ mod ddl_tests {
 
     #[test]
     fn parses_composite_key() {
-        let s = parse_statement(
-            "CREATE TABLE act (e INT, p INT, PRIMARY KEY (e, p))",
-        )
-        .unwrap();
-        let Statement::CreateTable { key, .. } = s else { panic!() };
+        let s = parse_statement("CREATE TABLE act (e INT, p INT, PRIMARY KEY (e, p))").unwrap();
+        let Statement::CreateTable { key, .. } = s else {
+            panic!()
+        };
         assert_eq!(key, vec!["e", "p"]);
     }
 
@@ -1119,11 +1162,11 @@ mod ddl_tests {
 
     #[test]
     fn parses_insert_multi_row() {
-        let s = parse_statement(
-            "INSERT INTO emp VALUES (1, 'a', 10.5, TRUE), (2, 'b', -3, FALSE)",
-        )
-        .unwrap();
-        let Statement::Insert { table, rows } = s else { panic!() };
+        let s = parse_statement("INSERT INTO emp VALUES (1, 'a', 10.5, TRUE), (2, 'b', -3, FALSE)")
+            .unwrap();
+        let Statement::Insert { table, rows } = s else {
+            panic!()
+        };
         assert_eq!(table, "emp");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].len(), 4);
@@ -1132,7 +1175,9 @@ mod ddl_tests {
     #[test]
     fn insert_null_values() {
         let s = parse_statement("INSERT INTO emp VALUES (1, NULL)").unwrap();
-        let Statement::Insert { rows, .. } = s else { panic!() };
+        let Statement::Insert { rows, .. } = s else {
+            panic!()
+        };
         assert!(matches!(rows[0][1], Expr::Literal(Value::Null)));
     }
 }

@@ -24,21 +24,21 @@ pub enum TokenKind {
     /// String literal, quotes stripped and `''` unescaped.
     Str(String),
     // Operators and punctuation.
-    Eq,       // =
-    Neq,      // <> or !=
-    Lt,       // <
-    Le,       // <=
-    Gt,       // >
-    Ge,       // >=
-    Plus,     // +
-    Minus,    // -
-    Star,     // *
-    Slash,    // /
-    LParen,   // (
-    RParen,   // )
-    Comma,    // ,
-    Dot,      // .
-    Semi,     // ;
+    Eq,     // =
+    Neq,    // <> or !=
+    Lt,     // <
+    Le,     // <=
+    Gt,     // >
+    Ge,     // >=
+    Plus,   // +
+    Minus,  // -
+    Star,   // *
+    Slash,  // /
+    LParen, // (
+    RParen, // )
+    Comma,  // ,
+    Dot,    // .
+    Semi,   // ;
     /// End of input.
     Eof,
 }

@@ -12,15 +12,13 @@
 //!
 //! Run with: `cargo run --example extensibility`
 
+use starmagic::magic::EmstRule;
 use starmagic::qgm::boxes::OuterJoinBox;
-use starmagic::qgm::{
-    build_qgm, printer, BoxKind, DistinctMode, OutputCol, QuantKind, ScalarExpr,
-};
+use starmagic::qgm::{build_qgm, printer, BoxKind, DistinctMode, OutputCol, QuantKind, ScalarExpr};
 use starmagic::rewrite::engine::RewriteEngine;
 use starmagic::rewrite::props::{OpProperties, OpRegistry};
 use starmagic::rewrite::rules::{DistinctPullup, Merge, SimplifyPredicates};
 use starmagic::rewrite::Bindable;
-use starmagic::magic::EmstRule;
 use starmagic_catalog::generator::{benchmark_catalog, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Only preserved-side output columns accept pushed
             // predicates.
             bindable: |qgm, b| {
-                Bindable::Cols(starmagic::rewrite::props::outerjoin_preserved_cols(
-                    qgm, b,
-                ))
+                Bindable::Cols(starmagic::rewrite::props::outerjoin_preserved_cols(qgm, b))
             },
         },
     );
@@ -62,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|&b| g.boxed(b).name == "DEPARTMENT")
         .expect("department box");
     let proj_box = {
-        let id = g.add_box("PROJECT", BoxKind::BaseTable { table: "project".into() });
+        let id = g.add_box(
+            "PROJECT",
+            BoxKind::BaseTable {
+                table: "project".into(),
+            },
+        );
         let cols = ["projno", "projname", "deptno", "budget"];
         g.boxed_mut(id).columns = cols
             .iter()
@@ -79,12 +80,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dq = g.add_quant(oj, dept_box, QuantKind::Foreach, "d");
     let pq = g.add_quant(oj, proj_box, QuantKind::Foreach, "p");
     if let BoxKind::OuterJoin(spec) = &mut g.boxed_mut(oj).kind {
-        spec.on = vec![ScalarExpr::eq(ScalarExpr::col(pq, 2), ScalarExpr::col(dq, 0))];
+        spec.on = vec![ScalarExpr::eq(
+            ScalarExpr::col(pq, 2),
+            ScalarExpr::col(dq, 0),
+        )];
     }
     g.boxed_mut(oj).columns = vec![
-        OutputCol { name: "deptno".into(), expr: ScalarExpr::col(dq, 0) },
-        OutputCol { name: "deptname".into(), expr: ScalarExpr::col(dq, 1) },
-        OutputCol { name: "projname".into(), expr: ScalarExpr::col(pq, 1) },
+        OutputCol {
+            name: "deptno".into(),
+            expr: ScalarExpr::col(dq, 0),
+        },
+        OutputCol {
+            name: "deptname".into(),
+            expr: ScalarExpr::col(dq, 1),
+        },
+        OutputCol {
+            name: "projname".into(),
+            expr: ScalarExpr::col(pq, 1),
+        },
     ];
     g.boxed_mut(oj).distinct = DistinctMode::Permit;
 
@@ -98,14 +111,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tb = g.boxed_mut(top);
         tb.predicates = vec![
             ScalarExpr::eq(ScalarExpr::col(v, 0), ScalarExpr::col(d0, 0)),
-            ScalarExpr::eq(
-                ScalarExpr::col(d0, 1),
-                ScalarExpr::lit("Planning"),
-            ),
+            ScalarExpr::eq(ScalarExpr::col(d0, 1), ScalarExpr::lit("Planning")),
         ];
         tb.columns = vec![
-            OutputCol { name: "deptname".into(), expr: ScalarExpr::col(d0, 1) },
-            OutputCol { name: "projname".into(), expr: ScalarExpr::col(v, 2) },
+            OutputCol {
+                name: "deptname".into(),
+                expr: ScalarExpr::col(d0, 1),
+            },
+            OutputCol {
+                name: "projname".into(),
+                expr: ScalarExpr::col(v, 2),
+            },
         ];
     }
     g.validate()?;
@@ -145,8 +161,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .box_ids()
         .into_iter()
         .find(|&b| {
-            matches!(g.boxed(b).kind, BoxKind::OuterJoin(_))
-                && g.boxed(b).adornment.is_some()
+            matches!(g.boxed(b).kind, BoxKind::OuterJoin(_)) && g.boxed(b).adornment.is_some()
         })
         .expect("adorned outer-join copy");
     println!(

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nplan: {}   estimated cost with/without magic: {:.0} / {:.0}   rows of work: {}",
-        if result.used_magic { "magic" } else { "original" },
+        if result.used_magic {
+            "magic"
+        } else {
+            "original"
+        },
         result.cost_with_magic,
         result.cost_without_magic,
         result.metrics.work()

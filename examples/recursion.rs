@@ -42,9 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Stratified aggregation over the recursive view: span of control.
-    let span = engine.query(
-        "SELECT boss, COUNT(*) FROM manages GROUP BY boss HAVING COUNT(*) > 15",
-    )?;
+    let span =
+        engine.query("SELECT boss, COUNT(*) FROM manages GROUP BY boss HAVING COUNT(*) > 15")?;
     println!("\nbosses with span of control > 15:");
     for r in span.rows.iter().take(10) {
         println!("  {r}");

@@ -72,7 +72,7 @@ fn sorted(engine: &Engine, sql: &str, strategy: Strategy) -> Vec<Row> {
         .query_with(sql, strategy)
         .unwrap_or_else(|e| panic!("{strategy:?} failed for {sql}: {e}"))
         .rows;
-    rows.sort_by(|a, b| a.group_cmp(b));
+    rows.sort_by(starmagic_common::Row::group_cmp);
     rows
 }
 
@@ -222,8 +222,11 @@ fn projection_pruning_preserves_results() {
             )
             .unwrap_or_else(|e| panic!("prepare failed for {sql}: {e}"));
         let mut pruned = engine.execute_prepared(&prepared).unwrap().rows;
-        pruned.sort_by(|a, b| a.group_cmp(b));
-        assert_eq!(base, pruned, "projection pruning changed results for:\n{sql}");
+        pruned.sort_by(starmagic_common::Row::group_cmp);
+        assert_eq!(
+            base, pruned,
+            "projection pruning changed results for:\n{sql}"
+        );
     }
 }
 
@@ -255,7 +258,7 @@ fn ablation_options_preserve_results_on_query_d() {
     ] {
         let prepared = engine.prepare_with_options(sql, opts).unwrap();
         let mut rows = engine.execute_prepared(&prepared).unwrap().rows;
-        rows.sort_by(|a, b| a.group_cmp(b));
+        rows.sort_by(starmagic_common::Row::group_cmp);
         assert_eq!(base, rows, "{opts:?}");
     }
 }

@@ -1,9 +1,9 @@
 //! Golden reproductions of the paper's Figures 1, 4, and 5 on the
 //! running example (query D of Example 1.1).
 
+use starmagic::qgm::{printer, render_sql, BoxFlavor, BoxKind};
 use starmagic::{Engine, Strategy};
 use starmagic_catalog::generator::{benchmark_catalog, Scale};
-use starmagic::qgm::{printer, render_sql, BoxFlavor, BoxKind};
 
 const QUERY_D: &str = "SELECT d.deptname, s.workdept, s.avgsalary \
                        FROM department d, avgMgrSal s \
@@ -44,9 +44,19 @@ fn figure_4_phase_box_counts() {
     let o = e.optimize_sql(QUERY_D, Strategy::Magic).unwrap();
     // Upper right (after merge): QUERY, groupby, T1, DEPARTMENT,
     // EMPLOYEE.
-    assert_eq!(o.phase1.box_count(), 5, "{}", printer::print_graph(&o.phase1));
+    assert_eq!(
+        o.phase1.box_count(),
+        5,
+        "{}",
+        printer::print_graph(&o.phase1)
+    );
     // Lower right: "only one extra box, and only one extra join".
-    assert_eq!(o.phase3.box_count(), 6, "{}", printer::print_graph(&o.phase3));
+    assert_eq!(
+        o.phase3.box_count(),
+        6,
+        "{}",
+        printer::print_graph(&o.phase3)
+    );
     let p1_joins = count_join_edges(&o.phase1);
     let p3_joins = count_join_edges(&o.phase3);
     assert_eq!(p3_joins, p1_joins + 1, "exactly one extra join");

@@ -39,7 +39,7 @@ fn build_catalog(emps: &[(i64, Option<i64>, i64)], depts: &[(i64, i64)]) -> Cata
         .map(|&(no, dept, sal)| {
             Row::new(vec![
                 Value::Int(no),
-                dept.map(Value::Int).unwrap_or(Value::Null),
+                dept.map_or(Value::Null, Value::Int),
                 Value::Int(sal),
             ])
         })
@@ -76,7 +76,7 @@ fn engine_with_views(catalog: Catalog) -> Engine {
 
 fn sorted(engine: &Engine, sql: &str, strategy: OptStrategy) -> Vec<Row> {
     let mut rows = engine.query_with(sql, strategy).unwrap().rows;
-    rows.sort_by(|a, b| a.group_cmp(b));
+    rows.sort_by(starmagic_common::Row::group_cmp);
     rows
 }
 
@@ -95,9 +95,8 @@ fn depts_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
     prop::collection::btree_set(0i64..8, 0..8).prop_flat_map(|set| {
         let nos: Vec<i64> = set.into_iter().collect();
         let n = nos.len();
-        prop::collection::vec(0i64..3, n).prop_map(move |grps| {
-            nos.iter().copied().zip(grps).collect::<Vec<_>>()
-        })
+        prop::collection::vec(0i64..3, n)
+            .prop_map(move |grps| nos.iter().copied().zip(grps).collect::<Vec<_>>())
     })
 }
 
@@ -246,7 +245,7 @@ proptest! {
         for sql in &queries {
             let baseline = build_qgm(cat, &starmagic::sql::parse_query(sql).unwrap()).unwrap();
             let mut base_rows = starmagic::exec::execute(&baseline, cat).unwrap();
-            base_rows.sort_by(|a, b| a.group_cmp(b));
+            base_rows.sort_by(starmagic_common::Row::group_cmp);
 
             let mut g = baseline.clone();
             let simplify = SimplifyPredicates;
@@ -286,8 +285,60 @@ proptest! {
             g.garbage_collect(false);
             g.validate().unwrap();
             let mut rows = starmagic::exec::execute(&g, cat).unwrap();
-            rows.sort_by(|a, b| a.group_cmp(b));
+            rows.sort_by(starmagic_common::Row::group_cmp);
             prop_assert_eq!(&base_rows, &rows, "mask {} changed results of {}", rule_mask, sql);
+        }
+    }
+
+    /// The full three-phase pipeline under per-fire lint checking: on
+    /// random data, every rule application leaves the graph
+    /// semantically valid, the chosen plans carry zero error
+    /// diagnostics, and the Original and Magic row bags agree.
+    #[test]
+    fn pipeline_per_fire_is_clean_and_preserves_results(
+        emps in emps_strategy(),
+        depts in depts_strategy(),
+        pivot in 0i64..8,
+    ) {
+        use starmagic::rewrite::CheckLevel;
+        use starmagic::{optimize, PipelineOptions};
+        let engine = engine_with_views(build_catalog(&emps, &depts));
+        let queries = [
+            format!("SELECT s.avgsal FROM stats s WHERE s.deptno = {pivot}"),
+            "SELECT d.deptno, s.avgsal FROM dept d, stats s \
+                 WHERE s.deptno = d.deptno AND d.grp = 1".to_string(),
+            format!(
+                "SELECT a.deptno FROM stats a, stats b \
+                 WHERE a.deptno = b.deptno AND a.avgsal >= b.avgsal AND b.deptno = {pivot}"
+            ),
+        ];
+        for sql in &queries {
+            let query = starmagic::sql::parse_query(sql).unwrap();
+            let per_fire = PipelineOptions {
+                check: CheckLevel::PerFire,
+                ..PipelineOptions::default()
+            };
+            let original = optimize(
+                engine.catalog(),
+                engine.registry(),
+                &query,
+                PipelineOptions { enable_magic: false, ..per_fire },
+            )
+            .unwrap();
+            let magic = optimize(
+                engine.catalog(),
+                engine.registry(),
+                &query,
+                PipelineOptions { force_magic: true, ..per_fire },
+            )
+            .unwrap();
+            prop_assert!(!original.lint.has_errors(), "{:?}", original.lint.diagnostics);
+            prop_assert!(!magic.lint.has_errors(), "{:?}", magic.lint.diagnostics);
+            let mut a = starmagic::exec::execute(original.chosen(), engine.catalog()).unwrap();
+            let mut b = starmagic::exec::execute(magic.chosen(), engine.catalog()).unwrap();
+            a.sort_by(starmagic_common::Row::group_cmp);
+            b.sort_by(starmagic_common::Row::group_cmp);
+            prop_assert_eq!(&a, &b, "PerFire pipeline changed results of {}", sql);
         }
     }
 }
@@ -300,7 +351,7 @@ proptest! {
     #[test]
     fn group_cmp_is_total_order(vals in prop::collection::vec(value_strategy(), 0..24)) {
         let mut sorted = vals.clone();
-        sorted.sort_by(|a, b| a.group_cmp(b));
+        sorted.sort_by(starmagic_common::Value::group_cmp);
         // Adjacent pairs must be consistently ordered.
         for w in sorted.windows(2) {
             prop_assert_ne!(

@@ -45,10 +45,30 @@ fn engine() -> Engine {
             .with_key(&["empno"])
             .unwrap(),
             vec![
-                Row::new(vec![Value::Int(10), Value::Int(1), Value::Int(100), Value::Int(5)]),
-                Row::new(vec![Value::Int(11), Value::Int(1), Value::Int(200), Value::Null]),
-                Row::new(vec![Value::Int(12), Value::Int(2), Value::Int(300), Value::Int(7)]),
-                Row::new(vec![Value::Int(13), Value::Null, Value::Int(400), Value::Int(9)]),
+                Row::new(vec![
+                    Value::Int(10),
+                    Value::Int(1),
+                    Value::Int(100),
+                    Value::Int(5),
+                ]),
+                Row::new(vec![
+                    Value::Int(11),
+                    Value::Int(1),
+                    Value::Int(200),
+                    Value::Null,
+                ]),
+                Row::new(vec![
+                    Value::Int(12),
+                    Value::Int(2),
+                    Value::Int(300),
+                    Value::Int(7),
+                ]),
+                Row::new(vec![
+                    Value::Int(13),
+                    Value::Null,
+                    Value::Int(400),
+                    Value::Int(9),
+                ]),
             ],
         )
         .unwrap(),
@@ -65,7 +85,7 @@ fn engine() -> Engine {
 
 fn ints(engine: &Engine, sql: &str) -> Vec<Vec<i64>> {
     let mut rows = engine.query(sql).unwrap().rows;
-    rows.sort_by(|a, b| a.group_cmp(b));
+    rows.sort_by(starmagic_common::Row::group_cmp);
     rows.iter()
         .map(|r| {
             r.values()
@@ -134,7 +154,10 @@ fn duplicates_preserved_without_distinct() {
     let e = engine();
     let rows = ints(&e, "SELECT deptno FROM emp WHERE deptno IS NOT NULL");
     assert_eq!(rows, vec![vec![1], vec![1], vec![2]], "bag semantics");
-    let rows = ints(&e, "SELECT DISTINCT deptno FROM emp WHERE deptno IS NOT NULL");
+    let rows = ints(
+        &e,
+        "SELECT DISTINCT deptno FROM emp WHERE deptno IS NOT NULL",
+    );
     assert_eq!(rows, vec![vec![1], vec![2]]);
 }
 
@@ -164,7 +187,9 @@ fn scalar_subquery_of_empty_group_is_null() {
 #[test]
 fn division_by_zero_is_an_execution_error() {
     let e = engine();
-    let err = e.query("SELECT salary / (salary - salary) FROM emp").unwrap_err();
+    let err = e
+        .query("SELECT salary / (salary - salary) FROM emp")
+        .unwrap_err();
     assert!(err.to_string().contains("division by zero"), "{err}");
 }
 
@@ -191,7 +216,10 @@ fn union_dedupes_across_arms() {
 fn except_all_respects_multiplicity() {
     let e = engine();
     // emp deptnos {1,1,2,NULL} minus dept deptnos {1,2,3} = {1, NULL}.
-    let rows = ints(&e, "SELECT deptno FROM emp EXCEPT ALL SELECT deptno FROM dept");
+    let rows = ints(
+        &e,
+        "SELECT deptno FROM emp EXCEPT ALL SELECT deptno FROM dept",
+    );
     assert_eq!(rows, vec![vec![i64::MIN], vec![1]]);
 }
 
@@ -204,8 +232,8 @@ fn strategies_agree_even_on_error_free_subset() {
     ] {
         let mut a = e.query_with(sql, Strategy::Original).unwrap().rows;
         let mut b = e.query_with(sql, Strategy::Magic).unwrap().rows;
-        a.sort_by(|x, y| x.group_cmp(y));
-        b.sort_by(|x, y| x.group_cmp(y));
+        a.sort_by(starmagic_common::Row::group_cmp);
+        b.sort_by(starmagic_common::Row::group_cmp);
         assert_eq!(a, b, "{sql}");
     }
 }
@@ -231,11 +259,7 @@ fn left_outer_join_pads_with_nulls() {
         .unwrap();
     // depts: 1 (2 matches), 2 (1 match), 3 (padded) = 4 rows.
     assert_eq!(r.rows.len(), 4);
-    let padded: Vec<_> = r
-        .rows
-        .iter()
-        .filter(|row| row.get(1).is_null())
-        .collect();
+    let padded: Vec<_> = r.rows.iter().filter(|row| row.get(1).is_null()).collect();
     assert_eq!(padded.len(), 1);
     assert_eq!(padded[0].get(0), &Value::Int(3));
 }
@@ -290,7 +314,10 @@ fn prepared_plans_are_reusable() {
     use starmagic::Strategy;
     let e = engine();
     let p = e
-        .prepare("SELECT avgsal FROM deptavg WHERE deptno = 1", Strategy::Magic)
+        .prepare(
+            "SELECT avgsal FROM deptavg WHERE deptno = 1",
+            Strategy::Magic,
+        )
         .unwrap();
     let a = e.execute_prepared(&p).unwrap();
     let b = e.execute_prepared(&p).unwrap();

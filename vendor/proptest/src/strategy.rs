@@ -1,0 +1,312 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A value generator. Unlike the real crate there is no value tree and
+/// no shrinking: `generate` draws one value per test case.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase, for `prop_oneof!` alternatives of different types.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy: just a boxed generator function.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform bool (the `any::<bool>()` strategy).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// One of several same-valued alternatives, chosen uniformly.
+pub struct OneOf<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs an alternative");
+        OneOf { options }
+    }
+}
+
+impl<V: Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// ---- primitive strategies -------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// String strategy from a regex-lite pattern: a sequence of atoms
+/// (literal characters or `[...]` classes, `-` ranges understood),
+/// each optionally followed by `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_regex_lite(self, rng)
+    }
+}
+
+fn generate_regex_lite(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Atom: a class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let inner = &chars[i + 1..close];
+            i = close + 1;
+            expand_class(inner, pattern)
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let (lo, hi) = body
+                .split_once(',')
+                .unwrap_or_else(|| panic!("unsupported repetition in {pattern:?}"));
+            (
+                lo.trim().parse::<usize>().expect("repetition bound"),
+                hi.trim().parse::<usize>().expect("repetition bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn expand_class(inner: &[char], pattern: &str) -> Vec<char> {
+    let mut alphabet = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if j + 2 < inner.len() && inner[j + 1] == '-' {
+            let (a, b) = (inner[j] as u32, inner[j + 2] as u32);
+            assert!(a <= b, "backwards class range in {pattern:?}");
+            for c in a..=b {
+                alphabet.push(char::from_u32(c).expect("class char"));
+            }
+            j += 3;
+        } else {
+            alphabet.push(inner[j]);
+            j += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in {pattern:?}");
+    alphabet
+}
+
+// ---- tuples ----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+// ---- collections -----------------------------------------------------
+
+/// Inclusive-exclusive size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl SizeRange {
+    fn draw(self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
