@@ -8,11 +8,14 @@
 //! * **Figure 5** — the SQL statements before optimization and after
 //!   (the SD0–SD5 / SD2′ forms).
 //!
-//! Usage: `cargo run -p starmagic-bench --bin figures`
+//! Usage: `cargo run -p starmagic-bench --bin figures [--trace-json <path>]`
+//!
+//! `--trace-json <path>` writes the instrumented profile of the
+//! running example (experiment G, query D) to a JSON file.
 
 use starmagic::qgm::{printer, render_sql};
 use starmagic::Strategy;
-use starmagic_bench::bench_engine;
+use starmagic_bench::{bench_engine, experiments, tracejson};
 use starmagic_catalog::generator::Scale;
 
 const QUERY_D: &str = "SELECT d.deptname, s.workdept, s.avgsalary \
@@ -20,6 +23,11 @@ const QUERY_D: &str = "SELECT d.deptname, s.workdept, s.avgsalary \
                        WHERE d.deptno = s.workdept AND d.deptname = 'Planning'";
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_json = args
+        .iter()
+        .position(|a| a == "--trace-json")
+        .map(|i| args.get(i + 1).expect("--trace-json needs a path").clone());
     let engine = bench_engine(Scale::small()).expect("catalog");
     let o = engine
         .optimize_sql(QUERY_D, Strategy::Magic)
@@ -75,4 +83,11 @@ fn main() {
             "keeps the original plan"
         }
     );
+
+    if let Some(path) = trace_json {
+        let g: Vec<_> = experiments().into_iter().filter(|e| e.id == 'G').collect();
+        let doc = tracejson::trace_report(&engine, Scale::small(), &g).expect("trace report");
+        tracejson::write_trace_json(&path, &doc).expect("write trace json");
+        eprintln!("instrumented trace of the running example written to {path}");
+    }
 }

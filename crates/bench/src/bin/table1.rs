@@ -1,19 +1,27 @@
 //! Regenerate the paper's Table 1: elapsed time of Original /
 //! Correlated / EMST for experiments A–H, normalized to Original=100.
 //!
-//! Usage: `cargo run --release -p starmagic-bench --bin table1 [--small]`
+//! Usage: `cargo run --release -p starmagic-bench --bin table1 [--small] [--trace-json <path>]`
 //!
 //! Prints both wall-clock-normalized numbers (the paper's metric) and
 //! the deterministic row-work normalization, plus the paper's own
 //! numbers for comparison. Result agreement between the three
 //! formulations is verified before any timing is trusted.
+//! `--trace-json <path>` additionally runs every formulation fully
+//! instrumented and writes the machine-readable profile document
+//! (schema pinned in `starmagic_bench::tracejson`).
 
 use starmagic::Strategy;
-use starmagic_bench::{bench_engine, experiments, run_experiment, sorted_rows};
+use starmagic_bench::{bench_engine, experiments, run_experiment, sorted_rows, tracejson};
 use starmagic_catalog::generator::Scale;
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let trace_json = args
+        .iter()
+        .position(|a| a == "--trace-json")
+        .map(|i| args.get(i + 1).expect("--trace-json needs a path").clone());
     let scale = if small {
         Scale::small()
     } else {
@@ -97,5 +105,12 @@ fn main() {
             r.emst.elapsed,
             r.emst.work,
         );
+    }
+
+    if let Some(path) = trace_json {
+        eprintln!("\nwriting instrumented trace to {path}...");
+        let doc = tracejson::trace_report(&engine, scale, &experiments()).expect("trace report");
+        tracejson::write_trace_json(&path, &doc).expect("write trace json");
+        eprintln!("trace written");
     }
 }

@@ -19,6 +19,8 @@
 //! experiments (A, F), catastrophic when the outer is large (C, D),
 //! and EMST is stable everywhere.
 
+pub mod tracejson;
+
 use std::time::{Duration, Instant};
 
 use starmagic::{Engine, Strategy};

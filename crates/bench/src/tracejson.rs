@@ -1,0 +1,304 @@
+//! Machine-readable benchmark profiles (`--trace-json`).
+//!
+//! Runs each experiment's three formulations fully instrumented and
+//! serializes everything the observability layer collects — work
+//! counters, per-box executor profiles, per-rule rewrite fires, phase
+//! spans, and the cardinality misestimation report — into one JSON
+//! document. The schema is versioned and pinned by a test
+//! ([`tests::schema_is_stable`]) so downstream tooling can rely on it.
+
+use starmagic::planner::feedback;
+use starmagic::trace::json::Value;
+use starmagic::{Engine, ProfiledQuery, Strategy};
+use starmagic_catalog::generator::Scale;
+use starmagic_common::Result;
+
+use crate::Experiment;
+
+/// Schema version of the emitted document. Bump when the shape
+/// changes; the pinning test tracks this constant.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Build the full trace document for a set of experiments.
+pub fn trace_report(engine: &Engine, scale: Scale, exps: &[Experiment]) -> Result<Value> {
+    let mut experiments = Vec::new();
+    for exp in exps {
+        let original = engine.query_profiled(exp.original_sql, Strategy::Original)?;
+        let correlated = engine.query_profiled(exp.correlated_sql, Strategy::Original)?;
+        let emst = engine.query_profiled(exp.original_sql, Strategy::Magic)?;
+        experiments.push(Value::Obj(vec![
+            ("id".to_string(), Value::from(exp.id.to_string())),
+            ("title".to_string(), Value::from(exp.title)),
+            (
+                "strategies".to_string(),
+                Value::Obj(vec![
+                    ("original".to_string(), strategy_obj(engine, &original)),
+                    ("correlated".to_string(), strategy_obj(engine, &correlated)),
+                    ("emst".to_string(), strategy_obj(engine, &emst)),
+                ]),
+            ),
+        ]));
+    }
+    Ok(Value::Obj(vec![
+        ("schema_version".to_string(), Value::from(SCHEMA_VERSION)),
+        ("generated_by".to_string(), Value::from("starmagic-bench")),
+        (
+            "scale".to_string(),
+            Value::Obj(vec![
+                (
+                    "departments".to_string(),
+                    Value::from(scale.departments as u64),
+                ),
+                (
+                    "emps_per_dept".to_string(),
+                    Value::from(scale.emps_per_dept as u64),
+                ),
+            ]),
+        ),
+        ("experiments".to_string(), Value::Arr(experiments)),
+    ]))
+}
+
+/// One strategy's instrumented run as a JSON object.
+fn strategy_obj(engine: &Engine, p: &ProfiledQuery) -> Value {
+    let m = p.result.metrics;
+    let qgm = p.optimized.chosen();
+    let live: std::collections::BTreeSet<_> = qgm.box_ids().into_iter().collect();
+
+    let boxes: Vec<Value> = p
+        .profile
+        .boxes
+        .iter()
+        .map(|(b, bp)| {
+            let (name, kind) = if live.contains(b) {
+                let qb = qgm.boxed(*b);
+                (qb.name.clone(), qb.kind.label().to_string())
+            } else {
+                (b.to_string(), "?".to_string())
+            };
+            Value::Obj(vec![
+                ("box".to_string(), Value::from(name)),
+                ("kind".to_string(), Value::from(kind)),
+                ("rows_scanned".to_string(), Value::from(bp.rows_scanned)),
+                ("rows_in".to_string(), Value::from(bp.rows_in)),
+                ("rows_produced".to_string(), Value::from(bp.rows_produced)),
+                ("rows_out".to_string(), Value::from(bp.rows_out)),
+                ("evals".to_string(), Value::from(bp.evals)),
+                (
+                    "elapsed_ns".to_string(),
+                    Value::from(bp.elapsed.as_nanos() as u64),
+                ),
+            ])
+        })
+        .collect();
+
+    let phases: Vec<Value> = p
+        .optimized
+        .stats
+        .iter()
+        .map(|s| {
+            let fires: Vec<(String, Value)> = s
+                .fires
+                .iter()
+                .map(|(rule, n)| (rule.clone(), Value::from(*n)))
+                .collect();
+            let offers: Vec<(String, Value)> = s
+                .no_op_offers
+                .iter()
+                .map(|(rule, n)| (rule.clone(), Value::from(*n)))
+                .collect();
+            Value::Obj(vec![
+                ("passes".to_string(), Value::from(s.passes)),
+                ("fires".to_string(), Value::Obj(fires)),
+                ("no_op_offers".to_string(), Value::Obj(offers)),
+                (
+                    "elapsed_ns".to_string(),
+                    Value::from(s.total_duration().as_nanos() as u64),
+                ),
+            ])
+        })
+        .collect();
+
+    let spans: Vec<Value> = p
+        .optimized
+        .trace
+        .spans()
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("name".to_string(), Value::from(s.name.clone())),
+                (
+                    "elapsed_ns".to_string(),
+                    Value::from(s.elapsed.as_nanos() as u64),
+                ),
+            ])
+        })
+        .collect();
+
+    let actuals: std::collections::BTreeMap<_, _> = p
+        .profile
+        .boxes
+        .iter()
+        .filter(|(b, bp)| bp.evals > 0 && live.contains(b))
+        .map(|(b, bp)| (*b, (bp.rows_out, bp.evals)))
+        .collect();
+    let cardinality: Vec<Value> = feedback::cardinality_report(qgm, engine.catalog(), &actuals)
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                (
+                    "box".to_string(),
+                    Value::from(qgm.boxed(r.box_id).name.clone()),
+                ),
+                ("estimated".to_string(), Value::Num(r.estimated)),
+                ("actual".to_string(), Value::Num(r.actual)),
+                ("evals".to_string(), Value::from(r.evals)),
+                ("ratio".to_string(), Value::Num(r.ratio)),
+                ("bucket".to_string(), Value::from(r.bucket.label())),
+            ])
+        })
+        .collect();
+
+    Value::Obj(vec![
+        ("rows".to_string(), Value::from(p.result.rows.len())),
+        ("work".to_string(), Value::from(m.work())),
+        (
+            "counters".to_string(),
+            Value::Obj(vec![
+                ("rows_scanned".to_string(), Value::from(m.rows_scanned)),
+                ("rows_produced".to_string(), Value::from(m.rows_produced)),
+                ("box_evals".to_string(), Value::from(m.box_evals)),
+            ]),
+        ),
+        (
+            "chose_magic".to_string(),
+            Value::from(p.optimized.chose_magic),
+        ),
+        ("rewrite_phases".to_string(), Value::Arr(phases)),
+        ("spans".to_string(), Value::Arr(spans)),
+        ("boxes".to_string(), Value::Arr(boxes)),
+        ("cardinality".to_string(), Value::Arr(cardinality)),
+    ])
+}
+
+/// Emit the document to a file (pretty enough to diff: one line — the
+/// schema test re-parses it, humans pipe through `jq`).
+pub fn write_trace_json(path: &str, doc: &Value) -> std::io::Result<()> {
+    std::fs::write(path, format!("{doc}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_engine, experiments};
+    use starmagic::trace::json;
+
+    /// Pin the JSON schema: every key downstream tooling reads must be
+    /// present, with the right types, after a serialize→parse
+    /// round-trip. Limited to experiments A and G to keep it quick.
+    #[test]
+    fn schema_is_stable() {
+        let engine = bench_engine(Scale::small()).unwrap();
+        let exps: Vec<_> = experiments()
+            .into_iter()
+            .filter(|e| e.id == 'A' || e.id == 'G')
+            .collect();
+        let doc = trace_report(&engine, Scale::small(), &exps).unwrap();
+        let text = doc.to_string();
+        let v = json::parse(&text).expect("emitted JSON re-parses");
+
+        assert_eq!(
+            v.get("schema_version").unwrap().as_f64(),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            v.get("generated_by").unwrap().as_str(),
+            Some("starmagic-bench")
+        );
+        assert!(v.get("scale").unwrap().get("departments").is_some());
+        assert!(v.get("scale").unwrap().get("emps_per_dept").is_some());
+
+        let exps = v.get("experiments").unwrap().as_arr().unwrap();
+        assert_eq!(exps.len(), 2);
+        for exp in exps {
+            assert!(exp.get("id").unwrap().as_str().is_some());
+            assert!(exp.get("title").unwrap().as_str().is_some());
+            let strategies = exp.get("strategies").unwrap();
+            for key in ["original", "correlated", "emst"] {
+                let s = strategies.get(key).unwrap_or_else(|| {
+                    panic!("strategy {key} missing from {strategies}");
+                });
+                assert!(s.get("rows").unwrap().as_f64().is_some());
+                assert!(s.get("work").unwrap().as_f64().is_some());
+                let c = s.get("counters").unwrap();
+                for counter in ["rows_scanned", "rows_produced", "box_evals"] {
+                    assert!(c.get(counter).unwrap().as_f64().is_some());
+                }
+                assert!(matches!(s.get("chose_magic"), Some(json::Value::Bool(_))));
+                let phases = s.get("rewrite_phases").unwrap().as_arr().unwrap();
+                assert_eq!(phases.len(), 3);
+                for phase in phases {
+                    assert!(phase.get("passes").unwrap().as_f64().is_some());
+                    assert!(phase.get("fires").unwrap().is_obj());
+                    assert!(phase.get("no_op_offers").unwrap().is_obj());
+                    assert!(phase.get("elapsed_ns").unwrap().as_f64().is_some());
+                }
+                let spans = s.get("spans").unwrap().as_arr().unwrap();
+                assert!(!spans.is_empty(), "instrumented run must have spans");
+                for span in spans {
+                    assert!(span.get("name").unwrap().as_str().is_some());
+                    assert!(span.get("elapsed_ns").unwrap().as_f64().is_some());
+                }
+                let boxes = s.get("boxes").unwrap().as_arr().unwrap();
+                assert!(!boxes.is_empty(), "profile must cover boxes");
+                for b in boxes {
+                    for key in [
+                        "rows_scanned",
+                        "rows_in",
+                        "rows_produced",
+                        "rows_out",
+                        "evals",
+                        "elapsed_ns",
+                    ] {
+                        assert!(b.get(key).unwrap().as_f64().is_some());
+                    }
+                    assert!(b.get("box").unwrap().as_str().is_some());
+                    assert!(b.get("kind").unwrap().as_str().is_some());
+                }
+                for card in s.get("cardinality").unwrap().as_arr().unwrap() {
+                    assert!(card.get("estimated").unwrap().as_f64().is_some());
+                    assert!(card.get("actual").unwrap().as_f64().is_some());
+                    assert!(card.get("ratio").unwrap().as_f64().is_some());
+                    assert!(card.get("bucket").unwrap().as_str().is_some());
+                }
+            }
+        }
+    }
+
+    /// The EMST strategy of experiment G must show fewer rows scanned
+    /// than Original in the document — the trace file carries the
+    /// paper's headline result.
+    #[test]
+    fn trace_document_shows_emst_winning_g() {
+        let engine = bench_engine(Scale::small()).unwrap();
+        let exps: Vec<_> = experiments().into_iter().filter(|e| e.id == 'G').collect();
+        let doc = trace_report(&engine, Scale::small(), &exps).unwrap();
+        let g = doc.get("experiments").unwrap().at(0).unwrap();
+        let strategies = g.get("strategies").unwrap();
+        let work = |key: &str| {
+            strategies
+                .get(key)
+                .unwrap()
+                .get("work")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert!(
+            work("emst") < work("original"),
+            "emst {} !< original {}",
+            work("emst"),
+            work("original")
+        );
+    }
+}

@@ -7,15 +7,44 @@
 //! Statements end with `;`. Meta-commands:
 //!
 //! * `\explain <query>` — print the full optimization trace;
+//! * `\profile <query>` — EXPLAIN ANALYZE: run the query and print the
+//!   per-box profile, rewrite trace, cardinality report, and spans;
 //! * `\lint <query>` — run the semantic linter over the chosen plan;
 //! * `\strategy original|magic|cost` — pin the optimizer strategy;
+//! * `\timing [on|off]` — toggle the per-query timing footer;
+//! * `\trace on|off` — print optimizer phase spans after each query;
 //! * `\tables` / `\views` — list catalog contents;
+//! * `\?` or `\help` — this list;
 //! * `\quit`.
 
 use std::io::{self, BufRead, Write};
 
 use starmagic::{Engine, Strategy};
 use starmagic_catalog::generator::{benchmark_catalog, Scale};
+
+/// REPL session state: the pinned strategy plus output toggles.
+struct Session {
+    strategy: Strategy,
+    /// Print the rows/elapsed/work footer after each query (on by
+    /// default).
+    timing: bool,
+    /// Print the optimizer's phase spans after each query (off by
+    /// default; queries run instrumented while on).
+    trace: bool,
+}
+
+const HELP: &str = "\
+meta-commands:
+  \\explain <q>                 full optimization trace for a query
+  \\profile <q>                 EXPLAIN ANALYZE: run + per-box profile
+  \\lint <q>                    semantic lint of the chosen plan
+  \\strategy original|magic|cost  pin the optimizer strategy
+  \\timing [on|off]             toggle the per-query timing footer
+  \\trace on|off                print phase spans after each query
+  \\tables                      list tables with row counts
+  \\views                       list views
+  \\? | \\help                   this list
+  \\quit | \\q                   exit";
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--scale=benchmark" || a == "benchmark") {
@@ -24,12 +53,16 @@ fn main() {
         Scale::small()
     };
     let mut engine = Engine::new(benchmark_catalog(scale).expect("catalog"));
-    let mut strategy = Strategy::CostBased;
+    let mut session = Session {
+        strategy: Strategy::CostBased,
+        timing: true,
+        trace: false,
+    };
 
     println!(
         "starmagic — magic-sets in a relational system (SIGMOD '94 reproduction)\n\
          database: {} departments × {} employees/dept; end statements with ';'\n\
-         meta: \\explain <q>  \\lint <q>  \\strategy original|magic|cost  \\tables  \\views  \\quit",
+         meta: \\? for help (\\explain, \\profile, \\lint, \\strategy, \\timing, \\trace, ...)",
         scale.departments, scale.emps_per_dept
     );
 
@@ -40,7 +73,7 @@ fn main() {
         let Ok(line) = line else { break };
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('\\') {
-            if !meta_command(&mut engine, &mut strategy, trimmed) {
+            if !meta_command(&mut engine, &mut session, trimmed) {
                 break;
             }
             prompt(&buffer);
@@ -51,7 +84,7 @@ fn main() {
         if trimmed.ends_with(';') {
             let sql = buffer.trim().trim_end_matches(';').to_string();
             buffer.clear();
-            run_statement(&mut engine, strategy, &sql);
+            run_statement(&mut engine, &session, &sql);
         }
         prompt(&buffer);
     }
@@ -66,11 +99,23 @@ fn prompt(buffer: &str) {
     let _ = io::stdout().flush();
 }
 
+/// Parse an on/off argument, defaulting to a toggle of `current` when
+/// empty. `None` means the argument was unintelligible.
+fn on_off(arg: &str, current: bool) -> Option<bool> {
+    match arg.trim() {
+        "on" => Some(true),
+        "off" => Some(false),
+        "" => Some(!current),
+        _ => None,
+    }
+}
+
 /// Returns false to quit.
-fn meta_command(engine: &mut Engine, strategy: &mut Strategy, cmd: &str) -> bool {
+fn meta_command(engine: &mut Engine, session: &mut Session, cmd: &str) -> bool {
     let (head, rest) = cmd.split_once(' ').unwrap_or((cmd, ""));
     match head {
         "\\quit" | "\\q" => return false,
+        "\\?" | "\\help" => println!("{HELP}"),
         "\\tables" => {
             for t in engine.catalog().table_names() {
                 let table = engine.catalog().table(t).expect("listed");
@@ -87,7 +132,7 @@ fn meta_command(engine: &mut Engine, strategy: &mut Strategy, cmd: &str) -> bool
             }
         }
         "\\strategy" => {
-            *strategy = match rest.trim() {
+            session.strategy = match rest.trim() {
                 "original" => Strategy::Original,
                 "magic" => Strategy::Magic,
                 "cost" | "" => Strategy::CostBased,
@@ -96,9 +141,27 @@ fn meta_command(engine: &mut Engine, strategy: &mut Strategy, cmd: &str) -> bool
                     return true;
                 }
             };
-            println!("strategy set to {strategy:?}");
+            println!("strategy set to {:?}", session.strategy);
         }
+        "\\timing" => match on_off(rest, session.timing) {
+            Some(v) => {
+                session.timing = v;
+                println!("timing is {}", if v { "on" } else { "off" });
+            }
+            None => println!("usage: \\timing [on|off]"),
+        },
+        "\\trace" => match on_off(rest, session.trace) {
+            Some(v) => {
+                session.trace = v;
+                println!("trace is {}", if v { "on" } else { "off" });
+            }
+            None => println!("usage: \\trace on|off"),
+        },
         "\\explain" => match engine.explain(rest.trim().trim_end_matches(';')) {
+            Ok(text) => println!("{text}"),
+            Err(e) => println!("error: {e}"),
+        },
+        "\\profile" => match engine.explain_analyze(rest.trim().trim_end_matches(';')) {
             Ok(text) => println!("{text}"),
             Err(e) => println!("error: {e}"),
         },
@@ -106,12 +169,12 @@ fn meta_command(engine: &mut Engine, strategy: &mut Strategy, cmd: &str) -> bool
             Ok(report) => print!("{report}"),
             Err(e) => println!("error: {e}"),
         },
-        other => println!("unknown meta-command {other}"),
+        other => println!("unknown meta-command {other}; \\? for help"),
     }
     true
 }
 
-fn run_statement(engine: &mut Engine, strategy: Strategy, sql: &str) {
+fn run_statement(engine: &mut Engine, session: &Session, sql: &str) {
     if sql.is_empty() {
         return;
     }
@@ -124,33 +187,54 @@ fn run_statement(engine: &mut Engine, strategy: Strategy, sql: &str) {
         return;
     }
     let start = std::time::Instant::now();
-    match engine.query_with(sql, strategy) {
-        Ok(result) => {
-            println!("{}", result.columns.join(" | "));
-            println!("{}", "-".repeat(result.columns.join(" | ").len().max(8)));
-            for row in result.rows.iter().take(50) {
-                let cells: Vec<String> = row
-                    .values()
-                    .iter()
-                    .map(std::string::ToString::to_string)
-                    .collect();
-                println!("{}", cells.join(" | "));
+    // With \trace on, run instrumented so the phase spans are real;
+    // otherwise take the uninstrumented path.
+    let (result, spans) = if session.trace {
+        match engine.query_profiled(sql, session.strategy) {
+            Ok(p) => (p.result, p.optimized.trace),
+            Err(e) => {
+                println!("error: {e}");
+                return;
             }
-            if result.rows.len() > 50 {
-                println!("... ({} rows total)", result.rows.len());
-            }
-            println!(
-                "{} rows in {:?}; plan: {}; work: {} rows",
-                result.rows.len(),
-                start.elapsed(),
-                if result.used_magic {
-                    "magic"
-                } else {
-                    "original"
-                },
-                result.metrics.work()
-            );
         }
-        Err(e) => println!("error: {e}"),
+    } else {
+        match engine.query_with(sql, session.strategy) {
+            Ok(r) => (r, starmagic::trace::TraceSink::disabled()),
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        }
+    };
+    println!("{}", result.columns.join(" | "));
+    println!("{}", "-".repeat(result.columns.join(" | ").len().max(8)));
+    for row in result.rows.iter().take(50) {
+        let cells: Vec<String> = row
+            .values()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        println!("{}", cells.join(" | "));
+    }
+    if result.rows.len() > 50 {
+        println!("... ({} rows total)", result.rows.len());
+    }
+    if session.timing {
+        println!(
+            "{} rows in {:?}; plan: {}; work: {} rows",
+            result.rows.len(),
+            start.elapsed(),
+            if result.used_magic {
+                "magic"
+            } else {
+                "original"
+            },
+            result.metrics.work()
+        );
+    }
+    if session.trace {
+        for s in spans.spans() {
+            println!("  span {:<16} {:?}", s.name, s.elapsed);
+        }
     }
 }

@@ -1,12 +1,21 @@
 //! EXPLAIN rendering: the optimization story of one query — per-phase
 //! query graphs (the four quadrants of Figure 4), SQL renderings
-//! (Figure 5), costs, and the heuristic's decision.
+//! (Figure 5), costs, and the heuristic's decision. EXPLAIN ANALYZE
+//! ([`render_analyze`]) appends what actually happened: the per-box
+//! executor profile, the rewrite-rule fire trace, the cardinality
+//! misestimation report, and the phase spans.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::time::Duration;
 
+use starmagic_catalog::Catalog;
+use starmagic_planner::feedback;
 use starmagic_qgm::{printer, render_sql};
+use starmagic_rewrite::RewriteStats;
 
 use crate::pipeline::Optimized;
+use crate::ProfiledQuery;
 
 /// Render the full optimization trace.
 pub fn render(o: &Optimized) -> String {
@@ -71,4 +80,141 @@ pub fn render(o: &Optimized) -> String {
         o.stats[2].fires,
     );
     out
+}
+
+/// Render EXPLAIN ANALYZE: everything [`render`] shows, plus the
+/// observed execution profile, rewrite trace, cardinality report, and
+/// phase spans from an instrumented run.
+pub fn render_analyze(p: &ProfiledQuery, catalog: &Catalog) -> String {
+    let mut out = render(&p.optimized);
+    let qgm = p.optimized.chosen();
+    let live: std::collections::BTreeSet<_> = qgm.box_ids().into_iter().collect();
+
+    // Per-box executor profile, in box-id order.
+    let _ = writeln!(out, "== profile (executed plan, per box)");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:<16} {:>10} {:>10} {:>10} {:>10} {:>7} {:>12}",
+        "box", "kind", "scanned", "rows_in", "produced", "rows_out", "evals", "elapsed"
+    );
+    for (b, bp) in &p.profile.boxes {
+        let (name, kind) = if live.contains(b) {
+            let qb = qgm.boxed(*b);
+            (qb.name.clone(), qb.kind.label())
+        } else {
+            (b.to_string(), "?")
+        };
+        let _ = writeln!(
+            out,
+            "  {:<14} {:<16} {:>10} {:>10} {:>10} {:>10} {:>7} {:>12}",
+            name,
+            kind,
+            bp.rows_scanned,
+            bp.rows_in,
+            bp.rows_produced,
+            bp.rows_out,
+            bp.evals,
+            fmt_dur(bp.elapsed)
+        );
+    }
+    let m = p.result.metrics;
+    let _ = writeln!(
+        out,
+        "  totals: work {} (scanned {} + produced {}); box_evals {} (reported only — excluded from work, see Metrics::work)",
+        m.work(),
+        m.rows_scanned,
+        m.rows_produced,
+        m.box_evals
+    );
+
+    // Rewrite trace: per-phase rule fires, no-op offers, pass timings.
+    let _ = writeln!(out, "== rewrite trace");
+    for (i, stats) in p.optimized.stats.iter().enumerate() {
+        render_phase_stats(&mut out, i + 1, stats);
+    }
+
+    // Cardinality feedback over the executed plan.
+    let actuals: BTreeMap<_, _> = p
+        .profile
+        .boxes
+        .iter()
+        .filter(|(b, bp)| bp.evals > 0 && live.contains(b))
+        .map(|(b, bp)| (*b, (bp.rows_out, bp.evals)))
+        .collect();
+    let report = feedback::cardinality_report(qgm, catalog, &actuals);
+    let _ = writeln!(out, "== cardinality (estimated vs actual, per eval)");
+    for r in &report {
+        let _ = writeln!(
+            out,
+            "  {:<14} est {:>10.1}  actual {:>10.1}  x{:<8.1} {}",
+            qgm.boxed(r.box_id).name,
+            r.estimated,
+            r.actual,
+            r.ratio,
+            r.bucket.label()
+        );
+    }
+    let hist = feedback::bucket_histogram(&report);
+    let _ = writeln!(
+        out,
+        "  misestimation histogram: {}",
+        hist.iter()
+            .map(|(b, n)| format!("{} {n}", b.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // Phase spans.
+    let _ = writeln!(out, "== spans");
+    for s in p.optimized.trace.spans() {
+        let _ = writeln!(out, "  {:<16} {:>12}", s.name, fmt_dur(s.elapsed));
+    }
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>12}",
+        "total",
+        fmt_dur(p.optimized.trace.total())
+    );
+    out
+}
+
+fn render_phase_stats(out: &mut String, phase: usize, stats: &RewriteStats) {
+    let _ = writeln!(
+        out,
+        "  phase {}: {} pass(es), {} fire(s), {}",
+        phase,
+        stats.passes,
+        stats.total_fires(),
+        fmt_dur(stats.total_duration())
+    );
+    for (rule, fires) in &stats.fires {
+        let _ = writeln!(
+            out,
+            "    {:<24} {:>5} fire(s), {:>5} no-op offer(s)",
+            rule,
+            fires,
+            stats.no_op_count(rule)
+        );
+    }
+    // Rules consulted but never applied still show up: a rule with
+    // only no-op offers is pure overhead in this phase.
+    for (rule, offers) in &stats.no_op_offers {
+        if !stats.fires.contains_key(rule) {
+            let _ = writeln!(
+                out,
+                "    {rule:<24} {:>5} fire(s), {offers:>5} no-op offer(s)",
+                0
+            );
+        }
+    }
+}
+
+/// Human-scale duration: microseconds below 1 ms, milliseconds above.
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1000 {
+        format!("{us}us")
+    } else {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    }
 }

@@ -30,9 +30,11 @@
 pub mod explain;
 pub mod pipeline;
 
+use std::time::Instant;
+
 use starmagic_catalog::{Catalog, ViewDef};
 use starmagic_common::{Error, Result, Row};
-use starmagic_exec::Metrics;
+use starmagic_exec::{ExecProfile, Metrics};
 use starmagic_rewrite::OpRegistry;
 use starmagic_sql::{parse_statement, Statement};
 
@@ -49,6 +51,7 @@ pub use starmagic_planner as planner;
 pub use starmagic_qgm as qgm;
 pub use starmagic_rewrite as rewrite;
 pub use starmagic_sql as sql;
+pub use starmagic_trace as trace;
 
 /// How to optimize a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +81,18 @@ pub struct QueryResult {
     /// Estimated costs of both alternatives.
     pub cost_without_magic: f64,
     pub cost_with_magic: f64,
+}
+
+/// A fully instrumented query run: the rows plus every layer's
+/// observability output — pipeline spans ([`Optimized::trace`]),
+/// per-rule rewrite stats, and the executor's per-box profile.
+#[derive(Debug, Clone)]
+pub struct ProfiledQuery {
+    pub result: QueryResult,
+    /// The whole optimization record, spans included.
+    pub optimized: Optimized,
+    /// Per-box executor counters and timings for the executed plan.
+    pub profile: ExecProfile,
 }
 
 /// An optimized, executable plan (the chosen query graph).
@@ -273,25 +288,71 @@ impl Engine {
     /// reproductions).
     pub fn optimize_sql(&self, sql: &str, strategy: Strategy) -> Result<Optimized> {
         let query = starmagic_sql::parse_query(sql)?;
-        let opts = match strategy {
-            Strategy::CostBased => PipelineOptions::default(),
-            Strategy::Original => PipelineOptions {
-                enable_magic: false,
-                force_magic: false,
-                ..PipelineOptions::default()
-            },
-            Strategy::Magic => PipelineOptions {
-                force_magic: true,
-                ..PipelineOptions::default()
-            },
+        optimize(
+            &self.catalog,
+            &self.registry,
+            &query,
+            strategy_options(strategy),
+        )
+    }
+
+    /// Run a query with full instrumentation: pipeline spans (with a
+    /// `parse` span prepended and an `execute` span appended), the
+    /// per-phase rewrite stats, and the executor's per-box profile
+    /// with timings on. This is the engine behind EXPLAIN ANALYZE.
+    pub fn query_profiled(&self, sql: &str, strategy: Strategy) -> Result<ProfiledQuery> {
+        let parse_start = Instant::now();
+        let query = starmagic_sql::parse_query(sql)?;
+        let parse_elapsed = parse_start.elapsed();
+
+        let mut optimized = optimize(
+            &self.catalog,
+            &self.registry,
+            &query,
+            strategy_options(strategy),
+        )?;
+        optimized.trace.prepend("parse", parse_elapsed);
+
+        let chosen = optimized.chosen();
+        let columns: Vec<String> = chosen
+            .boxed(chosen.top())
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+
+        let exec_start = Instant::now();
+        let (rows, profile) =
+            starmagic_exec::execute_profiled(chosen, &self.catalog, &self.indexes, true)?;
+        optimized.trace.record("execute", exec_start.elapsed());
+
+        let result = QueryResult {
+            rows,
+            columns,
+            metrics: profile.aggregate(),
+            used_magic: optimized.chose_magic,
+            cost_without_magic: optimized.cost_without_magic,
+            cost_with_magic: optimized.cost_with_magic,
         };
-        optimize(&self.catalog, &self.registry, &query, opts)
+        Ok(ProfiledQuery {
+            result,
+            optimized,
+            profile,
+        })
     }
 
     /// Full EXPLAIN text: per-phase graphs, SQL renderings, costs.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
         Ok(explain::render(&optimized))
+    }
+
+    /// EXPLAIN ANALYZE: run the query with full instrumentation and
+    /// render the plan sections plus the profile, rewrite trace,
+    /// cardinality misestimation report, and phase spans.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let p = self.query_profiled(sql, Strategy::CostBased)?;
+        Ok(explain::render_analyze(&p, &self.catalog))
     }
 
     /// Run the semantic linter over a query's chosen plan. The report
@@ -301,6 +362,22 @@ impl Engine {
     pub fn lint(&self, sql: &str) -> Result<starmagic_lint::LintReport> {
         let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
         Ok(optimized.lint)
+    }
+}
+
+/// Pipeline options implementing each [`Strategy`].
+fn strategy_options(strategy: Strategy) -> PipelineOptions {
+    match strategy {
+        Strategy::CostBased => PipelineOptions::default(),
+        Strategy::Original => PipelineOptions {
+            enable_magic: false,
+            force_magic: false,
+            ..PipelineOptions::default()
+        },
+        Strategy::Magic => PipelineOptions {
+            force_magic: true,
+            ..PipelineOptions::default()
+        },
     }
 }
 

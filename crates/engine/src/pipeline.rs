@@ -31,6 +31,7 @@ use starmagic_rewrite::rules::{
 };
 use starmagic_rewrite::{OpRegistry, RewriteStats};
 use starmagic_sql::Query;
+use starmagic_trace::TraceSink;
 
 /// Everything the pipeline produced, kept for EXPLAIN and the figure
 /// reproductions.
@@ -57,6 +58,9 @@ pub struct Optimized {
     /// Lint report over the chosen graph (always computed, whatever
     /// the engine's [`CheckLevel`]); surfaced by EXPLAIN and `\lint`.
     pub lint: LintReport,
+    /// Per-phase spans (build, rewrite phases, plan optimizations,
+    /// lint). Empty when [`PipelineOptions::trace`] was off.
+    pub trace: TraceSink,
 }
 
 impl Optimized {
@@ -96,6 +100,9 @@ pub struct PipelineOptions {
     /// that leaves the graph semantically invalid, attributed to the
     /// rule. Defaults to PerFire in debug builds, Off in release.
     pub check: CheckLevel,
+    /// Collect per-phase spans into [`Optimized::trace`]. When off the
+    /// sink is disabled and records nothing (no clock reads).
+    pub trace: bool,
 }
 
 impl Default for PipelineOptions {
@@ -107,6 +114,7 @@ impl Default for PipelineOptions {
             cleanup_phase3: true,
             prune_projections: false,
             check: CheckLevel::default(),
+            trace: true,
         }
     }
 }
@@ -119,7 +127,15 @@ pub fn optimize(
     opts: PipelineOptions,
 ) -> Result<Optimized> {
     let engine = RewriteEngine::with_check(opts.check);
+    let mut trace = if opts.trace {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+
+    let t = trace.start("build");
     let initial = build_qgm(catalog, query)?;
+    trace.finish(t);
     let mut g = initial.clone();
 
     // The traditional rule set used by phases 1 and 3.
@@ -136,20 +152,26 @@ pub fn optimize(
     }
 
     // Phase 1.
+    let t = trace.start("rewrite.phase1");
     let stats1 = engine.run(&mut g, catalog, registry, &traditional)?;
     g.garbage_collect(false);
     g.validate()?;
     // Merges may have removed whole layers: renumber the strata so the
     // stored values stay authoritative (L104 hygiene).
     strata::assign(&mut g);
+    trace.finish(t);
 
     // Plan optimization #1.
+    let t = trace.start("plan.1");
     planner::annotate_join_orders(&mut g, catalog);
     let cost_without_magic = planner::estimate_graph_cost(&g, catalog);
+    trace.finish(t);
     let phase1 = g.clone();
 
     if !opts.enable_magic {
+        let t = trace.start("lint");
         let lint = starmagic_lint::lint(&phase1, catalog);
+        trace.finish(t);
         return Ok(Optimized {
             initial,
             phase2: phase1.clone(),
@@ -161,6 +183,7 @@ pub fn optimize(
             plan_optimizations: 1,
             chose_magic: false,
             lint,
+            trace,
         });
     }
 
@@ -171,6 +194,7 @@ pub fn optimize(
     } else {
         EmstRule::without_supplementary()
     };
+    let t = trace.start("rewrite.phase2");
     let stats2 = engine.run(
         &mut g,
         catalog,
@@ -179,9 +203,11 @@ pub fn optimize(
     )?;
     g.garbage_collect(true);
     g.validate()?;
+    trace.finish(t);
     let phase2 = g.clone();
 
     // Phase 3: links are consumed; simplify.
+    let t = trace.start("rewrite.phase3");
     for b in g.box_ids() {
         g.boxed_mut(b).magic_links.clear();
     }
@@ -195,14 +221,19 @@ pub fn optimize(
     // EMST copied and created boxes without renumbering: refresh the
     // strata now that the graph has its final shape.
     strata::assign(&mut g);
+    trace.finish(t);
 
     // Plan optimization #2.
+    let t = trace.start("plan.2");
     planner::annotate_join_orders(&mut g, catalog);
     let cost_with_magic = planner::estimate_graph_cost(&g, catalog);
+    trace.finish(t);
     let phase3 = g;
 
     let chose_magic = opts.force_magic || cost_with_magic <= cost_without_magic;
+    let t = trace.start("lint");
     let lint = starmagic_lint::lint(if chose_magic { &phase3 } else { &phase1 }, catalog);
+    trace.finish(t);
     Ok(Optimized {
         initial,
         phase1,
@@ -214,5 +245,6 @@ pub fn optimize(
         plan_optimizations: 2,
         chose_magic,
         lint,
+        trace,
     })
 }

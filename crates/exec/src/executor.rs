@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::rc::Rc;
+use std::time::Instant;
 
 use starmagic_catalog::Catalog;
 use starmagic_common::{Error, Result, Row, Truth, Value};
@@ -13,6 +14,7 @@ use starmagic_sql::BinOp;
 use crate::agg::Accumulator;
 use crate::like::like_match;
 use crate::metrics::Metrics;
+use crate::profile::ExecProfile;
 
 /// Evaluate the graph's top box; returns the result rows.
 pub fn execute(qgm: &Qgm, catalog: &Catalog) -> Result<Vec<Row>> {
@@ -34,11 +36,27 @@ pub fn execute_with_indexes(
     catalog: &Catalog,
     indexes: &IndexCache,
 ) -> Result<(Vec<Row>, Metrics)> {
+    let (rows, profile) = execute_profiled(qgm, catalog, indexes, false)?;
+    Ok((rows, profile.aggregate()))
+}
+
+/// Evaluate and return the per-box execution profile. With `timing`
+/// the profile also carries inclusive per-box wall time; without it no
+/// clock is ever read, so the counters stay deterministic.
+pub fn execute_profiled(
+    qgm: &Qgm,
+    catalog: &Catalog,
+    indexes: &IndexCache,
+    timing: bool,
+) -> Result<(Vec<Row>, ExecProfile)> {
     let mut exec = Executor::new(qgm, catalog);
+    if timing {
+        exec.profile = ExecProfile::with_timing();
+    }
     exec.shared_indexes = Some(indexes);
     let rows = exec.eval_box(qgm.top(), &Frame::root())?;
     let rows = rows.as_ref().clone();
-    Ok((rows, exec.metrics))
+    Ok((rows, exec.profile))
 }
 
 /// A hash index on one base-table column.
@@ -92,7 +110,9 @@ impl<'f> Frame<'f> {
 pub struct Executor<'a> {
     qgm: &'a Qgm,
     catalog: &'a Catalog,
-    pub metrics: Metrics,
+    /// Per-box work counters (and, when enabled, timings). The legacy
+    /// flat [`Metrics`] is this profile's aggregate: [`Executor::metrics`].
+    pub profile: ExecProfile,
     cache: HashMap<BoxId, Rc<Vec<Row>>>,
     correlated: HashMap<BoxId, bool>,
     /// Boxes that participate in a cycle (recursive queries).
@@ -121,7 +141,7 @@ impl<'a> Executor<'a> {
         Executor {
             qgm,
             catalog,
-            metrics: Metrics::default(),
+            profile: ExecProfile::default(),
             cache: HashMap::new(),
             correlated: HashMap::new(),
             recursive,
@@ -132,6 +152,12 @@ impl<'a> Executor<'a> {
             shared_indexes: None,
             quantified_indexes: HashMap::new(),
         }
+    }
+
+    /// The flat work counters — the aggregate view over the per-box
+    /// profile, kept for the deterministic benchmark numbers.
+    pub fn metrics(&self) -> Metrics {
+        self.profile.aggregate()
     }
 
     /// Hash fast path for `EXISTS`-mode quantified tests.
@@ -341,12 +367,20 @@ impl<'a> Executor<'a> {
                 return Ok(rows.clone());
             }
         }
-        self.metrics.box_evals += 1;
+        let timer = self.profile.timing.then(Instant::now);
+        self.profile.entry(b).evals += 1;
         let rows = if self.recursive.contains(&b) {
             self.fixpoint(b, frame)?
         } else {
             Rc::new(self.eval_inner(b, frame)?)
         };
+        {
+            let p = self.profile.entry(b);
+            p.rows_out += rows.len() as u64;
+            if let Some(t) = timer {
+                p.elapsed += t.elapsed();
+            }
+        }
         if !self.is_correlated(b) {
             self.cache.insert(b, rows.clone());
         }
@@ -416,7 +450,7 @@ impl<'a> Executor<'a> {
         match &qb.kind {
             BoxKind::BaseTable { table } => {
                 let t = self.catalog.table(table)?;
-                self.metrics.rows_scanned += t.row_count() as u64;
+                self.profile.entry(b).rows_scanned += t.row_count() as u64;
                 Ok(t.rows().to_vec())
             }
             BoxKind::Select => self.eval_select(b, frame),
@@ -439,6 +473,7 @@ impl<'a> Executor<'a> {
         let nq = qb.quants[1];
         let preserved = self.eval_box(self.qgm.quant(pq).input, frame)?;
         let nullside = self.eval_box(self.qgm.quant(nq).input, frame)?;
+        self.profile.entry(b).rows_in += (preserved.len() + nullside.len()) as u64;
         let null_row = Row::new(vec![
             Value::Null;
             self.qgm.boxed(self.qgm.quant(nq).input).arity()
@@ -477,7 +512,7 @@ impl<'a> Executor<'a> {
                 out.push(Row::new(vals));
             }
         }
-        self.metrics.rows_produced += out.len() as u64;
+        self.profile.entry(b).rows_produced += out.len() as u64;
         Ok(out)
     }
 
@@ -593,7 +628,10 @@ impl<'a> Executor<'a> {
                     let Some(matches) = index.get(&key) else {
                         continue;
                     };
-                    self.metrics.rows_scanned += matches.len() as u64;
+                    // Probed rows are charged to the base table being
+                    // probed, not the probing select box.
+                    self.profile.entry(child).rows_scanned += matches.len() as u64;
+                    self.profile.entry(b).rows_in += matches.len() as u64;
                     'probe: for m in matches {
                         // Remaining equality predicates filter here.
                         for (probe, build) in &rest {
@@ -613,6 +651,7 @@ impl<'a> Executor<'a> {
             } else if !hash_preds.is_empty() {
                 // Hash join: build on the child once, probe per combo.
                 let child_rows = self.eval_box(child, frame)?;
+                self.profile.entry(b).rows_in += child_rows.len() as u64;
                 let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
                 let cq = [q];
                 'build: for row in child_rows.iter() {
@@ -657,14 +696,18 @@ impl<'a> Executor<'a> {
                 let prefetched = if child_correlated {
                     None
                 } else {
-                    Some(self.eval_box(child, frame)?)
+                    let rows = self.eval_box(child, frame)?;
+                    self.profile.entry(b).rows_in += rows.len() as u64;
+                    Some(rows)
                 };
                 for combo in &combos {
                     let child_rows = match &prefetched {
                         Some(rows) => rows.clone(),
                         None => {
                             let cframe = frame.extended(&bound, combo);
-                            self.eval_box(child, &cframe)?
+                            let rows = self.eval_box(child, &cframe)?;
+                            self.profile.entry(b).rows_in += rows.len() as u64;
+                            rows
                         }
                     };
                     for row in child_rows.iter() {
@@ -708,7 +751,7 @@ impl<'a> Executor<'a> {
                 }
             }
             combos = filtered;
-            self.metrics.rows_produced += combos.len() as u64;
+            self.profile.entry(b).rows_produced += combos.len() as u64;
         }
 
         // Residual predicates: anything not yet applied (subquery
@@ -730,7 +773,7 @@ impl<'a> Executor<'a> {
             }
             result.push(Row::new(out));
         }
-        self.metrics.rows_produced += result.len() as u64;
+        self.profile.entry(b).rows_produced += result.len() as u64;
 
         if qb.distinct.needs_dedup() {
             result = dedupe(result);
@@ -748,6 +791,7 @@ impl<'a> Executor<'a> {
         let tq = qb.quants[0];
         let child = self.qgm.quant(tq).input;
         let input = self.eval_box(child, frame)?;
+        self.profile.entry(b).rows_in += input.len() as u64;
 
         let quants = [tq];
         let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
@@ -790,7 +834,7 @@ impl<'a> Executor<'a> {
                 acc.update(v)?;
             }
         }
-        self.metrics.rows_produced += input.len() as u64 + groups.len() as u64;
+        self.profile.entry(b).rows_produced += input.len() as u64 + groups.len() as u64;
 
         let mut out = Vec::with_capacity(groups.len());
         for key in group_order {
@@ -816,6 +860,7 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|&q| self.eval_box(self.qgm.quant(q).input, frame))
             .collect::<Result<_>>()?;
+        self.profile.entry(b).rows_in += arm_rows.iter().map(|a| a.len() as u64).sum::<u64>();
         let mut result = match (spec.op, spec.all) {
             (SetOpKind::Union, true) => {
                 let mut out = Vec::new();
@@ -901,7 +946,7 @@ impl<'a> Executor<'a> {
         if qb.distinct.needs_dedup() {
             result = dedupe(result);
         }
-        self.metrics.rows_produced += result.len() as u64;
+        self.profile.entry(b).rows_produced += result.len() as u64;
         Ok(result)
     }
 

@@ -22,14 +22,19 @@
 //! * Recursive boxes (cyclic subgraphs) are evaluated by naive
 //!   fixpoint iteration with set semantics.
 //!
-//! The executor also counts the rows each operator touches
-//! ([`Metrics`]) so benchmarks can report a deterministic work metric
-//! alongside wall-clock time.
+//! The executor also attributes the rows each operator touches to the
+//! QGM box doing the touching ([`ExecProfile`]); the flat [`Metrics`]
+//! aggregate survives as the deterministic work metric benchmarks
+//! report alongside wall-clock time.
 
 pub mod agg;
 pub mod executor;
 pub mod like;
 pub mod metrics;
+pub mod profile;
 
-pub use executor::{execute, execute_with_indexes, execute_with_metrics, Executor, IndexCache};
+pub use executor::{
+    execute, execute_profiled, execute_with_indexes, execute_with_metrics, Executor, IndexCache,
+};
 pub use metrics::Metrics;
+pub use profile::{BoxProfile, ExecProfile};

@@ -11,12 +11,21 @@ pub struct Metrics {
     /// Intermediate rows produced by joins, filters, and projections.
     pub rows_produced: u64,
     /// Box evaluations started (correlated boxes count once per
-    /// re-evaluation).
+    /// re-evaluation). Surfaced by EXPLAIN ANALYZE but deliberately
+    /// *not* part of [`Metrics::work`] — see there.
     pub box_evals: u64,
 }
 
 impl Metrics {
-    /// The headline work number.
+    /// The headline work number: rows scanned plus rows produced.
+    ///
+    /// `box_evals` is excluded on purpose. An evaluation's cost is
+    /// already captured by the rows it scans and produces; counting
+    /// the evaluation itself again would double-charge correlated
+    /// plans (one extra unit per outer row) and shift the
+    /// Original/Magic comparison for reasons unrelated to data flow.
+    /// EXPLAIN ANALYZE reports `box_evals` separately so the
+    /// re-evaluation behaviour is still visible.
     pub fn work(&self) -> u64 {
         self.rows_scanned + self.rows_produced
     }

@@ -19,8 +19,10 @@
 //! crate on top of these pieces.
 
 pub mod cost;
+pub mod feedback;
 pub mod joinorder;
 pub mod selectivity;
 
 pub use cost::{estimate_box_rows, estimate_graph_cost};
+pub use feedback::{bucket_histogram, cardinality_report, CardRow, MisestimateBucket};
 pub use joinorder::annotate_join_orders;

@@ -6,6 +6,7 @@
 //! runaway guard.
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use starmagic_catalog::Catalog;
 use starmagic_common::{Error, Result};
@@ -50,17 +51,43 @@ pub struct RuleContext<'a> {
     pub registry: &'a OpRegistry,
 }
 
-/// Fire counts per rule, for tests and EXPLAIN output.
+/// Per-run rewrite telemetry: rule fire counts, no-op offers, and
+/// per-pass durations — the data EXPLAIN's `== rewrite trace` section
+/// and the bench `--trace-json` sink report.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RewriteStats {
+    /// How many times each rule fired (mutated the graph).
     pub fires: BTreeMap<String, usize>,
+    /// Full depth-first sweeps performed (a no-fire pass ends the run).
     pub passes: usize,
+    /// How many times each rule was offered a box and declined —
+    /// the no-op-match count that tells you a rule is being consulted
+    /// far more often than it applies.
+    pub no_op_offers: BTreeMap<String, usize>,
+    /// Wall time of each pass, monotonic clock, in pass order
+    /// (`pass_durations.len() == passes`).
+    pub pass_durations: Vec<Duration>,
 }
 
 impl RewriteStats {
     /// Fire count of a rule by name (0 when it never fired).
     pub fn count(&self, rule: &str) -> usize {
         self.fires.get(rule).copied().unwrap_or(0)
+    }
+
+    /// No-op-offer count of a rule by name.
+    pub fn no_op_count(&self, rule: &str) -> usize {
+        self.no_op_offers.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Total fires across all rules.
+    pub fn total_fires(&self) -> usize {
+        self.fires.values().sum()
+    }
+
+    /// Total time across all passes.
+    pub fn total_duration(&self) -> Duration {
+        self.pass_durations.iter().sum()
     }
 }
 
@@ -102,6 +129,7 @@ impl RewriteEngine {
         let mut stats = RewriteStats::default();
         for pass in 0..self.max_passes {
             stats.passes += 1;
+            let pass_start = Instant::now();
             let mut fired = false;
             let order = depth_first_boxes(qgm);
             for b in order {
@@ -139,9 +167,15 @@ impl RewriteEngine {
                             }
                             pre = Some(qgm.clone());
                         }
+                    } else {
+                        *stats
+                            .no_op_offers
+                            .entry(rule.name().to_string())
+                            .or_insert(0) += 1;
                     }
                 }
             }
+            stats.pass_durations.push(pass_start.elapsed());
             if self.check == CheckLevel::PerPass {
                 let report = starmagic_lint::lint(qgm, catalog);
                 if report.has_errors() {
@@ -267,6 +301,30 @@ mod tests {
             .unwrap();
         assert_eq!(stats.passes, 1);
         assert_eq!(stats.count("nop"), 0);
+    }
+
+    #[test]
+    fn no_op_offers_count_every_declined_box() {
+        let (mut g, cat) = graph();
+        let boxes = g.box_count();
+        let reg = OpRegistry::new();
+        let stats = RewriteEngine::default()
+            .run(&mut g, &cat, &reg, &[&NopRule])
+            .unwrap();
+        // One pass, every box offered once, every offer declined.
+        assert_eq!(stats.no_op_count("nop"), boxes);
+        assert_eq!(stats.total_fires(), 0);
+    }
+
+    #[test]
+    fn pass_durations_match_pass_count() {
+        let (mut g, cat) = graph();
+        let reg = OpRegistry::new();
+        let stats = RewriteEngine::default()
+            .run(&mut g, &cat, &reg, &[&NopRule])
+            .unwrap();
+        assert_eq!(stats.pass_durations.len(), stats.passes);
+        assert_eq!(stats.total_duration(), stats.pass_durations.iter().sum());
     }
 
     #[test]
