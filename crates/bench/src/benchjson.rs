@@ -1,0 +1,144 @@
+//! Machine-readable throughput results (`table1 --throughput`).
+//!
+//! Serializes a [`ThroughputReport`](crate::throughput::ThroughputReport)
+//! into the versioned `BENCH_table1.json` document committed at the
+//! repo root and uploaded as a CI artifact. The schema is pinned by a
+//! test ([`tests::schema_is_stable`]) so the perf trajectory can be
+//! tracked across commits: a later run is comparable to an earlier one
+//! exactly when `schema_version`, `scale` and `threads` match.
+//!
+//! `host_cpus` records the logical CPUs of the measuring machine —
+//! indispensable context for the speedup numbers, since a 4-thread run
+//! on a single-core host cannot beat serial no matter how good the
+//! executor is.
+
+use starmagic::trace::json::Value;
+use starmagic_catalog::generator::Scale;
+
+use crate::throughput::{StrategyThroughput, ThroughputReport};
+
+/// Schema version of the emitted document. Bump when the shape
+/// changes; the pinning test tracks this constant.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Build the `BENCH_table1.json` document.
+pub fn bench_report(report: &ThroughputReport, scale: Scale) -> Value {
+    let strategies: Vec<(String, Value)> = report
+        .strategies
+        .iter()
+        .map(|(name, s)| ((*name).to_string(), strategy_obj(s)))
+        .collect();
+    Value::Obj(vec![
+        ("schema_version".to_string(), Value::from(SCHEMA_VERSION)),
+        ("generated_by".to_string(), Value::from("starmagic-bench")),
+        ("mode".to_string(), Value::from("throughput")),
+        ("threads".to_string(), Value::from(report.threads as u64)),
+        (
+            "budget_ms".to_string(),
+            Value::from(report.budget.as_millis() as u64),
+        ),
+        (
+            "host_cpus".to_string(),
+            Value::from(report.host_cpus as u64),
+        ),
+        (
+            "scale".to_string(),
+            Value::Obj(vec![
+                (
+                    "departments".to_string(),
+                    Value::from(scale.departments as u64),
+                ),
+                (
+                    "emps_per_dept".to_string(),
+                    Value::from(scale.emps_per_dept as u64),
+                ),
+            ]),
+        ),
+        ("strategies".to_string(), Value::Obj(strategies)),
+        ("totals".to_string(), strategy_obj(&report.totals())),
+    ])
+}
+
+/// One strategy's (or the totals') numbers as a JSON object.
+fn strategy_obj(s: &StrategyThroughput) -> Value {
+    Value::Obj(vec![
+        ("serial_queries".to_string(), Value::from(s.serial_queries)),
+        ("serial_qps".to_string(), Value::Num(s.serial_qps())),
+        (
+            "parallel_queries".to_string(),
+            Value::from(s.parallel_queries),
+        ),
+        ("parallel_qps".to_string(), Value::Num(s.parallel_qps())),
+        ("speedup".to_string(), Value::Num(s.speedup())),
+    ])
+}
+
+/// Emit the document to a file (one line plus a trailing newline, like
+/// the trace-JSON sink: the schema test re-parses it, humans pipe
+/// through `jq`).
+pub fn write_bench_json(path: &str, doc: &Value) -> std::io::Result<()> {
+    std::fs::write(path, format!("{doc}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::run_throughput;
+    use crate::{bench_engine, experiments};
+    use starmagic::trace::json;
+    use std::time::Duration;
+
+    /// Pin the JSON schema: every key the perf-trajectory tooling reads
+    /// must survive a serialize→parse round-trip with the right types.
+    #[test]
+    fn schema_is_stable() {
+        let mut engine = bench_engine(Scale::small()).unwrap();
+        let exps: Vec<_> = experiments()
+            .into_iter()
+            .filter(|e| e.id == 'A' || e.id == 'G')
+            .collect();
+        let report = run_throughput(&mut engine, &exps, 2, Duration::from_millis(20)).unwrap();
+        let doc = bench_report(&report, Scale::small());
+        let text = doc.to_string();
+        let v = json::parse(&text).expect("emitted JSON re-parses");
+
+        assert_eq!(
+            v.get("schema_version").unwrap().as_f64(),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(
+            v.get("generated_by").unwrap().as_str(),
+            Some("starmagic-bench")
+        );
+        assert_eq!(v.get("mode").unwrap().as_str(), Some("throughput"));
+        assert_eq!(v.get("threads").unwrap().as_f64(), Some(2.0));
+        assert!(v.get("budget_ms").unwrap().as_f64().is_some());
+        assert!(v.get("host_cpus").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(v.get("scale").unwrap().get("departments").is_some());
+        assert!(v.get("scale").unwrap().get("emps_per_dept").is_some());
+
+        let strategies = v.get("strategies").unwrap();
+        assert!(strategies.is_obj());
+        for key in ["original", "correlated", "emst"] {
+            let s = strategies
+                .get(key)
+                .unwrap_or_else(|| panic!("strategy {key} missing from {strategies}"));
+            for field in [
+                "serial_queries",
+                "serial_qps",
+                "parallel_queries",
+                "parallel_qps",
+                "speedup",
+            ] {
+                assert!(
+                    s.get(field).unwrap().as_f64().is_some(),
+                    "{key}.{field} missing or not numeric"
+                );
+            }
+        }
+        let totals = v.get("totals").unwrap();
+        assert!(totals.get("serial_qps").unwrap().as_f64().unwrap() > 0.0);
+        assert!(totals.get("parallel_qps").unwrap().as_f64().unwrap() > 0.0);
+        assert!(totals.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -19,6 +19,8 @@
 //! experiments (A, F), catastrophic when the outer is large (C, D),
 //! and EMST is stable everywhere.
 
+pub mod benchjson;
+pub mod throughput;
 pub mod tracejson;
 
 use std::time::{Duration, Instant};
@@ -427,6 +429,45 @@ mod tests {
                     "experiment {}: chosen plan has lint errors: {:?}",
                     exp.id,
                     o.lint.diagnostics
+                );
+            }
+        }
+    }
+
+    /// No Table-1 plan deposits a parallel-unsafe join order (L110):
+    /// whatever rewrites fire under per-fire attribution, the chosen
+    /// plans keep the executor's parallel paths available. Correlated
+    /// subqueries exist in every `correlated_sql` formulation, but the
+    /// planner orders only Foreach quantifiers — this pins that.
+    #[test]
+    fn experiment_plans_have_no_parallel_unsafe_join_orders() {
+        use starmagic::lint::Code;
+        use starmagic::rewrite::CheckLevel;
+        use starmagic::{optimize, PipelineOptions};
+        let engine = small_engine();
+        let per_fire = PipelineOptions {
+            check: CheckLevel::PerFire,
+            ..PipelineOptions::default()
+        };
+        for exp in experiments() {
+            for (sql, opts) in [
+                (exp.original_sql, per_fire),
+                (
+                    exp.original_sql,
+                    PipelineOptions {
+                        force_magic: true,
+                        ..per_fire
+                    },
+                ),
+                (exp.correlated_sql, per_fire),
+            ] {
+                let query = starmagic::sql::parse_query(sql).unwrap();
+                let o = optimize(engine.catalog(), engine.registry(), &query, opts).unwrap();
+                assert!(
+                    o.lint.find(Code::L110ParallelUnsafeJoinOrder).is_none(),
+                    "experiment {}: chosen plan pins a box to the serial path: {}",
+                    exp.id,
+                    o.lint
                 );
             }
         }

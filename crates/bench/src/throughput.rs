@@ -1,0 +1,207 @@
+//! Throughput mode (`table1 --throughput`): sustained Table-1 queries
+//! per second, serial versus parallel.
+//!
+//! Latency benchmarks time one execution; a throughput run instead
+//! prepares every experiment's plan once and then replays the whole
+//! suite round-robin for a fixed wall-clock budget, first at one
+//! executor thread and then at `--threads n`. The ratio of the two
+//! queries/sec numbers is the speedup the morsel-parallel executor
+//! buys on this hardware — the number that seeds the perf trajectory
+//! in `BENCH_table1.json` (schema in [`crate::benchjson`]).
+//!
+//! Preparation (parse, rewrite, plan) happens outside every timed
+//! window, and a warm-up pass builds the executor's column indexes
+//! first, so both modes measure pure execution of identical plans.
+
+use std::time::{Duration, Instant};
+
+use starmagic::{Engine, Prepared, Strategy};
+use starmagic_common::Result;
+
+use crate::Experiment;
+
+/// One strategy's measured throughput: query counts and elapsed wall
+/// clock for the serial and parallel replay windows.
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyThroughput {
+    pub serial_queries: u64,
+    pub serial_elapsed: Duration,
+    pub parallel_queries: u64,
+    pub parallel_elapsed: Duration,
+}
+
+impl StrategyThroughput {
+    /// Queries/sec of the one-thread window.
+    pub fn serial_qps(&self) -> f64 {
+        self.serial_queries as f64 / self.serial_elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Queries/sec of the `threads`-worker window.
+    pub fn parallel_qps(&self) -> f64 {
+        self.parallel_queries as f64 / self.parallel_elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Parallel qps over serial qps (> 1 means the workers paid off).
+    pub fn speedup(&self) -> f64 {
+        self.parallel_qps() / self.serial_qps().max(1e-12)
+    }
+}
+
+/// A full throughput run: per-strategy numbers plus the knobs and the
+/// hardware they were measured on.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Worker threads of the parallel windows.
+    pub threads: usize,
+    /// Wall-clock budget of each replay window.
+    pub budget: Duration,
+    /// Logical CPUs of the measuring host — a speedup can only be
+    /// judged against what the hardware could possibly deliver.
+    pub host_cpus: usize,
+    /// `(strategy name, numbers)` in Table-1 order:
+    /// original, correlated, emst.
+    pub strategies: Vec<(&'static str, StrategyThroughput)>,
+}
+
+impl ThroughputReport {
+    /// Suite-wide totals: all strategies' queries over all their
+    /// elapsed time, per mode.
+    pub fn totals(&self) -> StrategyThroughput {
+        let mut t = StrategyThroughput {
+            serial_queries: 0,
+            serial_elapsed: Duration::ZERO,
+            parallel_queries: 0,
+            parallel_elapsed: Duration::ZERO,
+        };
+        for (_, s) in &self.strategies {
+            t.serial_queries += s.serial_queries;
+            t.serial_elapsed += s.serial_elapsed;
+            t.parallel_queries += s.parallel_queries;
+            t.parallel_elapsed += s.parallel_elapsed;
+        }
+        t
+    }
+}
+
+/// Replay a set of prepared plans round-robin until the budget is
+/// spent (always finishing the round in progress, so every plan runs
+/// the same number of times ±1 round). A warm-up pass over every plan
+/// runs outside the timer to build column indexes.
+fn drain(engine: &Engine, plans: &[Prepared], budget: Duration) -> Result<(u64, Duration)> {
+    for p in plans {
+        engine.execute_prepared(p)?;
+    }
+    let start = Instant::now();
+    let mut queries = 0u64;
+    loop {
+        for p in plans {
+            engine.execute_prepared(p)?;
+            queries += 1;
+        }
+        if start.elapsed() >= budget {
+            return Ok((queries, start.elapsed()));
+        }
+    }
+}
+
+/// Measure the whole Table-1 suite at one thread and at `threads`.
+///
+/// The engine's thread knob is restored to its prior value before
+/// returning, whatever it was.
+pub fn run_throughput(
+    engine: &mut Engine,
+    exps: &[Experiment],
+    threads: usize,
+    budget: Duration,
+) -> Result<ThroughputReport> {
+    let prior = engine.threads();
+    let formulations: [(&'static str, Strategy, bool); 3] = [
+        ("original", Strategy::Original, false),
+        ("correlated", Strategy::Original, true),
+        ("emst", Strategy::Magic, false),
+    ];
+    let mut strategies = Vec::new();
+    for (name, strat, correlated) in formulations {
+        let sql_of = |e: &Experiment| {
+            if correlated {
+                e.correlated_sql
+            } else {
+                e.original_sql
+            }
+        };
+        // Plans carry the thread count from prepare time, so each mode
+        // gets its own prepared set; preparation stays untimed.
+        engine.set_threads(1);
+        let serial_plans: Vec<Prepared> = exps
+            .iter()
+            .map(|e| engine.prepare(sql_of(e), strat))
+            .collect::<Result<_>>()?;
+        let (serial_queries, serial_elapsed) = drain(engine, &serial_plans, budget)?;
+
+        engine.set_threads(threads);
+        let parallel_plans: Vec<Prepared> = exps
+            .iter()
+            .map(|e| engine.prepare(sql_of(e), strat))
+            .collect::<Result<_>>()?;
+        let (parallel_queries, parallel_elapsed) = drain(engine, &parallel_plans, budget)?;
+
+        strategies.push((
+            name,
+            StrategyThroughput {
+                serial_queries,
+                serial_elapsed,
+                parallel_queries,
+                parallel_elapsed,
+            },
+        ));
+    }
+    engine.set_threads(prior);
+    Ok(ThroughputReport {
+        threads,
+        budget,
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        strategies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_engine, experiments};
+    use starmagic_catalog::generator::Scale;
+
+    #[test]
+    fn throughput_run_measures_all_three_strategies() {
+        let mut engine = bench_engine(Scale::small()).unwrap();
+        let exps = experiments();
+        let report = run_throughput(&mut engine, &exps, 2, Duration::from_millis(50)).unwrap();
+        assert_eq!(report.threads, 2);
+        assert!(report.host_cpus >= 1);
+        let names: Vec<_> = report.strategies.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["original", "correlated", "emst"]);
+        for (name, s) in &report.strategies {
+            assert!(s.serial_queries > 0, "{name}: no serial queries ran");
+            assert!(s.parallel_queries > 0, "{name}: no parallel queries ran");
+            assert!(s.serial_qps() > 0.0 && s.parallel_qps() > 0.0);
+            assert!(s.speedup() > 0.0);
+        }
+        let t = report.totals();
+        assert_eq!(
+            t.serial_queries,
+            report
+                .strategies
+                .iter()
+                .map(|(_, s)| s.serial_queries)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn throughput_restores_the_engine_thread_knob() {
+        let mut engine = bench_engine(Scale::small()).unwrap();
+        engine.set_threads(3);
+        let exps: Vec<_> = experiments().into_iter().filter(|e| e.id == 'A').collect();
+        run_throughput(&mut engine, &exps, 8, Duration::from_millis(10)).unwrap();
+        assert_eq!(engine.threads(), 3);
+    }
+}

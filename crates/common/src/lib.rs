@@ -18,3 +18,16 @@ pub use row::Row;
 pub use truth::Truth;
 pub use types::DataType;
 pub use value::Value;
+
+// Compile-time proof that the value substrate crosses threads: the
+// executor's morsel workers share rows and values by reference, and
+// worker errors travel back through join handles. `Value`'s strings
+// and `Row`'s payload are `Arc`-backed, so all three are `Send + Sync`
+// by construction — this breaks the build if a non-thread-safe field
+// (an `Rc`, a `Cell`) ever sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Value>();
+    assert_send_sync::<Row>();
+    assert_send_sync::<Error>();
+};

@@ -41,6 +41,7 @@ meta-commands:
   \\strategy original|magic|cost  pin the optimizer strategy
   \\timing [on|off]             toggle the per-query timing footer
   \\trace on|off                print phase spans after each query
+  \\threads [n]                 executor worker threads (1 = serial)
   \\tables                      list tables with row counts
   \\views                       list views
   \\? | \\help                   this list
@@ -156,6 +157,19 @@ fn meta_command(engine: &mut Engine, session: &mut Session, cmd: &str) -> bool {
                 println!("trace is {}", if v { "on" } else { "off" });
             }
             None => println!("usage: \\trace on|off"),
+        },
+        "\\threads" => match rest.trim() {
+            "" => println!("threads is {}", engine.threads()),
+            n => match n.parse::<usize>() {
+                Ok(v) if v >= 1 => {
+                    engine.set_threads(v);
+                    println!(
+                        "threads set to {} (results stay byte-identical at any setting)",
+                        engine.threads()
+                    );
+                }
+                _ => println!("usage: \\threads [n]  (n >= 1)"),
+            },
         },
         "\\explain" => match engine.explain(rest.trim().trim_end_matches(';')) {
             Ok(text) => println!("{text}"),

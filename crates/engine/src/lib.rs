@@ -103,6 +103,10 @@ pub struct Prepared {
     pub used_magic: bool,
     pub cost_without_magic: f64,
     pub cost_with_magic: f64,
+    /// Executor worker threads recorded at prepare time (from
+    /// [`PipelineOptions::threads`]); [`Engine::execute_prepared`]
+    /// honors it on every execution of this plan.
+    pub threads: usize,
 }
 
 /// The engine: a catalog plus the optimizer configuration.
@@ -111,6 +115,9 @@ pub struct Engine {
     registry: OpRegistry,
     /// Cross-query index cache (the database's persistent indexes).
     indexes: starmagic_exec::IndexCache,
+    /// Executor worker threads injected into every plan this engine
+    /// prepares (REPL `\threads n`, benchmark `--threads n`).
+    threads: usize,
 }
 
 impl Engine {
@@ -120,6 +127,7 @@ impl Engine {
             catalog,
             registry: OpRegistry::new(),
             indexes: starmagic_exec::IndexCache::default(),
+            threads: 1,
         }
     }
 
@@ -131,7 +139,20 @@ impl Engine {
             catalog,
             registry,
             indexes: starmagic_exec::IndexCache::default(),
+            threads: 1,
         }
+    }
+
+    /// Set the executor worker-thread count used by every subsequent
+    /// query (1 = serial, the default). Results are byte-identical at
+    /// any setting — parallelism only changes wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured executor worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -245,6 +266,7 @@ impl Engine {
             used_magic: optimized.chose_magic,
             cost_without_magic: optimized.cost_without_magic,
             cost_with_magic: optimized.cost_with_magic,
+            threads: opts.threads.max(1),
         })
     }
 
@@ -252,32 +274,25 @@ impl Engine {
     /// Lets benchmarks time execution separately from optimization
     /// (the paper's Table 1 reports execution elapsed time).
     pub fn prepare(&self, sql: &str, strategy: Strategy) -> Result<Prepared> {
-        let optimized = self.optimize_sql(sql, strategy)?;
-        let chosen = optimized.chosen().clone();
-        let columns = chosen
-            .boxed(chosen.top())
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect();
-        Ok(Prepared {
-            qgm: chosen,
-            columns,
-            used_magic: optimized.chose_magic,
-            cost_without_magic: optimized.cost_without_magic,
-            cost_with_magic: optimized.cost_with_magic,
-        })
+        self.prepare_with_options(sql, self.options_for(strategy))
     }
 
     /// Execute a prepared plan. Each call evaluates from scratch (the
     /// materialization cache lives per execution).
     pub fn execute_prepared(&self, prepared: &Prepared) -> Result<QueryResult> {
-        let (rows, metrics) =
-            starmagic_exec::execute_with_indexes(&prepared.qgm, &self.catalog, &self.indexes)?;
+        let (rows, profile) = starmagic_exec::execute_with_options(
+            &prepared.qgm,
+            &self.catalog,
+            &self.indexes,
+            starmagic_exec::ExecOptions {
+                timing: false,
+                threads: prepared.threads,
+            },
+        )?;
         Ok(QueryResult {
             rows,
             columns: prepared.columns.clone(),
-            metrics,
+            metrics: profile.aggregate(),
             used_magic: prepared.used_magic,
             cost_without_magic: prepared.cost_without_magic,
             cost_with_magic: prepared.cost_with_magic,
@@ -292,8 +307,17 @@ impl Engine {
             &self.catalog,
             &self.registry,
             &query,
-            strategy_options(strategy),
+            self.options_for(strategy),
         )
+    }
+
+    /// Pipeline options for a strategy, carrying this engine's
+    /// execution knobs (worker threads).
+    fn options_for(&self, strategy: Strategy) -> PipelineOptions {
+        PipelineOptions {
+            threads: self.threads,
+            ..strategy_options(strategy)
+        }
     }
 
     /// Run a query with full instrumentation: pipeline spans (with a
@@ -309,7 +333,7 @@ impl Engine {
             &self.catalog,
             &self.registry,
             &query,
-            strategy_options(strategy),
+            self.options_for(strategy),
         )?;
         optimized.trace.prepend("parse", parse_elapsed);
 
@@ -322,8 +346,15 @@ impl Engine {
             .collect();
 
         let exec_start = Instant::now();
-        let (rows, profile) =
-            starmagic_exec::execute_profiled(chosen, &self.catalog, &self.indexes, true)?;
+        let (rows, profile) = starmagic_exec::execute_with_options(
+            chosen,
+            &self.catalog,
+            &self.indexes,
+            starmagic_exec::ExecOptions {
+                timing: true,
+                threads: self.threads,
+            },
+        )?;
         optimized.trace.record("execute", exec_start.elapsed());
 
         let result = QueryResult {

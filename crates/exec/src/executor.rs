@@ -1,7 +1,7 @@
 //! The query-graph interpreter.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use starmagic_catalog::Catalog;
@@ -14,7 +14,31 @@ use starmagic_sql::BinOp;
 use crate::agg::Accumulator;
 use crate::like::like_match;
 use crate::metrics::Metrics;
+use crate::parallel::{run_morsels, PARALLEL_THRESHOLD};
 use crate::profile::ExecProfile;
+
+/// Execution knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Collect per-box wall time in the profile. Off by default so the
+    /// counters stay free of clock reads.
+    pub timing: bool,
+    /// Worker threads for the data-parallel loops. `1` (the default)
+    /// never spawns a thread, keeping the classic serial executor;
+    /// higher counts split hot loops into morsels whose results are
+    /// concatenated in input order, so rows and counters stay
+    /// byte-identical to serial at any setting.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            timing: false,
+            threads: 1,
+        }
+    }
+}
 
 /// Evaluate the graph's top box; returns the result rows.
 pub fn execute(qgm: &Qgm, catalog: &Catalog) -> Result<Vec<Row>> {
@@ -49,27 +73,43 @@ pub fn execute_profiled(
     indexes: &IndexCache,
     timing: bool,
 ) -> Result<(Vec<Row>, ExecProfile)> {
+    execute_with_options(qgm, catalog, indexes, ExecOptions { timing, threads: 1 })
+}
+
+/// Evaluate with explicit execution options (timing, worker threads).
+/// This is the full-control entry point the engine uses; the narrower
+/// entry points above are serial shorthands for it.
+pub fn execute_with_options(
+    qgm: &Qgm,
+    catalog: &Catalog,
+    indexes: &IndexCache,
+    opts: ExecOptions,
+) -> Result<(Vec<Row>, ExecProfile)> {
     let mut exec = Executor::new(qgm, catalog);
-    if timing {
+    if opts.timing {
         exec.profile = ExecProfile::with_timing();
     }
+    exec.threads = opts.threads.max(1);
     exec.shared_indexes = Some(indexes);
     let rows = exec.eval_box(qgm.top(), &Frame::root())?;
     let rows = rows.as_ref().clone();
     Ok((rows, exec.profile))
 }
 
-/// A hash index on one base-table column.
-pub type ColumnIndex = Rc<HashMap<Value, Vec<Row>>>;
+/// A hash index on one base-table column. `Arc`, not `Rc`: indexes are
+/// probed from inside parallel regions.
+pub type ColumnIndex = Arc<HashMap<Value, Vec<Row>>>;
 
 /// Semi-join index for quantified tests: non-NULL-keyed buckets plus
 /// the NULL-keyed remainder (needed for Unknown accounting).
-pub type SemiJoinIndex = Rc<(HashMap<Vec<Value>, Vec<Row>>, Vec<Row>)>;
+pub type SemiJoinIndex = Arc<(HashMap<Vec<Value>, Vec<Row>>, Vec<Row>)>;
 
-/// A shareable cache of base-table column indexes.
+/// A shareable cache of base-table column indexes. Interior mutability
+/// is a `Mutex` (taken only on lookup/insert of whole indexes, never
+/// per row) so the cache can be shared across engine threads.
 #[derive(Default)]
 pub struct IndexCache {
-    map: std::cell::RefCell<HashMap<(String, usize), ColumnIndex>>,
+    map: Mutex<HashMap<(String, usize), ColumnIndex>>,
 }
 
 /// Evaluation environment: quantifier → current row bindings, chained
@@ -113,12 +153,14 @@ pub struct Executor<'a> {
     /// Per-box work counters (and, when enabled, timings). The legacy
     /// flat [`Metrics`] is this profile's aggregate: [`Executor::metrics`].
     pub profile: ExecProfile,
-    cache: HashMap<BoxId, Rc<Vec<Row>>>,
+    /// Worker threads for data-parallel loops; 1 = serial.
+    threads: usize,
+    cache: HashMap<BoxId, Arc<Vec<Row>>>,
     correlated: HashMap<BoxId, bool>,
     /// Boxes that participate in a cycle (recursive queries).
     recursive: BTreeSet<BoxId>,
     /// Rows accumulated so far for recursive boxes during fixpoint.
-    recursive_acc: HashMap<BoxId, Rc<Vec<Row>>>,
+    recursive_acc: HashMap<BoxId, Arc<Vec<Row>>>,
     /// Recursive boxes currently being iterated.
     in_fixpoint: BTreeSet<BoxId>,
     /// Guard for runaway fixpoints.
@@ -142,6 +184,7 @@ impl<'a> Executor<'a> {
             qgm,
             catalog,
             profile: ExecProfile::default(),
+            threads: 1,
             cache: HashMap::new(),
             correlated: HashMap::new(),
             recursive,
@@ -232,7 +275,7 @@ impl<'a> Executor<'a> {
                     }
                     map.entry(key).or_default().push(r.clone());
                 }
-                let built = Rc::new((map, null_keyed));
+                let built = Arc::new((map, null_keyed));
                 self.quantified_indexes.insert(cache_key, built.clone());
                 built
             }
@@ -320,9 +363,10 @@ impl<'a> Executor<'a> {
             return Ok(idx.clone());
         }
         if let Some(shared) = self.shared_indexes {
-            if let Some(idx) = shared.map.borrow().get(&key) {
+            if let Some(idx) = shared.map.lock().expect("index cache poisoned").get(&key) {
+                let idx = idx.clone();
                 self.indexes.insert(key, idx.clone());
-                return Ok(idx.clone());
+                return Ok(idx);
             }
         }
         let t = self.catalog.table(table)?;
@@ -334,9 +378,13 @@ impl<'a> Executor<'a> {
             }
             map.entry(v.clone()).or_default().push(r.clone());
         }
-        let idx = Rc::new(map);
+        let idx = Arc::new(map);
         if let Some(shared) = self.shared_indexes {
-            shared.map.borrow_mut().insert(key.clone(), idx.clone());
+            shared
+                .map
+                .lock()
+                .expect("index cache poisoned")
+                .insert(key.clone(), idx.clone());
         }
         self.indexes.insert(key, idx.clone());
         Ok(idx)
@@ -352,7 +400,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Evaluate a box under a frame. Uncorrelated boxes are cached.
-    pub fn eval_box(&mut self, b: BoxId, frame: &Frame<'_>) -> Result<Rc<Vec<Row>>> {
+    pub fn eval_box(&mut self, b: BoxId, frame: &Frame<'_>) -> Result<Arc<Vec<Row>>> {
         // During fixpoint iteration, a recursive reference yields the
         // rows accumulated so far.
         if self.in_fixpoint.contains(&b) {
@@ -360,7 +408,7 @@ impl<'a> Executor<'a> {
                 .recursive_acc
                 .get(&b)
                 .cloned()
-                .unwrap_or_else(|| Rc::new(Vec::new())));
+                .unwrap_or_else(|| Arc::new(Vec::new())));
         }
         if !self.is_correlated(b) {
             if let Some(rows) = self.cache.get(&b) {
@@ -372,7 +420,7 @@ impl<'a> Executor<'a> {
         let rows = if self.recursive.contains(&b) {
             self.fixpoint(b, frame)?
         } else {
-            Rc::new(self.eval_inner(b, frame)?)
+            Arc::new(self.eval_inner(b, frame)?)
         };
         {
             let p = self.profile.entry(b);
@@ -391,7 +439,7 @@ impl<'a> Executor<'a> {
     /// iterate until no member box of the cycle gains rows. Recursive
     /// queries use set semantics (rows are deduplicated per round) so
     /// the iteration terminates on finite domains.
-    fn fixpoint(&mut self, b: BoxId, frame: &Frame<'_>) -> Result<Rc<Vec<Row>>> {
+    fn fixpoint(&mut self, b: BoxId, frame: &Frame<'_>) -> Result<Arc<Vec<Row>>> {
         let members: Vec<BoxId> = self
             .recursive
             .iter()
@@ -400,7 +448,7 @@ impl<'a> Executor<'a> {
             .collect();
         for &m in &members {
             self.in_fixpoint.insert(m);
-            self.recursive_acc.insert(m, Rc::new(Vec::new()));
+            self.recursive_acc.insert(m, Arc::new(Vec::new()));
         }
         let mut rounds = 0usize;
         loop {
@@ -427,7 +475,7 @@ impl<'a> Executor<'a> {
                 }
                 if merged.len() > acc.len() {
                     grew = true;
-                    self.recursive_acc.insert(m, Rc::new(merged));
+                    self.recursive_acc.insert(m, Arc::new(merged));
                 }
             }
             if !grew {
@@ -441,7 +489,7 @@ impl<'a> Executor<'a> {
             .recursive_acc
             .get(&b)
             .cloned()
-            .unwrap_or_else(|| Rc::new(Vec::new()));
+            .unwrap_or_else(|| Arc::new(Vec::new()));
         Ok(result)
     }
 
@@ -619,33 +667,74 @@ impl<'a> Executor<'a> {
                     .map(|(_, p)| p.clone())
                     .collect();
                 let cq = [q];
-                for combo in &combos {
-                    let cframe = frame.extended(&bound, combo);
-                    let key = self.eval_expr(&hash_preds[pred_idx].0, &cframe)?;
-                    if key.is_null() {
-                        continue;
-                    }
-                    let Some(matches) = index.get(&key) else {
-                        continue;
-                    };
-                    // Probed rows are charged to the base table being
-                    // probed, not the probing select box.
-                    self.profile.entry(child).rows_scanned += matches.len() as u64;
-                    self.profile.entry(b).rows_in += matches.len() as u64;
-                    'probe: for m in matches {
-                        // Remaining equality predicates filter here.
-                        for (probe, build) in &rest {
-                            let pv = self.eval_expr(probe, &cframe)?;
-                            let mrows = [m.clone()];
-                            let mframe = frame.extended(&cq, &mrows);
-                            let bv = self.eval_expr(build, &mframe)?;
-                            if !pv.sql_eq(&bv).passes() {
-                                continue 'probe;
+                let pure = parallel_safe(self.qgm, &hash_preds[pred_idx].0)
+                    && rest
+                        .iter()
+                        .all(|(p, bld)| parallel_safe(self.qgm, p) && parallel_safe(self.qgm, bld));
+                if self.threads > 1 && combos.len() >= PARALLEL_THRESHOLD && pure {
+                    let probe_expr = &hash_preds[pred_idx].0;
+                    let bound_q: &[QuantId] = &bound;
+                    let (par, scratch) = run_morsels(self.threads, &combos, |morsel, profile| {
+                        let mut out: Vec<Vec<Row>> = Vec::new();
+                        for combo in morsel {
+                            let cframe = frame.extended(bound_q, combo);
+                            let key = eval_pure(probe_expr, &cframe)?;
+                            if key.is_null() {
+                                continue;
+                            }
+                            let Some(matches) = index.get(&key) else {
+                                continue;
+                            };
+                            profile.entry(child).rows_scanned += matches.len() as u64;
+                            profile.entry(b).rows_in += matches.len() as u64;
+                            'probe: for m in matches {
+                                for (probe, build) in &rest {
+                                    let pv = eval_pure(probe, &cframe)?;
+                                    let mrows = [m.clone()];
+                                    let mframe = frame.extended(&cq, &mrows);
+                                    let bv = eval_pure(build, &mframe)?;
+                                    if !pv.sql_eq(&bv).passes() {
+                                        continue 'probe;
+                                    }
+                                }
+                                let mut c = combo.clone();
+                                c.push(m.clone());
+                                out.push(c);
                             }
                         }
-                        let mut c = combo.clone();
-                        c.push(m.clone());
-                        next.push(c);
+                        Ok(out)
+                    })?;
+                    next = par;
+                    self.profile.merge(&scratch);
+                } else {
+                    for combo in &combos {
+                        let cframe = frame.extended(&bound, combo);
+                        let key = self.eval_expr(&hash_preds[pred_idx].0, &cframe)?;
+                        if key.is_null() {
+                            continue;
+                        }
+                        let Some(matches) = index.get(&key) else {
+                            continue;
+                        };
+                        // Probed rows are charged to the base table being
+                        // probed, not the probing select box.
+                        self.profile.entry(child).rows_scanned += matches.len() as u64;
+                        self.profile.entry(b).rows_in += matches.len() as u64;
+                        'probe: for m in matches {
+                            // Remaining equality predicates filter here.
+                            for (probe, build) in &rest {
+                                let pv = self.eval_expr(probe, &cframe)?;
+                                let mrows = [m.clone()];
+                                let mframe = frame.extended(&cq, &mrows);
+                                let bv = self.eval_expr(build, &mframe)?;
+                                if !pv.sql_eq(&bv).passes() {
+                                    continue 'probe;
+                                }
+                            }
+                            let mut c = combo.clone();
+                            c.push(m.clone());
+                            next.push(c);
+                        }
                     }
                 }
             } else if !hash_preds.is_empty() {
@@ -667,26 +756,58 @@ impl<'a> Executor<'a> {
                     }
                     table.entry(key).or_default().push(row.clone());
                 }
-                for combo in &combos {
-                    let cframe = frame.extended(&bound, combo);
-                    let mut key = Vec::with_capacity(hash_preds.len());
-                    let mut null_key = false;
-                    for (probe, _) in &hash_preds {
-                        let v = self.eval_expr(probe, &cframe)?;
-                        if v.is_null() {
-                            null_key = true;
-                            break;
+                let pure = hash_preds.iter().all(|(p, _)| parallel_safe(self.qgm, p));
+                if self.threads > 1 && combos.len() >= PARALLEL_THRESHOLD && pure {
+                    let table = &table;
+                    let hash_preds = &hash_preds;
+                    let bound_q: &[QuantId] = &bound;
+                    let (par, scratch) = run_morsels(self.threads, &combos, |morsel, _| {
+                        let mut out: Vec<Vec<Row>> = Vec::new();
+                        // Scratch probe key, reused across the morsel's rows.
+                        let mut key: Vec<Value> = Vec::with_capacity(hash_preds.len());
+                        'combo: for combo in morsel {
+                            let cframe = frame.extended(bound_q, combo);
+                            key.clear();
+                            for (probe, _) in hash_preds {
+                                let v = eval_pure(probe, &cframe)?;
+                                if v.is_null() {
+                                    continue 'combo;
+                                }
+                                key.push(v);
+                            }
+                            if let Some(matches) = table.get(&key) {
+                                for m in matches {
+                                    let mut c = combo.clone();
+                                    c.push(m.clone());
+                                    out.push(c);
+                                }
+                            }
                         }
-                        key.push(v);
-                    }
-                    if null_key {
-                        continue;
-                    }
-                    if let Some(matches) = table.get(&key) {
-                        for m in matches {
-                            let mut c = combo.clone();
-                            c.push(m.clone());
-                            next.push(c);
+                        Ok(out)
+                    })?;
+                    next = par;
+                    self.profile.merge(&scratch);
+                } else {
+                    // Scratch probe key, reused across combos instead of
+                    // allocated per probe row (this loop is the hottest
+                    // allocation site in the join path).
+                    let mut key: Vec<Value> = Vec::with_capacity(hash_preds.len());
+                    'probe_combo: for combo in &combos {
+                        let cframe = frame.extended(&bound, combo);
+                        key.clear();
+                        for (probe, _) in &hash_preds {
+                            let v = self.eval_expr(probe, &cframe)?;
+                            if v.is_null() {
+                                continue 'probe_combo;
+                            }
+                            key.push(v);
+                        }
+                        if let Some(matches) = table.get(&key) {
+                            for m in matches {
+                                let mut c = combo.clone();
+                                c.push(m.clone());
+                                next.push(c);
+                            }
                         }
                     }
                 }
@@ -736,15 +857,38 @@ impl<'a> Executor<'a> {
             if ready.is_empty() {
                 filtered = next;
             } else {
-                'row: for combo in next {
-                    let cframe = frame.extended(&bound, &combo);
-                    for &i in &ready {
-                        let v = self.eval_expr(&preds[i], &cframe)?;
-                        if !truth_of(&v).passes() {
-                            continue 'row;
+                let pure = ready.iter().all(|&i| parallel_safe(self.qgm, &preds[i]));
+                if self.threads > 1 && next.len() >= PARALLEL_THRESHOLD && pure {
+                    let preds = &preds;
+                    let ready = &ready;
+                    let bound_q: &[QuantId] = &bound;
+                    let (kept, scratch) = run_morsels(self.threads, &next, |morsel, _| {
+                        let mut out: Vec<Vec<Row>> = Vec::new();
+                        'row: for combo in morsel {
+                            let cframe = frame.extended(bound_q, combo);
+                            for &i in ready {
+                                let v = eval_pure(&preds[i], &cframe)?;
+                                if !truth_of(&v).passes() {
+                                    continue 'row;
+                                }
+                            }
+                            out.push(combo.clone());
                         }
+                        Ok(out)
+                    })?;
+                    filtered = kept;
+                    self.profile.merge(&scratch);
+                } else {
+                    'row: for combo in next {
+                        let cframe = frame.extended(&bound, &combo);
+                        for &i in &ready {
+                            let v = self.eval_expr(&preds[i], &cframe)?;
+                            if !truth_of(&v).passes() {
+                                continue 'row;
+                            }
+                        }
+                        filtered.push(combo);
                     }
-                    filtered.push(combo);
                 }
                 for &i in &ready {
                     applied[i] = true;
@@ -757,21 +901,51 @@ impl<'a> Executor<'a> {
         // Residual predicates: anything not yet applied (subquery
         // tests, purely-correlated predicates, ...).
         let residual: Vec<usize> = (0..preds.len()).filter(|&i| !applied[i]).collect();
-        let mut result: Vec<Row> = Vec::with_capacity(combos.len());
-        'combo: for combo in &combos {
-            let cframe = frame.extended(&bound, combo);
-            for &i in &residual {
-                let v = self.eval_expr(&preds[i], &cframe)?;
-                if !truth_of(&v).passes() {
-                    continue 'combo;
+        let pure = residual.iter().all(|&i| parallel_safe(self.qgm, &preds[i]))
+            && qb.columns.iter().all(|c| parallel_safe(self.qgm, &c.expr));
+        let mut result: Vec<Row>;
+        if self.threads > 1 && combos.len() >= PARALLEL_THRESHOLD && pure {
+            let preds = &preds;
+            let residual = &residual;
+            let columns = &qb.columns;
+            let bound_q: &[QuantId] = &bound;
+            let (rows, scratch) = run_morsels(self.threads, &combos, |morsel, _| {
+                let mut out: Vec<Row> = Vec::new();
+                'combo: for combo in morsel {
+                    let cframe = frame.extended(bound_q, combo);
+                    for &i in residual {
+                        let v = eval_pure(&preds[i], &cframe)?;
+                        if !truth_of(&v).passes() {
+                            continue 'combo;
+                        }
+                    }
+                    let mut vals = Vec::with_capacity(columns.len());
+                    for c in columns {
+                        vals.push(eval_pure(&c.expr, &cframe)?);
+                    }
+                    out.push(Row::new(vals));
                 }
+                Ok(out)
+            })?;
+            result = rows;
+            self.profile.merge(&scratch);
+        } else {
+            result = Vec::with_capacity(combos.len());
+            'combo: for combo in &combos {
+                let cframe = frame.extended(&bound, combo);
+                for &i in &residual {
+                    let v = self.eval_expr(&preds[i], &cframe)?;
+                    if !truth_of(&v).passes() {
+                        continue 'combo;
+                    }
+                }
+                // Project.
+                let mut out = Vec::with_capacity(qb.columns.len());
+                for c in &qb.columns {
+                    out.push(self.eval_expr(&c.expr, &cframe)?);
+                }
+                result.push(Row::new(out));
             }
-            // Project.
-            let mut out = Vec::with_capacity(qb.columns.len());
-            for c in &qb.columns {
-                out.push(self.eval_expr(&c.expr, &cframe)?);
-            }
-            result.push(Row::new(out));
         }
         self.profile.entry(b).rows_produced += result.len() as u64;
 
@@ -855,7 +1029,7 @@ impl<'a> Executor<'a> {
         let BoxKind::SetOp(spec) = qb.kind else {
             return Err(Error::internal("eval_setop on non-setop box"));
         };
-        let arm_rows: Vec<Rc<Vec<Row>>> = qb
+        let arm_rows: Vec<Arc<Vec<Row>>> = qb
             .quants
             .iter()
             .map(|&q| self.eval_box(self.qgm.quant(q).input, frame))
@@ -1165,6 +1339,131 @@ fn truth_to_value(t: Truth) -> Value {
         Truth::True => Value::Bool(true),
         Truth::False => Value::Bool(false),
         Truth::Unknown => Value::Null,
+    }
+}
+
+/// May `e` be evaluated inside a parallel region? Parallel workers
+/// have no access to the executor, so the expression must need nothing
+/// beyond frame lookups: no quantified subquery tests, no aggregates,
+/// and every column reference bound to a Foreach quantifier (a Scalar
+/// quantifier's column evaluates a subquery on demand; Existential and
+/// Universal quantifiers re-enter the executor through their tests).
+/// Anything unsafe falls back to the serial loop, which is always
+/// correct — this check only gates the optimization.
+fn parallel_safe(qgm: &Qgm, e: &ScalarExpr) -> bool {
+    let mut ok = true;
+    e.walk(&mut |x| match x {
+        ScalarExpr::Agg { .. } | ScalarExpr::Quantified { .. } => ok = false,
+        ScalarExpr::ColRef { quant, .. } if !qgm.quant(*quant).kind.is_foreach() => ok = false,
+        _ => {}
+    });
+    ok
+}
+
+/// Executor-free expression evaluation for the parallel loops. Exactly
+/// mirrors [`Executor::eval_expr`] on the pure subset admitted by
+/// [`parallel_safe`] — any divergence between the two would break the
+/// byte-identical determinism contract, which is why the determinism
+/// suite runs every benchmark query at several thread counts. Reaching
+/// an impure variant here is an engine bug, not a user error.
+fn eval_pure(e: &ScalarExpr, frame: &Frame<'_>) -> Result<Value> {
+    match e {
+        ScalarExpr::ColRef { quant, col } => frame
+            .lookup(*quant)
+            .map(|row| row.get(*col).clone())
+            .ok_or_else(|| Error::internal(format!("unbound quantifier {quant} in parallel loop"))),
+        ScalarExpr::Literal(v) => Ok(v.clone()),
+        ScalarExpr::Bin { op, left, right } => eval_bin_pure(*op, left, right, frame),
+        ScalarExpr::Neg(x) => {
+            let v = eval_pure(x, frame)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Value::Int(0).arith('-', &v)
+            }
+        }
+        ScalarExpr::Not(x) => {
+            let v = eval_pure(x, frame)?;
+            Ok(truth_to_value(truth_of(&v).not()))
+        }
+        ScalarExpr::IsNull { expr, negated } => {
+            let v = eval_pure(expr, frame)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_pure(expr, frame)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Err(Error::execution(format!("LIKE on non-string {other}"))),
+            }
+        }
+        ScalarExpr::Agg { .. } | ScalarExpr::Quantified { .. } => Err(Error::internal(
+            "impure expression reached a parallel loop".to_string(),
+        )),
+    }
+}
+
+fn eval_bin_pure(
+    op: BinOp,
+    left: &ScalarExpr,
+    right: &ScalarExpr,
+    frame: &Frame<'_>,
+) -> Result<Value> {
+    match op {
+        BinOp::And => {
+            let l = truth_of(&eval_pure(left, frame)?);
+            // Short circuit only on False (Unknown must still look
+            // right to distinguish False from Unknown).
+            if l == Truth::False {
+                return Ok(Value::Bool(false));
+            }
+            let r = truth_of(&eval_pure(right, frame)?);
+            Ok(truth_to_value(l.and(r)))
+        }
+        BinOp::Or => {
+            let l = truth_of(&eval_pure(left, frame)?);
+            if l == Truth::True {
+                return Ok(Value::Bool(true));
+            }
+            let r = truth_of(&eval_pure(right, frame)?);
+            Ok(truth_to_value(l.or(r)))
+        }
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let l = eval_pure(left, frame)?;
+            let r = eval_pure(right, frame)?;
+            let t = match op {
+                BinOp::Eq => l.sql_eq(&r),
+                BinOp::Neq => l.sql_eq(&r).not(),
+                _ => match l.sql_cmp(&r) {
+                    None => Truth::Unknown,
+                    Some(ord) => match op {
+                        BinOp::Lt => (ord == std::cmp::Ordering::Less).into(),
+                        BinOp::Le => (ord != std::cmp::Ordering::Greater).into(),
+                        BinOp::Gt => (ord == std::cmp::Ordering::Greater).into(),
+                        BinOp::Ge => (ord != std::cmp::Ordering::Less).into(),
+                        _ => unreachable!(),
+                    },
+                },
+            };
+            Ok(truth_to_value(t))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let l = eval_pure(left, frame)?;
+            let r = eval_pure(right, frame)?;
+            let ch = match op {
+                BinOp::Add => '+',
+                BinOp::Sub => '-',
+                BinOp::Mul => '*',
+                BinOp::Div => '/',
+                _ => unreachable!(),
+            };
+            l.arith(ch, &r)
+        }
     }
 }
 

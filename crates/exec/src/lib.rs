@@ -31,10 +31,12 @@ pub mod agg;
 pub mod executor;
 pub mod like;
 pub mod metrics;
+pub mod parallel;
 pub mod profile;
 
 pub use executor::{
-    execute, execute_profiled, execute_with_indexes, execute_with_metrics, Executor, IndexCache,
+    execute, execute_profiled, execute_with_indexes, execute_with_metrics, execute_with_options,
+    ExecOptions, Executor, IndexCache,
 };
 pub use metrics::Metrics;
 pub use profile::{BoxProfile, ExecProfile};

@@ -69,6 +69,23 @@ impl ExecProfile {
         self.boxes.get(&b).copied().unwrap_or_default()
     }
 
+    /// Fold another profile's counters into this one. The parallel
+    /// runner gives each worker a private scratch profile and merges
+    /// them once after the join — counters are commutative sums, so
+    /// the merged totals equal a serial run's regardless of how rows
+    /// were distributed across workers (no per-row locking anywhere).
+    pub fn merge(&mut self, other: &ExecProfile) {
+        for (b, p) in &other.boxes {
+            let e = self.entry(*b);
+            e.rows_scanned += p.rows_scanned;
+            e.rows_in += p.rows_in;
+            e.rows_produced += p.rows_produced;
+            e.rows_out += p.rows_out;
+            e.evals += p.evals;
+            e.elapsed += p.elapsed;
+        }
+    }
+
     /// The flat aggregate the benchmarks report: per-box counters
     /// summed back into the legacy [`Metrics`] triple.
     pub fn aggregate(&self) -> Metrics {
@@ -109,6 +126,36 @@ mod tests {
         assert_eq!(m.rows_produced, 5);
         assert_eq!(m.box_evals, 3);
         assert_eq!(m.work(), 15);
+    }
+
+    #[test]
+    fn merge_sums_counters_per_box() {
+        let mut a = ExecProfile::default();
+        a.entry(BoxId(1)).rows_scanned = 10;
+        a.entry(BoxId(1)).evals = 1;
+        let mut b = ExecProfile::default();
+        b.entry(BoxId(1)).rows_scanned = 5;
+        b.entry(BoxId(2)).rows_produced = 3;
+        b.entry(BoxId(2)).elapsed = Duration::from_nanos(7);
+        a.merge(&b);
+        assert_eq!(a.get(BoxId(1)).rows_scanned, 15);
+        assert_eq!(a.get(BoxId(1)).evals, 1);
+        assert_eq!(a.get(BoxId(2)).rows_produced, 3);
+        assert_eq!(a.get(BoxId(2)).elapsed, Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn merge_is_commutative_on_counters() {
+        let mut a = ExecProfile::default();
+        a.entry(BoxId(1)).rows_in = 4;
+        let mut b = ExecProfile::default();
+        b.entry(BoxId(1)).rows_in = 9;
+        b.entry(BoxId(3)).rows_out = 2;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
     }
 
     #[test]

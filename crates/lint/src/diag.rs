@@ -90,6 +90,12 @@ pub enum Code {
     /// (strata are assigned at build time and go stale as rewrites
     /// restructure the graph).
     L104StaleStratum,
+    /// A deposited join order references a parallel-unsafe quantifier:
+    /// a correlated existential/universal quantifier, whose evaluation
+    /// re-enters the executor per outer row. The parallel executor
+    /// refuses to parallelize loops touching such quantifiers; a join
+    /// order that names one pins the box to the serial path.
+    L110ParallelUnsafeJoinOrder,
 }
 
 impl Code {
@@ -117,6 +123,7 @@ impl Code {
         Code::L102UnusedOutputColumn,
         Code::L103JoinOrderForeignQuant,
         Code::L104StaleStratum,
+        Code::L110ParallelUnsafeJoinOrder,
     ];
 
     /// The stable "Lnnn" tag.
@@ -144,6 +151,7 @@ impl Code {
             Code::L102UnusedOutputColumn => "L102",
             Code::L103JoinOrderForeignQuant => "L103",
             Code::L104StaleStratum => "L104",
+            Code::L110ParallelUnsafeJoinOrder => "L110",
         }
     }
 
@@ -154,7 +162,8 @@ impl Code {
             | Code::L101OrphanQuant
             | Code::L102UnusedOutputColumn
             | Code::L103JoinOrderForeignQuant
-            | Code::L104StaleStratum => Severity::Warn,
+            | Code::L104StaleStratum
+            | Code::L110ParallelUnsafeJoinOrder => Severity::Warn,
             _ => Severity::Error,
         }
     }
@@ -184,6 +193,7 @@ impl Code {
             Code::L102UnusedOutputColumn => "output column never referenced",
             Code::L103JoinOrderForeignQuant => "join order entry foreign or non-Foreach",
             Code::L104StaleStratum => "stored stratum differs from recomputed",
+            Code::L110ParallelUnsafeJoinOrder => "join order names a correlated subquery quant",
         }
     }
 }

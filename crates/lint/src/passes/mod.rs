@@ -3,6 +3,7 @@
 pub mod duplicates;
 pub mod hygiene;
 pub mod magic;
+pub mod parallel;
 pub mod quantifiers;
 pub mod strata;
 pub mod structural;
