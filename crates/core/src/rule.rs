@@ -12,6 +12,8 @@ use starmagic_qgm::{
 };
 use starmagic_rewrite::{OpRegistry, RewriteRule, RuleContext};
 
+use starmagic_sql::BinOp;
+
 use crate::bindings::{adorn_quantifier, AdornResult, Binding};
 
 /// Memoized adorned copy: a child box copied for one adornment, the
@@ -202,7 +204,7 @@ impl EmstRule {
                 .enumerate()
                 .map(|(j, &(oq, oc))| Binding {
                     col: j,
-                    op: starmagic_sql::BinOp::Eq,
+                    op: BinOp::Eq,
                     other: ScalarExpr::col(oq, oc),
                     pred_index: 0,
                 })
@@ -420,7 +422,7 @@ impl EmstRule {
                 .iter()
                 .map(|&(cc, _)| Binding {
                     col: cc,
-                    op: starmagic_sql::BinOp::Eq,
+                    op: BinOp::Eq,
                     other: ScalarExpr::Literal(starmagic_common::Value::Null), // placeholder
                     pred_index: 0,
                 })
@@ -500,8 +502,10 @@ fn collect_decorrelatable_refs(
             }
         }
         for p in &qb.predicates {
+            let mut p_has_external = false;
             for qq in p.quantifiers() {
                 if is_external(qq) {
+                    p_has_external = true;
                     if *x == s && fquants.contains(&qq) {
                         // Eligible: record all column refs of qq in p.
                         p.walk(&mut |sub| {
@@ -516,9 +520,58 @@ fn collect_decorrelatable_refs(
                     }
                 }
             }
+            // The magic rewrite stores the binding value and filters
+            // the outer side with `mb = outer_col`, which is Unknown
+            // when the outer value is NULL. That only matches the
+            // original semantics if the predicate could never be True
+            // under a NULL binding — e.g. a correlation under OR can
+            // be satisfied by the other disjunct, and rewriting it
+            // would silently drop NULL-valued outer rows.
+            if p_has_external && *x == s && !strict_in_external(p, &is_external) {
+                ok = false;
+            }
         }
     }
     ok.then_some(refs)
+}
+
+/// Whether predicate `p` is *null-strict* in its external references:
+/// whenever any externally-referenced column evaluates to NULL, `p`
+/// must come out Unknown or False — never True. Conjuncts of
+/// comparisons (and LIKE) over NULL-propagating scalar operands
+/// qualify; anything routing an external reference through OR, NOT,
+/// IS NULL, or a nested quantified test does not (conservatively).
+fn strict_in_external(p: &ScalarExpr, is_external: &dyn Fn(QuantId) -> bool) -> bool {
+    let has_ext = |e: &ScalarExpr| e.quantifiers().into_iter().any(is_external);
+    if !has_ext(p) {
+        return true;
+    }
+    match p {
+        ScalarExpr::Bin { op, left, right } if *op == BinOp::And => {
+            strict_in_external(left, is_external) && strict_in_external(right, is_external)
+        }
+        ScalarExpr::Bin { op, left, right } if op.is_comparison() => {
+            (!has_ext(left) || null_propagating(left))
+                && (!has_ext(right) || null_propagating(right))
+        }
+        ScalarExpr::Like { expr, .. } => null_propagating(expr),
+        _ => false,
+    }
+}
+
+/// Whether a scalar expression is guaranteed NULL when any column it
+/// reads is NULL (column refs, literals, arithmetic, negation).
+fn null_propagating(e: &ScalarExpr) -> bool {
+    match e {
+        ScalarExpr::ColRef { .. } | ScalarExpr::Literal(_) => true,
+        ScalarExpr::Neg(inner) => null_propagating(inner),
+        ScalarExpr::Bin {
+            op: BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div,
+            left,
+            right,
+        } => null_propagating(left) && null_propagating(right),
+        _ => false,
+    }
 }
 
 /// A child is transformable when it is a regular, not-yet-adorned,

@@ -210,6 +210,11 @@ pub fn optimize(
     )?;
     g.garbage_collect(true);
     g.validate()?;
+    // EMST rewired quantifiers onto fresh magic/adorned boxes without
+    // renumbering; refresh the strata so phase 3's merges (which
+    // collapse those unassigned buffer boxes away) never expose a
+    // stale cross-stratum edge to the PerFire lint (L010).
+    strata::assign(&mut g);
     trace.finish(t);
     let phase2 = g.clone();
 

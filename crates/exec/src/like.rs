@@ -75,4 +75,56 @@ mod tests {
         assert!(like_match("aabbcc", "%a%b%c%"));
         assert!(!like_match("acb", "a%b%c"));
     }
+
+    #[test]
+    fn empty_pattern_matches_only_empty_text() {
+        assert!(like_match("", ""));
+        assert!(!like_match("a", ""));
+        assert!(!like_match(" ", ""));
+    }
+
+    #[test]
+    fn only_wildcard_patterns() {
+        assert!(like_match("", "%"));
+        assert!(like_match("", "%%%"));
+        assert!(like_match("anything", "%%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("x", "_"));
+        assert!(!like_match("xy", "_"));
+    }
+
+    #[test]
+    fn percent_underscore_adjacent() {
+        // `%_` and `_%` both mean "at least one character".
+        assert!(!like_match("", "%_"));
+        assert!(!like_match("", "_%"));
+        assert!(like_match("a", "%_"));
+        assert!(like_match("a", "_%"));
+        assert!(like_match("abc", "%_"));
+        assert!(like_match("abc", "_%"));
+        // `%__` needs at least two.
+        assert!(!like_match("a", "%__"));
+        assert!(like_match("ab", "%__"));
+        // Wildcards sandwiching a literal.
+        assert!(like_match("xay", "%_a_%"));
+        assert!(!like_match("ay", "%_a_%"));
+    }
+
+    #[test]
+    fn literal_percent_in_text() {
+        // There is no escape syntax: '%' in the text is an ordinary
+        // character for `_` and literal positions to consume.
+        assert!(like_match("50%", "50_"));
+        assert!(like_match("50%", "5%"));
+        assert!(!like_match("50%", "50"));
+        assert!(like_match("a%b", "a%b"));
+        assert!(like_match("%", "_"));
+    }
+
+    #[test]
+    fn unicode_counts_characters_not_bytes() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("日本語", "___"));
+        assert!(!like_match("日本語", "____"));
+    }
 }

@@ -1,0 +1,25 @@
+//! Triage tool for fuzzer divergences: run one SQL string through the
+//! cost-based pipeline against the fuzz engine with per-fire rewrite
+//! linting, and print either the chosen plan's costs or the full
+//! violation — rule name, box, pass, and the graphs before and after
+//! the offending fire.
+//!
+//!     cargo run --release -p starmagic-fuzz --example lint_one -- \
+//!         "SELECT DISTINCT t1.maxsal FROM deptsummary t1 WHERE t1.deptno = 0"
+
+fn main() {
+    let engine = starmagic_fuzz::fuzz_engine().expect("fuzz engine builds");
+    let sql = std::env::args().nth(1).expect("usage: lint_one \"<sql>\"");
+    let query = starmagic::sql::parse_query(&sql).expect("parse");
+    let opts = starmagic::PipelineOptions {
+        check: starmagic::rewrite::engine::CheckLevel::PerFire,
+        ..starmagic::PipelineOptions::default()
+    };
+    match starmagic::optimize(engine.catalog(), engine.registry(), &query, opts) {
+        Ok(o) => println!(
+            "no violation (chose_magic={}, cost {} vs {})",
+            o.chose_magic, o.cost_without_magic, o.cost_with_magic
+        ),
+        Err(e) => println!("{e}"),
+    }
+}

@@ -1,0 +1,102 @@
+//! Differential query fuzzer CLI.
+//!
+//! ```text
+//! starmagic-fuzz [--seed N] [--count N] [--budget-ms N]
+//!                [--corpus-dir PATH] [--threads a,b,...]
+//! ```
+//!
+//! Generates `count` seeded queries, runs each under Original /
+//! CostBased / Magic at every thread count, and compares results as
+//! bags. Divergences are minimized by the shrinker and printed (and,
+//! with `--corpus-dir`, persisted as replayable `.sql` repros). Exits
+//! nonzero if any divergence was found.
+
+use std::process::ExitCode;
+
+use starmagic_fuzz::{fuzz_engine, run_fuzz, FuzzConfig};
+
+fn main() -> ExitCode {
+    let mut cfg = FuzzConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => cfg.seed = parse(&take("--seed"), "--seed"),
+            "--count" => cfg.count = parse(&take("--count"), "--count"),
+            "--budget-ms" => cfg.budget_ms = parse(&take("--budget-ms"), "--budget-ms"),
+            "--corpus-dir" => cfg.corpus_dir = Some(take("--corpus-dir").into()),
+            "--threads" => {
+                cfg.threads = take("--threads")
+                    .split(',')
+                    .map(|t| parse(t.trim(), "--threads"))
+                    .collect();
+                if cfg.threads.is_empty() {
+                    die("--threads needs at least one count");
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "starmagic-fuzz: differential query fuzzer\n\n\
+                     options:\n  \
+                     --seed N          base seed (default 1)\n  \
+                     --count N         queries to generate (default 100)\n  \
+                     --budget-ms N     wall-clock budget, 0 = unlimited (default 0)\n  \
+                     --corpus-dir DIR  persist minimized repros as .sql files\n  \
+                     --threads a,b     executor thread counts (default 1,4)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown option {other} (try --help)")),
+        }
+    }
+
+    let engine = match fuzz_engine() {
+        Ok(e) => e,
+        Err(e) => die(&format!("engine setup failed: {e}")),
+    };
+    let started = std::time::Instant::now();
+    let report = run_fuzz(&engine, &cfg);
+    let elapsed = started.elapsed();
+
+    println!(
+        "fuzz: seed {}, {} generated in {:.1}s — {} agreed, {} rejected, {} divergence(s){}",
+        cfg.seed,
+        report.generated,
+        elapsed.as_secs_f64(),
+        report.agreed,
+        report.rejected,
+        report.repros.len(),
+        if report.out_of_budget {
+            " [budget exhausted]"
+        } else {
+            ""
+        },
+    );
+    for r in &report.repros {
+        println!("\ncase {} ({} vs {}):", r.case, r.left, r.right);
+        println!("  original:  {}", r.original_sql);
+        println!("  minimized: {}", r.minimized_sql);
+        println!("  {}", r.detail);
+        if let Some(p) = &r.path {
+            println!("  written to {}", p.display());
+        }
+    }
+    if report.repros.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("starmagic-fuzz: {msg}");
+    std::process::exit(2);
+}

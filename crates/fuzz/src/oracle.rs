@@ -1,0 +1,279 @@
+//! The differential oracle: three strategies × thread counts, results
+//! compared as bags.
+//!
+//! The three independent execution paths — Original (no EMST, so
+//! subqueries stay correlated and run tuple-at-a-time), Magic (EMST
+//! forced), and CostBased (the paper's heuristic, picking either) —
+//! must agree on every query, row for row, duplicate for duplicate.
+//! Each prepared plan additionally runs at every configured thread
+//! count, which the morsel-parallel executor promises is
+//! byte-identical to serial. The rewrite engine lints at
+//! [`CheckLevel::PerFire`] during every prepare, so a rule application
+//! that breaks a QGM invariant surfaces as a divergence too (the
+//! secondary oracle).
+
+use starmagic::{Engine, PipelineOptions};
+use starmagic_common::{Error, Row};
+use starmagic_rewrite::engine::CheckLevel;
+
+/// One execution configuration of the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    pub strategy: StrategyKind,
+    pub threads: usize,
+}
+
+impl std::fmt::Display for Config {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}×{}", self.strategy.name(), self.threads)
+    }
+}
+
+/// The strategy axis. A separate enum (rather than
+/// [`starmagic::Strategy`]) so the oracle controls the exact pipeline
+/// options, PerFire lint included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// EMST disabled: subqueries evaluate correlated.
+    Original,
+    /// The cost-based heuristic (may or may not choose EMST).
+    CostBased,
+    /// EMST forced.
+    Magic,
+}
+
+impl StrategyKind {
+    pub const ALL: [StrategyKind; 3] = [
+        StrategyKind::Original,
+        StrategyKind::CostBased,
+        StrategyKind::Magic,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Original => "original",
+            StrategyKind::CostBased => "cost",
+            StrategyKind::Magic => "magic",
+        }
+    }
+
+    fn options(self) -> PipelineOptions {
+        let base = PipelineOptions {
+            check: CheckLevel::PerFire,
+            trace: false,
+            ..PipelineOptions::default()
+        };
+        match self {
+            StrategyKind::Original => PipelineOptions {
+                enable_magic: false,
+                ..base
+            },
+            StrategyKind::CostBased => base,
+            StrategyKind::Magic => PipelineOptions {
+                force_magic: true,
+                ..base
+            },
+        }
+    }
+}
+
+/// What the oracle concluded about one query.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every configuration produced the same bag of rows.
+    Agree { rows: usize },
+    /// Every configuration failed identically with a user-level error
+    /// (the generator strayed outside the supported subset); not a
+    /// bug.
+    Rejected { reason: String },
+    /// Configurations disagreed — rows vs rows, rows vs error, error
+    /// vs different error — or some configuration hit an internal /
+    /// PerFire-lint error. Always a bug.
+    Diverged(Divergence),
+}
+
+impl Outcome {
+    pub fn is_divergence(&self) -> bool {
+        matches!(self, Outcome::Diverged(_))
+    }
+}
+
+/// A reproducible disagreement between two configurations.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The two configuration labels that disagree.
+    pub left: String,
+    pub right: String,
+    /// Human-readable explanation with a row-level diff.
+    pub detail: String,
+}
+
+/// The oracle over one engine. Thread counts beyond the first add
+/// extra executions of each prepared plan.
+pub struct Oracle<'a> {
+    engine: &'a Engine,
+    threads: Vec<usize>,
+}
+
+impl<'a> Oracle<'a> {
+    pub fn new(engine: &'a Engine, threads: Vec<usize>) -> Oracle<'a> {
+        assert!(!threads.is_empty());
+        Oracle { engine, threads }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Run `sql` under every configuration and classify.
+    pub fn check(&self, sql: &str) -> Outcome {
+        let mut runs: Vec<(Config, Result<Vec<Row>, Error>)> = Vec::new();
+        for strategy in StrategyKind::ALL {
+            match self.engine.prepare_with_options(sql, strategy.options()) {
+                Err(e) => {
+                    // A prepare failure applies to every thread count.
+                    for &threads in &self.threads {
+                        runs.push((Config { strategy, threads }, Err(e.clone())));
+                    }
+                }
+                Ok(mut prepared) => {
+                    for &threads in &self.threads {
+                        prepared.threads = threads;
+                        let rows = self.engine.execute_prepared(&prepared).map(|r| {
+                            let mut rows = r.rows;
+                            rows.sort_by(Row::group_cmp);
+                            rows
+                        });
+                        runs.push((Config { strategy, threads }, rows));
+                    }
+                }
+            }
+        }
+        classify(&runs)
+    }
+}
+
+fn classify(runs: &[(Config, Result<Vec<Row>, Error>)]) -> Outcome {
+    // Internal errors (and PerFire lint aborts, which surface as
+    // internal) are bugs no matter how uniform.
+    if let Some((cfg, Err(e))) = runs
+        .iter()
+        .find(|(_, r)| matches!(r, Err(Error::Internal(_))))
+    {
+        return Outcome::Diverged(Divergence {
+            left: cfg.to_string(),
+            right: cfg.to_string(),
+            detail: format!("internal error under {cfg}: {e}"),
+        });
+    }
+
+    let (base_cfg, base) = &runs[0];
+    match base {
+        Err(e) => {
+            // The baseline rejected the query; every other
+            // configuration must reject it the same way.
+            for (cfg, r) in &runs[1..] {
+                match r {
+                    Err(e2) if e2.to_string() == e.to_string() => {}
+                    Err(e2) => {
+                        return Outcome::Diverged(Divergence {
+                            left: base_cfg.to_string(),
+                            right: cfg.to_string(),
+                            detail: format!(
+                                "different errors: {base_cfg} says {e:?}, {cfg} says {e2:?}"
+                            ),
+                        })
+                    }
+                    Ok(rows) => {
+                        return Outcome::Diverged(Divergence {
+                            left: base_cfg.to_string(),
+                            right: cfg.to_string(),
+                            detail: format!(
+                                "{base_cfg} errors with {e:?} but {cfg} returns {} rows",
+                                rows.len()
+                            ),
+                        })
+                    }
+                }
+            }
+            Outcome::Rejected {
+                reason: e.to_string(),
+            }
+        }
+        Ok(base_rows) => {
+            for (cfg, r) in &runs[1..] {
+                match r {
+                    Err(e) => {
+                        return Outcome::Diverged(Divergence {
+                            left: base_cfg.to_string(),
+                            right: cfg.to_string(),
+                            detail: format!(
+                                "{base_cfg} returns {} rows but {cfg} errors with {e:?}",
+                                base_rows.len()
+                            ),
+                        })
+                    }
+                    Ok(rows) if rows != base_rows => {
+                        return Outcome::Diverged(Divergence {
+                            left: base_cfg.to_string(),
+                            right: cfg.to_string(),
+                            detail: bag_diff(base_cfg, base_rows, cfg, rows),
+                        })
+                    }
+                    Ok(_) => {}
+                }
+            }
+            Outcome::Agree {
+                rows: base_rows.len(),
+            }
+        }
+    }
+}
+
+/// Row-level diff of two sorted bags, capped for readability.
+fn bag_diff(la: &Config, a: &[Row], lb: &Config, b: &[Row]) -> String {
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].group_cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                only_a.push(&a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                only_b.push(&b[j]);
+                j += 1;
+            }
+        }
+    }
+    only_a.extend(&a[i..]);
+    only_b.extend(&b[j..]);
+
+    let mut s = format!("{la}: {} rows, {lb}: {} rows", a.len(), b.len());
+    let show = |s: &mut String, label: &Config, rows: &[&Row]| {
+        if rows.is_empty() {
+            return;
+        }
+        s.push_str(&format!("; only in {label}:"));
+        for r in rows.iter().take(5) {
+            s.push_str(&format!(" {}", row_text(r)));
+        }
+        if rows.len() > 5 {
+            s.push_str(&format!(" …(+{})", rows.len() - 5));
+        }
+    };
+    show(&mut s, la, &only_a);
+    show(&mut s, lb, &only_b);
+    s
+}
+
+/// Render a row compactly for diffs and repro headers.
+pub fn row_text(r: &Row) -> String {
+    let cells: Vec<String> = r.values().iter().map(|v| format!("{v}")).collect();
+    format!("[{}]", cells.join(", "))
+}

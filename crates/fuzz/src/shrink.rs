@@ -1,0 +1,623 @@
+//! Delta-debugging shrinker: greedily minimize an AST while a failure
+//! predicate keeps holding.
+//!
+//! [`reductions`] proposes one-step-smaller candidates (drop a
+//! conjunct, drop a select item, collapse a set operation to one arm,
+//! un-negate a predicate, shrink a literal toward zero, recurse into
+//! subqueries...). [`shrink`] tries them in order; the first candidate
+//! that still fails becomes the new current query and the search
+//! restarts from it. Every rewrite is one-way (toggles only flip
+//! true→false, literals only move toward zero), so the loop
+//! terminates without a size metric.
+//!
+//! Candidates don't need to be semantically valid: the caller's
+//! predicate re-runs the differential oracle, and a candidate the
+//! engine rejects simply doesn't reproduce the divergence.
+
+use starmagic_common::Value;
+use starmagic_sql::ast::{BinOp, Expr, Query, SelectBlock, SelectItem, SetExpr, TableRef};
+
+/// Greedy shrink loop. `still_fails` must be true for `start` itself;
+/// at most `max_checks` candidate evaluations are spent.
+pub fn shrink(
+    start: &Query,
+    mut still_fails: impl FnMut(&Query) -> bool,
+    max_checks: usize,
+) -> Query {
+    let mut cur = start.clone();
+    let mut checks = 0;
+    loop {
+        let mut reduced = false;
+        for cand in reductions(&cur) {
+            if checks >= max_checks {
+                return cur;
+            }
+            checks += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return cur;
+        }
+    }
+}
+
+/// All one-step reductions of a query, roughly biggest-cut first.
+pub fn reductions(q: &Query) -> Vec<Query> {
+    set_reductions(&q.body)
+        .into_iter()
+        .map(|body| Query { body })
+        .collect()
+}
+
+fn set_reductions(e: &SetExpr) -> Vec<SetExpr> {
+    match e {
+        SetExpr::Select(block) => block_reductions(block)
+            .into_iter()
+            .map(|b| SetExpr::Select(Box::new(b)))
+            .collect(),
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let mut out = vec![(**left).clone(), (**right).clone()];
+            if *all {
+                out.push(SetExpr::SetOp {
+                    op: *op,
+                    all: false,
+                    left: left.clone(),
+                    right: right.clone(),
+                });
+            }
+            for l in set_reductions(left) {
+                out.push(SetExpr::SetOp {
+                    op: *op,
+                    all: *all,
+                    left: Box::new(l),
+                    right: right.clone(),
+                });
+            }
+            for r in set_reductions(right) {
+                out.push(SetExpr::SetOp {
+                    op: *op,
+                    all: *all,
+                    left: left.clone(),
+                    right: Box::new(r),
+                });
+            }
+            out
+        }
+    }
+}
+
+/// Aliases a table reference binds (a join binds through both sides).
+fn bound_aliases(t: &TableRef, out: &mut Vec<String>) {
+    match t {
+        TableRef::Named { name, alias } => {
+            out.push(alias.clone().unwrap_or_else(|| name.clone()));
+        }
+        TableRef::Derived { alias, .. } => out.push(alias.clone()),
+        TableRef::LeftJoin { left, right, .. } => {
+            bound_aliases(left, out);
+            bound_aliases(right, out);
+        }
+    }
+}
+
+/// Does the expression reference any of these qualifiers?
+fn references(e: &Expr, aliases: &[String]) -> bool {
+    let hit = |q: &Option<String>| q.as_ref().is_some_and(|q| aliases.iter().any(|a| a == q));
+    match e {
+        Expr::Column { qualifier, .. } => hit(qualifier),
+        Expr::Literal(_) => false,
+        Expr::Binary { left, right, .. } => references(left, aliases) || references(right, aliases),
+        Expr::Neg(x) | Expr::Not(x) => references(x, aliases),
+        Expr::IsNull { expr, .. } => references(expr, aliases),
+        Expr::Between {
+            expr, low, high, ..
+        } => references(expr, aliases) || references(low, aliases) || references(high, aliases),
+        Expr::Like { expr, .. } => references(expr, aliases),
+        Expr::InList { expr, list, .. } => {
+            references(expr, aliases) || list.iter().any(|e| references(e, aliases))
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            references(expr, aliases) || query_references(query, aliases)
+        }
+        Expr::Exists { query, .. } => query_references(query, aliases),
+        Expr::QuantifiedCmp { expr, query, .. } => {
+            references(expr, aliases) || query_references(query, aliases)
+        }
+        Expr::ScalarSubquery(query) => query_references(query, aliases),
+        Expr::Agg { arg, .. } => arg.as_ref().is_some_and(|a| references(a, aliases)),
+    }
+}
+
+fn query_references(q: &Query, aliases: &[String]) -> bool {
+    fn walk(e: &SetExpr, aliases: &[String]) -> bool {
+        match e {
+            SetExpr::Select(b) => {
+                b.items.iter().any(|i| match i {
+                    SelectItem::Expr { expr, .. } => references(expr, aliases),
+                    SelectItem::QualifiedWildcard(q) => aliases.iter().any(|a| a == q),
+                    SelectItem::Wildcard => false,
+                }) || b
+                    .where_clause
+                    .as_ref()
+                    .is_some_and(|w| references(w, aliases))
+                    || b.group_by.iter().any(|g| references(g, aliases))
+                    || b.having.as_ref().is_some_and(|h| references(h, aliases))
+                    || b.from.iter().any(|t| match t {
+                        TableRef::Derived { query, .. } => query_references(query, aliases),
+                        TableRef::LeftJoin { on, .. } => references(on, aliases),
+                        TableRef::Named { .. } => false,
+                    })
+            }
+            SetExpr::SetOp { left, right, .. } => walk(left, aliases) || walk(right, aliases),
+        }
+    }
+    walk(&q.body, aliases)
+}
+
+/// Split a conjunction into its top-level AND conjuncts.
+fn conjuncts(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = conjuncts(left);
+            out.extend(conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn rejoin(mut parts: Vec<Expr>) -> Option<Expr> {
+    let first = if parts.is_empty() {
+        return None;
+    } else {
+        parts.remove(0)
+    };
+    Some(
+        parts
+            .into_iter()
+            .fold(first, |acc, p| Expr::bin(BinOp::And, acc, p)),
+    )
+}
+
+#[allow(clippy::too_many_lines)]
+fn block_reductions(b: &SelectBlock) -> Vec<SelectBlock> {
+    let mut out = Vec::new();
+
+    // Drop a FROM table along with everything that references it.
+    if b.from.len() > 1 {
+        for i in 0..b.from.len() {
+            let mut nb = b.clone();
+            let dropped = nb.from.remove(i);
+            let mut aliases = Vec::new();
+            bound_aliases(&dropped, &mut aliases);
+            nb.items.retain(|it| match it {
+                SelectItem::Expr { expr, .. } => !references(expr, &aliases),
+                SelectItem::QualifiedWildcard(q) => !aliases.iter().any(|a| a == q),
+                SelectItem::Wildcard => true,
+            });
+            if nb.items.is_empty() {
+                nb.items.push(SelectItem::Expr {
+                    expr: Expr::Literal(Value::Int(1)),
+                    alias: None,
+                });
+            }
+            nb.where_clause = nb.where_clause.and_then(|w| {
+                rejoin(
+                    conjuncts(&w)
+                        .into_iter()
+                        .filter(|c| !references(c, &aliases))
+                        .collect(),
+                )
+            });
+            nb.group_by.retain(|g| !references(g, &aliases));
+            if nb.having.as_ref().is_some_and(|h| references(h, &aliases)) {
+                nb.having = None;
+            }
+            out.push(nb);
+        }
+    }
+
+    // Flatten a LEFT JOIN: keep only its left side, or turn it into a
+    // comma join with the ON condition moved to WHERE.
+    for i in 0..b.from.len() {
+        if let TableRef::LeftJoin { left, right, on } = &b.from[i] {
+            let mut keep_left = b.clone();
+            keep_left.from[i] = (**left).clone();
+            let mut aliases = Vec::new();
+            bound_aliases(right, &mut aliases);
+            keep_left.items.retain(|it| match it {
+                SelectItem::Expr { expr, .. } => !references(expr, &aliases),
+                SelectItem::QualifiedWildcard(q) => !aliases.iter().any(|a| a == q),
+                SelectItem::Wildcard => true,
+            });
+            if keep_left.items.is_empty() {
+                keep_left.items.push(SelectItem::Expr {
+                    expr: Expr::Literal(Value::Int(1)),
+                    alias: None,
+                });
+            }
+            keep_left.where_clause = keep_left.where_clause.and_then(|w| {
+                rejoin(
+                    conjuncts(&w)
+                        .into_iter()
+                        .filter(|c| !references(c, &aliases))
+                        .collect(),
+                )
+            });
+            keep_left.group_by.retain(|g| !references(g, &aliases));
+            if keep_left
+                .having
+                .as_ref()
+                .is_some_and(|h| references(h, &aliases))
+            {
+                keep_left.having = None;
+            }
+            out.push(keep_left);
+
+            let mut comma = b.clone();
+            comma.from[i] = (**left).clone();
+            comma.from.insert(i + 1, (**right).clone());
+            let mut parts = vec![on.clone()];
+            if let Some(w) = &comma.where_clause {
+                parts.extend(conjuncts(w));
+            }
+            comma.where_clause = rejoin(parts);
+            out.push(comma);
+        }
+    }
+
+    // Inline reductions of derived tables' inner queries.
+    for i in 0..b.from.len() {
+        if let TableRef::Derived { query, alias } = &b.from[i] {
+            for rq in reductions(query) {
+                let mut nb = b.clone();
+                nb.from[i] = TableRef::Derived {
+                    query: rq,
+                    alias: alias.clone(),
+                };
+                out.push(nb);
+            }
+        }
+    }
+
+    // WHERE: drop entirely, drop one conjunct, or reduce in place.
+    if let Some(w) = &b.where_clause {
+        let mut nb = b.clone();
+        nb.where_clause = None;
+        out.push(nb);
+        let parts = conjuncts(w);
+        if parts.len() > 1 {
+            for i in 0..parts.len() {
+                let mut rest = parts.clone();
+                rest.remove(i);
+                let mut nb = b.clone();
+                nb.where_clause = rejoin(rest);
+                out.push(nb);
+            }
+        }
+        for r in expr_reductions(w) {
+            let mut nb = b.clone();
+            nb.where_clause = Some(r);
+            out.push(nb);
+        }
+    }
+
+    // HAVING: drop or reduce.
+    if let Some(h) = &b.having {
+        let mut nb = b.clone();
+        nb.having = None;
+        out.push(nb);
+        for r in expr_reductions(h) {
+            let mut nb = b.clone();
+            nb.having = Some(r);
+            out.push(nb);
+        }
+    }
+
+    // Ungroup: drop GROUP BY + HAVING + aggregate items in one step.
+    if !b.group_by.is_empty() {
+        let mut nb = b.clone();
+        nb.group_by.clear();
+        nb.having = None;
+        nb.items.retain(|it| match it {
+            SelectItem::Expr { expr, .. } => !expr.contains_aggregate(),
+            _ => true,
+        });
+        if !nb.items.is_empty() {
+            out.push(nb);
+        }
+        if b.group_by.len() > 1 {
+            for i in 0..b.group_by.len() {
+                let mut nb = b.clone();
+                nb.group_by.remove(i);
+                out.push(nb);
+            }
+        }
+    }
+
+    if b.distinct {
+        let mut nb = b.clone();
+        nb.distinct = false;
+        out.push(nb);
+    }
+
+    // Select list: drop an item, reduce an item.
+    if b.items.len() > 1 {
+        for i in 0..b.items.len() {
+            let mut nb = b.clone();
+            nb.items.remove(i);
+            out.push(nb);
+        }
+    }
+    for (i, item) in b.items.iter().enumerate() {
+        if let SelectItem::Expr { expr, alias } = item {
+            for r in expr_reductions(expr) {
+                let mut nb = b.clone();
+                nb.items[i] = SelectItem::Expr {
+                    expr: r,
+                    alias: alias.clone(),
+                };
+                out.push(nb);
+            }
+        }
+    }
+
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn expr_reductions(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Binary {
+            op: BinOp::And | BinOp::Or,
+            left,
+            right,
+        } => {
+            out.push((**left).clone());
+            out.push((**right).clone());
+            let op = match e {
+                Expr::Binary { op, .. } => *op,
+                _ => unreachable!(),
+            };
+            for l in expr_reductions(left) {
+                out.push(Expr::bin(op, l, (**right).clone()));
+            }
+            for r in expr_reductions(right) {
+                out.push(Expr::bin(op, (**left).clone(), r));
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            for l in expr_reductions(left) {
+                out.push(Expr::bin(*op, l, (**right).clone()));
+            }
+            for r in expr_reductions(right) {
+                out.push(Expr::bin(*op, (**left).clone(), r));
+            }
+        }
+        Expr::Not(inner) => {
+            out.push((**inner).clone());
+            for r in expr_reductions(inner) {
+                out.push(Expr::Not(Box::new(r)));
+            }
+        }
+        Expr::Neg(inner) => {
+            out.push((**inner).clone());
+        }
+        Expr::Literal(Value::Int(n)) if *n != 0 => {
+            out.push(Expr::Literal(Value::Int(0)));
+            if n.abs() > 1 {
+                out.push(Expr::Literal(Value::Int(n / 2)));
+            }
+        }
+        Expr::Literal(Value::Double(d)) if *d != 0.0 => {
+            out.push(Expr::Literal(Value::Double(0.0)));
+        }
+        Expr::Literal(Value::Str(s)) if !s.is_empty() => {
+            out.push(Expr::Literal(Value::str("")));
+        }
+        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::IsNull { expr, negated } => {
+            if *negated {
+                out.push(Expr::IsNull {
+                    expr: expr.clone(),
+                    negated: false,
+                });
+            }
+            for r in expr_reductions(expr) {
+                out.push(Expr::IsNull {
+                    expr: Box::new(r),
+                    negated: *negated,
+                });
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            out.push(Expr::bin(BinOp::Ge, (**expr).clone(), (**low).clone()));
+            out.push(Expr::bin(BinOp::Le, (**expr).clone(), (**high).clone()));
+            if *negated {
+                out.push(Expr::Between {
+                    expr: expr.clone(),
+                    low: low.clone(),
+                    high: high.clone(),
+                    negated: false,
+                });
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            if *negated {
+                out.push(Expr::Like {
+                    expr: expr.clone(),
+                    pattern: pattern.clone(),
+                    negated: false,
+                });
+            }
+            if pattern != "%" {
+                out.push(Expr::Like {
+                    expr: expr.clone(),
+                    pattern: "%".into(),
+                    negated: *negated,
+                });
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            if list.len() > 1 {
+                for i in 0..list.len() {
+                    let mut nl = list.clone();
+                    nl.remove(i);
+                    out.push(Expr::InList {
+                        expr: expr.clone(),
+                        list: nl,
+                        negated: *negated,
+                    });
+                }
+            }
+            if *negated {
+                out.push(Expr::InList {
+                    expr: expr.clone(),
+                    list: list.clone(),
+                    negated: false,
+                });
+            }
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
+            if *negated {
+                out.push(Expr::InSubquery {
+                    expr: expr.clone(),
+                    query: query.clone(),
+                    negated: false,
+                });
+            }
+            for rq in reductions(query) {
+                out.push(Expr::InSubquery {
+                    expr: expr.clone(),
+                    query: Box::new(rq),
+                    negated: *negated,
+                });
+            }
+        }
+        Expr::Exists { query, negated } => {
+            if *negated {
+                out.push(Expr::Exists {
+                    query: query.clone(),
+                    negated: false,
+                });
+            }
+            for rq in reductions(query) {
+                out.push(Expr::Exists {
+                    query: Box::new(rq),
+                    negated: *negated,
+                });
+            }
+        }
+        Expr::QuantifiedCmp {
+            expr,
+            op,
+            quantifier,
+            query,
+        } => {
+            for rq in reductions(query) {
+                out.push(Expr::QuantifiedCmp {
+                    expr: expr.clone(),
+                    op: *op,
+                    quantifier: *quantifier,
+                    query: Box::new(rq),
+                });
+            }
+        }
+        Expr::ScalarSubquery(query) => {
+            for rq in reductions(query) {
+                out.push(Expr::ScalarSubquery(Box::new(rq)));
+            }
+        }
+        Expr::Agg {
+            func,
+            distinct,
+            arg,
+        } => {
+            if *distinct {
+                out.push(Expr::Agg {
+                    func: *func,
+                    distinct: false,
+                    arg: arg.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starmagic_sql::{parse_query, query_sql};
+
+    /// A synthetic failure predicate: "the query still contains a LIKE
+    /// anywhere". The shrinker should strip everything else.
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        fn has_like(q: &Query) -> bool {
+            query_sql(q).contains("LIKE")
+        }
+        let q = parse_query(
+            "SELECT DISTINCT e.empno, e.salary + 3, d.deptname FROM employee e, department d \
+             WHERE e.workdept = d.deptno AND e.empname LIKE 'a%' AND e.salary > 10000 \
+             AND EXISTS (SELECT 1 FROM project p WHERE p.deptno = d.deptno)",
+        )
+        .unwrap();
+        assert!(has_like(&q));
+        let small = shrink(&q, has_like, 10_000);
+        let sql = query_sql(&small);
+        assert!(sql.contains("LIKE"), "lost the failing core: {sql}");
+        assert!(!sql.contains("EXISTS"), "EXISTS should shrink away: {sql}");
+        assert!(
+            !sql.contains("DISTINCT"),
+            "DISTINCT should shrink away: {sql}"
+        );
+        assert!(sql.len() < 80, "not minimal enough: {sql}");
+    }
+
+    #[test]
+    fn reductions_only_shrink_or_hold_size() {
+        let q = parse_query(
+            "SELECT a FROM t WHERE x IN (1, 2, NULL) AND y NOT BETWEEN 1 AND 5 \
+             UNION ALL SELECT b FROM u GROUP BY b HAVING COUNT(*) > 2",
+        )
+        .unwrap();
+        // Every candidate must itself be printable (the shrink loop
+        // feeds candidates straight to the oracle as SQL).
+        for cand in reductions(&q) {
+            let sql = query_sql(&cand);
+            assert!(parse_query(&sql).is_ok(), "unprintable reduction: {sql}");
+        }
+    }
+}

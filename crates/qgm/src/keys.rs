@@ -9,7 +9,8 @@
 //! * a base table is duplicate-free on its declared primary key;
 //! * a select box joining duplicate-free inputs has, as a key, the
 //!   union of one key per Foreach quantifier (E/A/scalar quantifiers
-//!   never multiply rows);
+//!   never multiply rows); a key member equated to another column by a
+//!   top-level join conjunct may map through that column instead;
 //! * a group-by box is keyed by its group columns;
 //! * a non-ALL set operation is keyed by the whole row;
 //! * a box with `DistinctMode::Enforce`/`Preserve` is keyed by the
@@ -18,6 +19,7 @@
 use std::collections::BTreeSet;
 
 use starmagic_catalog::Catalog;
+use starmagic_sql::BinOp;
 
 use crate::boxes::{BoxKind, DistinctMode, QuantKind};
 use crate::expr::ScalarExpr;
@@ -27,6 +29,10 @@ use crate::ids::BoxId;
 /// Maximum number of candidate keys tracked per box, to bound the
 /// combinatorial growth across joins.
 const MAX_KEYS: usize = 4;
+
+/// One Foreach quantifier's candidate keys: the quant id plus keys
+/// expressed over (quant id, input column) pairs.
+type QuantKeys = (u32, Vec<BTreeSet<(u32, usize)>>);
 
 /// Candidate keys of a box's *output*, as sets of output-column
 /// offsets. The empty set is a valid key (at most one row, e.g. a
@@ -75,9 +81,15 @@ fn keys_inner(
         }
         BoxKind::GroupBy(g) => {
             // Output columns are group keys first, then aggregates; the
-            // group keys are a key of the output. Zero group keys ⇒
-            // single-row output ⇒ the empty set is a key.
-            keys.push((0..g.group_keys.len()).collect());
+            // group keys are a key of the output. Keys pinned to a
+            // constant in the input drop out. Zero (non-constant) group
+            // keys ⇒ single-row output ⇒ the empty set is a key.
+            let const_keys = const_group_keys(qgm, b, g, visiting);
+            keys.push(
+                (0..g.group_keys.len())
+                    .filter(|i| !const_keys.contains(i))
+                    .collect(),
+            );
         }
         BoxKind::SetOp(s) => {
             if !s.all {
@@ -93,8 +105,20 @@ fn keys_inner(
                 .copied()
                 .filter(|&q| qgm.quant(q).kind == QuantKind::Foreach)
                 .collect();
+            // Equality classes and constant columns from the box's
+            // top-level conjuncts (plain selects only — an outer
+            // join's NULL-padded rows are not filtered by its
+            // predicate): a key member may map through any equivalent
+            // column, and a constant member drops out of the key.
+            let (eq_classes, const_cols) = if matches!(qb.kind, BoxKind::Select) {
+                let eq = select_eq_classes(qgm, b);
+                let cc = select_const_cols(qgm, b, &eq, visiting);
+                (eq, cc)
+            } else {
+                (Vec::new(), BTreeSet::new())
+            };
             // Per-quant candidate keys expressed as (quant, input col).
-            let mut per_quant: Vec<Vec<BTreeSet<(u32, usize)>>> = Vec::new();
+            let mut per_quant: Vec<QuantKeys> = Vec::new();
             let mut all_have_keys = true;
             for &q in &fquants {
                 let input = qgm.quant(q).input;
@@ -103,53 +127,132 @@ fn keys_inner(
                     all_have_keys = false;
                     break;
                 }
-                per_quant.push(
+                per_quant.push((
+                    q.0,
                     input_keys
                         .into_iter()
                         .map(|k| k.into_iter().map(|c| (q.0, c)).collect())
                         .collect(),
-                );
+                ));
             }
             if all_have_keys {
-                // Cartesian combination, truncated to MAX_KEYS.
-                let mut combos: Vec<BTreeSet<(u32, usize)>> = vec![BTreeSet::new()];
-                for options in &per_quant {
-                    let mut next = Vec::new();
-                    for base in &combos {
-                        for opt in options {
-                            let mut merged = base.clone();
-                            merged.extend(opt.iter().copied());
-                            next.push(merged);
+                let n = per_quant.len();
+                // A subset R of the Foreach quants keys the join alone
+                // when every quant outside R is transitively *pinned*
+                // by R: some key of it is entirely equated to columns
+                // of quants already accounted for, so it joins at most
+                // one row per valuation of R (the magic-join shape —
+                // the magic table's whole-row key is equated to the
+                // adorned subquery's binding columns).
+                let covers = |r: &[usize]| -> bool {
+                    let mut have: Vec<u32> = r.iter().map(|&i| per_quant[i].0).collect();
+                    let mut todo: Vec<usize> = (0..n).filter(|i| !r.contains(i)).collect();
+                    loop {
+                        let pos = todo.iter().position(|&i| {
+                            let (qi, qkeys) = &per_quant[i];
+                            qkeys.iter().any(|k| {
+                                k.iter().all(|member| {
+                                    const_cols.contains(member)
+                                        || eq_classes.iter().any(|cls| {
+                                            cls.contains(member)
+                                                && cls
+                                                    .iter()
+                                                    .any(|(q2, _)| q2 != qi && have.contains(q2))
+                                        })
+                                })
+                            })
+                        });
+                        match pos {
+                            Some(p) => {
+                                have.push(per_quant[todo[p]].0);
+                                todo.remove(p);
+                            }
+                            None => break,
+                        }
+                    }
+                    todo.is_empty()
+                };
+                // Smallest subsets first so minimal keys surface before
+                // the MAX_KEYS truncation; past 8 quants only the full
+                // set is tried (no pinning, the pre-equivalence rule).
+                let subsets: Vec<Vec<usize>> = if n <= 8 {
+                    let mut all: Vec<Vec<usize>> = (0u32..(1 << n))
+                        .map(|mask| (0..n).filter(|i| mask >> i & 1 == 1).collect())
+                        .collect();
+                    all.sort_by_key(Vec::len);
+                    all
+                } else {
+                    vec![(0..n).collect()]
+                };
+                for r in subsets {
+                    if !covers(&r) {
+                        continue;
+                    }
+                    // Cartesian combination, truncated to MAX_KEYS.
+                    let mut combos: Vec<BTreeSet<(u32, usize)>> = vec![BTreeSet::new()];
+                    for &i in &r {
+                        let mut next = Vec::new();
+                        for base in &combos {
+                            for opt in &per_quant[i].1 {
+                                let mut merged = base.clone();
+                                merged.extend(opt.iter().copied());
+                                next.push(merged);
+                                if next.len() >= MAX_KEYS {
+                                    break;
+                                }
+                            }
                             if next.len() >= MAX_KEYS {
                                 break;
                             }
                         }
-                        if next.len() >= MAX_KEYS {
-                            break;
-                        }
+                        combos = next;
                     }
-                    combos = next;
-                }
-                // Map each combo through the output columns: every
-                // (quant, col) member must appear as a plain ColRef.
-                'combo: for combo in combos {
-                    let mut offsets = BTreeSet::new();
-                    for (q, c) in &combo {
-                        let found = qb.columns.iter().position(|oc| {
-                            matches!(
-                                &oc.expr,
-                                ScalarExpr::ColRef { quant, col }
-                                    if quant.0 == *q && col == c
-                            )
-                        });
-                        match found {
-                            Some(off) => {
-                                offsets.insert(off);
+                    // Map each combo through the output columns: every
+                    // (quant, col) member must appear as a plain ColRef
+                    // — or as one of its equivalents. Members with
+                    // several images fan out into several keys.
+                    'combo: for combo in combos {
+                        let mut offset_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new()];
+                        for (q, c) in &combo {
+                            let member = (*q, *c);
+                            if const_cols.contains(&member) {
+                                continue;
                             }
-                            None => continue 'combo,
+                            let class = eq_classes.iter().find(|s| s.contains(&member));
+                            let images: Vec<usize> = qb
+                                .columns
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(off, oc)| {
+                                    let ScalarExpr::ColRef { quant, col } = &oc.expr else {
+                                        return None;
+                                    };
+                                    let out = (quant.0, *col);
+                                    (out == member || class.is_some_and(|s| s.contains(&out)))
+                                        .then_some(off)
+                                })
+                                .collect();
+                            if images.is_empty() {
+                                continue 'combo;
+                            }
+                            let mut next = Vec::new();
+                            for base in &offset_sets {
+                                for &img in &images {
+                                    let mut merged = base.clone();
+                                    merged.insert(img);
+                                    next.push(merged);
+                                    if next.len() >= MAX_KEYS {
+                                        break;
+                                    }
+                                }
+                                if next.len() >= MAX_KEYS {
+                                    break;
+                                }
+                            }
+                            offset_sets = next;
                         }
+                        keys.extend(offset_sets);
                     }
-                    keys.push(offsets);
                 }
             }
         }
@@ -174,6 +277,179 @@ fn keys_inner(
         }
     }
     minimal
+}
+
+/// Foreach quantifier ids of a box — the only quants whose predicates
+/// act as plain row filters (conjuncts touching E/A quants carry
+/// quantified semantics instead).
+fn foreach_ids(qgm: &Qgm, b: BoxId) -> BTreeSet<u32> {
+    qgm.boxed(b)
+        .quants
+        .iter()
+        .copied()
+        .filter(|&q| qgm.quant(q).kind == QuantKind::Foreach)
+        .map(|q| q.0)
+        .collect()
+}
+
+/// Column-equivalence classes from a select box's top-level `a = b`
+/// conjuncts between Foreach columns: a surviving row has both sides
+/// equal and non-NULL.
+fn select_eq_classes(qgm: &Qgm, b: BoxId) -> Vec<BTreeSet<(u32, usize)>> {
+    let fset = foreach_ids(qgm, b);
+    let mut classes: Vec<BTreeSet<(u32, usize)>> = Vec::new();
+    for p in &qgm.boxed(b).predicates {
+        let ScalarExpr::Bin {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = p
+        else {
+            continue;
+        };
+        let (ScalarExpr::ColRef { quant: ql, col: cl }, ScalarExpr::ColRef { quant: qr, col: cr }) =
+            (&**left, &**right)
+        else {
+            continue;
+        };
+        if !fset.contains(&ql.0) || !fset.contains(&qr.0) {
+            continue;
+        }
+        let a = (ql.0, *cl);
+        let bb = (qr.0, *cr);
+        let ia = classes.iter().position(|s| s.contains(&a));
+        let ib = classes.iter().position(|s| s.contains(&bb));
+        match (ia, ib) {
+            (Some(i), Some(j)) if i != j => {
+                let merged = classes.swap_remove(i.max(j));
+                classes[i.min(j)].extend(merged);
+            }
+            (Some(_), Some(_)) => {}
+            (Some(i), None) => {
+                classes[i].insert(bb);
+            }
+            (None, Some(j)) => {
+                classes[j].insert(a);
+            }
+            (None, None) => {
+                classes.push([a, bb].into_iter().collect());
+            }
+        }
+    }
+    classes
+}
+
+/// (quant, col) pairs of a select box provably constant across all
+/// surviving rows: equated to a literal by a top-level conjunct,
+/// constant in the quantifier's input, or equality-connected to either.
+/// Constant columns never contribute multiplicity, so they drop out of
+/// candidate keys.
+fn select_const_cols(
+    qgm: &Qgm,
+    b: BoxId,
+    eq_classes: &[BTreeSet<(u32, usize)>],
+    visiting: &mut BTreeSet<BoxId>,
+) -> BTreeSet<(u32, usize)> {
+    let qb = qgm.boxed(b);
+    let fset = foreach_ids(qgm, b);
+    let mut consts: BTreeSet<(u32, usize)> = BTreeSet::new();
+    for p in &qb.predicates {
+        let ScalarExpr::Bin {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = p
+        else {
+            continue;
+        };
+        let col = match (&**left, &**right) {
+            (ScalarExpr::ColRef { quant, col }, ScalarExpr::Literal(_))
+            | (ScalarExpr::Literal(_), ScalarExpr::ColRef { quant, col }) => (quant.0, *col),
+            _ => continue,
+        };
+        if fset.contains(&col.0) {
+            consts.insert(col);
+        }
+    }
+    for &q in &qb.quants {
+        if qgm.quant(q).kind != QuantKind::Foreach {
+            continue;
+        }
+        for c in const_outputs(qgm, qgm.quant(q).input, visiting) {
+            consts.insert((q.0, c));
+        }
+    }
+    for cls in eq_classes {
+        if cls.iter().any(|m| consts.contains(m)) {
+            consts.extend(cls.iter().copied());
+        }
+    }
+    consts
+}
+
+/// Output-column offsets of a box provably holding the same value in
+/// every row. Conservative: only selects and group-bys propagate
+/// constancy (an outer join NULL-pads, a set op mixes arms).
+fn const_outputs(qgm: &Qgm, b: BoxId, visiting: &mut BTreeSet<BoxId>) -> BTreeSet<usize> {
+    if !visiting.insert(b) {
+        return BTreeSet::new();
+    }
+    let qb = qgm.boxed(b);
+    let mut out = BTreeSet::new();
+    match &qb.kind {
+        BoxKind::BaseTable { .. } | BoxKind::SetOp(_) | BoxKind::OuterJoin(_) => {}
+        BoxKind::GroupBy(g) => {
+            out = const_group_keys(qgm, b, g, visiting);
+        }
+        BoxKind::Select => {
+            let eq = select_eq_classes(qgm, b);
+            let consts = select_const_cols(qgm, b, &eq, visiting);
+            for (i, oc) in qb.columns.iter().enumerate() {
+                if expr_const(&oc.expr, &consts) {
+                    out.insert(i);
+                }
+            }
+        }
+    }
+    visiting.remove(&b);
+    out
+}
+
+/// Group-key output offsets whose grouping expression is constant in
+/// the input — every group shares that value, and with *all* group
+/// keys constant there is at most one group.
+fn const_group_keys(
+    qgm: &Qgm,
+    b: BoxId,
+    g: &crate::boxes::GroupByBox,
+    visiting: &mut BTreeSet<BoxId>,
+) -> BTreeSet<usize> {
+    let qb = qgm.boxed(b);
+    let mut consts: BTreeSet<(u32, usize)> = BTreeSet::new();
+    for &q in &qb.quants {
+        if qgm.quant(q).kind != QuantKind::Foreach {
+            continue;
+        }
+        for c in const_outputs(qgm, qgm.quant(q).input, visiting) {
+            consts.insert((q.0, c));
+        }
+    }
+    g.group_keys
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| expr_const(k, &consts))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Whether an output/grouping expression is a literal or a reference to
+/// a provably-constant column.
+fn expr_const(e: &ScalarExpr, consts: &BTreeSet<(u32, usize)>) -> bool {
+    match e {
+        ScalarExpr::Literal(_) => true,
+        ScalarExpr::ColRef { quant, col } => consts.contains(&(quant.0, *col)),
+        _ => false,
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +616,100 @@ mod tests {
         assert!(is_dup_free(&g, &cat, j));
         // Dropping one side's key breaks it.
         g.boxed_mut(j).columns.pop();
+        assert!(!is_dup_free(&g, &cat, j));
+    }
+
+    #[test]
+    fn equijoin_substitutes_unprojected_key_member() {
+        // The magic-join shape after `extend_with_union`: m ranges over
+        // a whole-row-keyed magic union, joins `m.deptno = g.deptno`,
+        // and only g's column is projected. The conjunct makes the two
+        // columns interchangeable, so the output is still keyed.
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let j = g.add_box("J", BoxKind::Select);
+        let qa = g.add_quant(j, d, QuantKind::Foreach, "m");
+        let qb = g.add_quant(j, d, QuantKind::Foreach, "g");
+        g.boxed_mut(j).predicates = vec![ScalarExpr::eq(
+            ScalarExpr::col(qa, 0),
+            ScalarExpr::col(qb, 0),
+        )];
+        g.boxed_mut(j).columns = vec![OutputCol {
+            name: "deptno".into(),
+            expr: ScalarExpr::col(qb, 0),
+        }];
+        assert!(is_dup_free(&g, &cat, j), "m.deptno maps through g.deptno");
+        // Without the conjunct the combo member has no image.
+        g.boxed_mut(j).predicates.clear();
+        assert!(!is_dup_free(&g, &cat, j));
+    }
+
+    #[test]
+    fn pinned_quant_is_dropped_from_join_key() {
+        // sm := a ⋈ b on a.deptno = b.deptno, projecting both sides of
+        // the equality — keyed by either column alone.
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let sm = g.add_box("SM", BoxKind::Select);
+        let qa = g.add_quant(sm, d, QuantKind::Foreach, "a");
+        let qb = g.add_quant(sm, d, QuantKind::Foreach, "b");
+        g.boxed_mut(sm).predicates = vec![ScalarExpr::eq(
+            ScalarExpr::col(qa, 0),
+            ScalarExpr::col(qb, 0),
+        )];
+        g.boxed_mut(sm).columns = vec![
+            OutputCol {
+                name: "w".into(),
+                expr: ScalarExpr::col(qa, 0),
+            },
+            OutputCol {
+                name: "d".into(),
+                expr: ScalarExpr::col(qb, 0),
+            },
+        ];
+        let keys = output_keys(&g, &cat, sm);
+        assert!(keys.contains(&[0usize].into_iter().collect()));
+        assert!(keys.contains(&[1usize].into_iter().collect()));
+        // j := sm ⋈ t on sm.w = t.deptno, projecting only sm.d. The t
+        // quant's whole key is pinned to sm.w, so it joins at most one
+        // row per sm row and drops out; sm's `d` key carries through
+        // even though the pinning column is not projected.
+        let j = g.add_box("J", BoxKind::Select);
+        let qsm = g.add_quant(j, sm, QuantKind::Foreach, "sm");
+        let qt = g.add_quant(j, d, QuantKind::Foreach, "t");
+        g.boxed_mut(j).predicates = vec![ScalarExpr::eq(
+            ScalarExpr::col(qsm, 0),
+            ScalarExpr::col(qt, 0),
+        )];
+        g.boxed_mut(j).columns = vec![OutputCol {
+            name: "c0".into(),
+            expr: ScalarExpr::col(qsm, 1),
+        }];
+        assert!(is_dup_free(&g, &cat, j), "pinned t drops from the key");
+    }
+
+    #[test]
+    fn constant_bound_key_member_drops_out() {
+        // a.deptno = 0 pins a to at most one row, so b's key alone
+        // keys the join even though a.deptno is not projected.
+        let cat = catalog();
+        let mut g = Qgm::new();
+        let d = base_box(&mut g, "dept", &["deptno", "deptname"]);
+        let j = g.add_box("J", BoxKind::Select);
+        let qa = g.add_quant(j, d, QuantKind::Foreach, "a");
+        let qb = g.add_quant(j, d, QuantKind::Foreach, "b");
+        g.boxed_mut(j).predicates = vec![ScalarExpr::eq(
+            ScalarExpr::col(qa, 0),
+            ScalarExpr::lit(0i64),
+        )];
+        g.boxed_mut(j).columns = vec![OutputCol {
+            name: "b_no".into(),
+            expr: ScalarExpr::col(qb, 0),
+        }];
+        assert!(is_dup_free(&g, &cat, j));
+        g.boxed_mut(j).predicates.clear();
         assert!(!is_dup_free(&g, &cat, j));
     }
 

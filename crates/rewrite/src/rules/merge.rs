@@ -119,8 +119,13 @@ fn merge_child(qgm: &mut Qgm, b: BoxId, q: QuantId) {
         .collect();
     qgm.substitute_quant_global(q, &col_exprs);
 
-    // Move the child's predicates up.
-    let child_preds = std::mem::take(&mut qgm.boxed_mut(c).predicates);
+    // Move the child's predicates up, and drop its deposited join
+    // order: the quantifiers it names now live in `b`, and leaving the
+    // stale order behind turns into a dead-quantifier reference (L009)
+    // the moment a later rewrite removes one of them.
+    let cb = qgm.boxed_mut(c);
+    let child_preds = std::mem::take(&mut cb.predicates);
+    cb.join_order = None;
     qgm.boxed_mut(b).predicates.extend(child_preds);
 
     // If the child was provably duplicate-free, nothing else to carry:
@@ -134,7 +139,7 @@ fn merge_child(qgm: &mut Qgm, b: BoxId, q: QuantId) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::RewriteEngine;
+    use crate::engine::{CheckLevel, RewriteEngine};
     use crate::props::OpRegistry;
     use starmagic_catalog::{generator, Catalog, ViewDef};
     use starmagic_qgm::build_qgm;
@@ -283,6 +288,83 @@ mod tests {
             .collect();
         assert!(inputs.contains(&"TABLE"));
         assert!(inputs.contains(&"GROUPBY"));
+    }
+
+    #[test]
+    fn merge_clears_consumed_child_join_order() {
+        let cat = catalog();
+        let mut g = build_qgm(
+            &cat,
+            &starmagic_sql::parse_query("SELECT workdept FROM mgrsal WHERE salary > 50000")
+                .unwrap(),
+        )
+        .unwrap();
+        // The planner deposited orders before this merge runs (as in
+        // pipeline phase 3).
+        for b in g.box_ids() {
+            let foreach: Vec<_> = g
+                .boxed(b)
+                .quants
+                .iter()
+                .copied()
+                .filter(|&q| g.quant(q).kind.is_foreach())
+                .collect();
+            if !foreach.is_empty() {
+                g.boxed_mut(b).join_order = Some(foreach);
+            }
+        }
+        let view = g
+            .box_ids()
+            .into_iter()
+            .find(|&b| g.boxed(b).name == "MGRSAL")
+            .unwrap();
+        let reg = OpRegistry::new();
+        RewriteEngine::default()
+            .run(&mut g, &cat, &reg, &[&Merge])
+            .unwrap();
+        // No GC yet: the dissolved view box is still in the arena and
+        // must not keep its stale order (its quantifiers moved up).
+        assert!(g.boxed(view).quants.is_empty());
+        assert_eq!(g.boxed(view).join_order, None);
+    }
+
+    #[test]
+    fn transitive_merge_with_deposited_orders_survives_perfire_lint() {
+        // Regression for the fuzzer-found L009: merging a view chain
+        // leaves the middle box's stale join order naming a quantifier
+        // the next merge removes. PerFire linting must stay clean.
+        let mut cat = catalog();
+        cat.add_view(ViewDef {
+            name: "mgrdept".into(),
+            columns: vec!["workdept".into()],
+            body_sql: "SELECT workdept FROM mgrsal WHERE salary > 0".into(),
+            recursive: false,
+        })
+        .unwrap();
+        let mut g = build_qgm(
+            &cat,
+            &starmagic_sql::parse_query("SELECT workdept FROM mgrdept").unwrap(),
+        )
+        .unwrap();
+        for b in g.box_ids() {
+            let foreach: Vec<_> = g
+                .boxed(b)
+                .quants
+                .iter()
+                .copied()
+                .filter(|&q| g.quant(q).kind.is_foreach())
+                .collect();
+            if !foreach.is_empty() {
+                g.boxed_mut(b).join_order = Some(foreach);
+            }
+        }
+        let reg = OpRegistry::new();
+        RewriteEngine::with_check(CheckLevel::PerFire)
+            .run(&mut g, &cat, &reg, &[&Merge])
+            .unwrap();
+        g.garbage_collect(false);
+        g.validate().unwrap();
+        assert_eq!(g.box_count(), 3);
     }
 
     #[test]

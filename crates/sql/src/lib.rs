@@ -8,7 +8,9 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod printer;
 pub mod token;
 
 pub use ast::*;
 pub use parser::{parse_query, parse_statement};
+pub use printer::{expr_sql, query_sql, statement_sql};

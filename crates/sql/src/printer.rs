@@ -1,0 +1,540 @@
+//! Render an AST back to SQL text.
+//!
+//! The printer is the inverse of the parser: for every AST the parser
+//! can produce, `parse_query(&query_sql(q))` yields `q` again. The
+//! fuzzer's shrinker depends on this — it mutates ASTs and persists
+//! minimized repros as plain SQL — so the rendering is deliberately
+//! conservative: aliases always carry `AS`, `NOT` always parenthesizes
+//! its operand, and parentheses are inserted wherever the grammar's
+//! precedence ladder (OR < AND < NOT < predicate < additive <
+//! multiplicative < unary) would otherwise reassociate the tree.
+//!
+//! Two lossy corners, by design:
+//!
+//! * negative numeric literals print as `-n`, which re-parses as
+//!   `Neg(n)` — semantically identical, structurally one node bigger;
+//! * doubles with no fractional part print with a trailing `.0` so the
+//!   lexer keeps them doubles.
+
+use std::fmt::Write as _;
+
+use starmagic_common::{DataType, Value};
+
+use crate::ast::{Expr, Query, SelectItem, SetExpr, SetOpKind, Statement, TableRef};
+
+/// Precedence of an expression as the parser's ladder sees it. Higher
+/// binds tighter; a child printed in a slot that requires a minimum
+/// precedence gets parenthesized when it falls below it.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => match op {
+            crate::ast::BinOp::Or => 1,
+            crate::ast::BinOp::And => 2,
+            crate::ast::BinOp::Eq
+            | crate::ast::BinOp::Neq
+            | crate::ast::BinOp::Lt
+            | crate::ast::BinOp::Le
+            | crate::ast::BinOp::Gt
+            | crate::ast::BinOp::Ge => 4,
+            crate::ast::BinOp::Add | crate::ast::BinOp::Sub => 5,
+            crate::ast::BinOp::Mul | crate::ast::BinOp::Div => 6,
+        },
+        Expr::Not(_) => 3,
+        Expr::IsNull { .. }
+        | Expr::Between { .. }
+        | Expr::Like { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Exists { .. }
+        | Expr::QuantifiedCmp { .. } => 4,
+        Expr::Neg(_) => 7,
+        Expr::Column { .. } | Expr::Literal(_) | Expr::ScalarSubquery(_) | Expr::Agg { .. } => 8,
+    }
+}
+
+/// Render a statement (terminating `;` not included).
+pub fn statement_sql(st: &Statement) -> String {
+    match st {
+        Statement::Query(q) => query_sql(q),
+        Statement::CreateView {
+            name,
+            columns,
+            query,
+            recursive,
+        } => {
+            let mut s = String::from("CREATE ");
+            if *recursive {
+                s.push_str("RECURSIVE ");
+            }
+            let _ = write!(s, "VIEW {name}");
+            if !columns.is_empty() {
+                let _ = write!(s, " ({})", columns.join(", "));
+            }
+            let _ = write!(s, " AS {}", query_sql(query));
+            s
+        }
+        Statement::CreateTable { name, columns, key } => {
+            let mut s = format!("CREATE TABLE {name} (");
+            for (i, (col, ty)) in columns.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let ty = match ty {
+                    DataType::Int => "INTEGER",
+                    DataType::Double => "DOUBLE",
+                    DataType::Str => "VARCHAR",
+                    DataType::Bool => "BOOLEAN",
+                };
+                let _ = write!(s, "{col} {ty}");
+            }
+            if !key.is_empty() {
+                let _ = write!(s, ", PRIMARY KEY ({})", key.join(", "));
+            }
+            s.push(')');
+            s
+        }
+        Statement::Insert { table, rows } => {
+            let mut s = format!("INSERT INTO {table} VALUES ");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push('(');
+                for (j, e) in row.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    write_expr(&mut s, e, 5);
+                }
+                s.push(')');
+            }
+            s
+        }
+    }
+}
+
+/// Render a query.
+pub fn query_sql(q: &Query) -> String {
+    let mut s = String::new();
+    write_set_expr(&mut s, &q.body, 1);
+    s
+}
+
+/// Render a standalone expression (useful in diagnostics).
+pub fn expr_sql(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 1);
+    s
+}
+
+/// Set-expression precedence: UNION/EXCEPT (1) bind looser than
+/// INTERSECT (2); a plain block is atomic (3).
+fn set_prec(e: &SetExpr) -> u8 {
+    match e {
+        SetExpr::SetOp {
+            op: SetOpKind::Union | SetOpKind::Except,
+            ..
+        } => 1,
+        SetExpr::SetOp {
+            op: SetOpKind::Intersect,
+            ..
+        } => 2,
+        SetExpr::Select(_) => 3,
+    }
+}
+
+fn write_set_expr(out: &mut String, e: &SetExpr, min: u8) {
+    if set_prec(e) < min {
+        out.push('(');
+        write_set_expr(out, e, 1);
+        out.push(')');
+        return;
+    }
+    match e {
+        SetExpr::Select(block) => {
+            out.push_str("SELECT ");
+            if block.distinct {
+                out.push_str("DISTINCT ");
+            }
+            for (i, item) in block.items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match item {
+                    SelectItem::Wildcard => out.push('*'),
+                    SelectItem::QualifiedWildcard(q) => {
+                        let _ = write!(out, "{q}.*");
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        write_expr(out, expr, 1);
+                        if let Some(a) = alias {
+                            let _ = write!(out, " AS {a}");
+                        }
+                    }
+                }
+            }
+            out.push_str(" FROM ");
+            for (i, t) in block.from.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_table_ref(out, t);
+            }
+            if let Some(w) = &block.where_clause {
+                out.push_str(" WHERE ");
+                write_expr(out, w, 1);
+            }
+            if !block.group_by.is_empty() {
+                out.push_str(" GROUP BY ");
+                for (i, g) in block.group_by.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, g, 1);
+                }
+            }
+            if let Some(h) = &block.having {
+                out.push_str(" HAVING ");
+                write_expr(out, h, 1);
+            }
+        }
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let my = set_prec(e);
+            // Left-associative: the left child may sit at this level,
+            // the right child must bind tighter.
+            write_set_expr(out, left, my);
+            let kw = match op {
+                SetOpKind::Union => "UNION",
+                SetOpKind::Except => "EXCEPT",
+                SetOpKind::Intersect => "INTERSECT",
+            };
+            let _ = write!(out, " {kw}{}", if *all { " ALL " } else { " " });
+            write_set_expr(out, right, my + 1);
+        }
+    }
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef) {
+    match t {
+        TableRef::Named { name, alias } => {
+            out.push_str(name);
+            if let Some(a) = alias {
+                let _ = write!(out, " AS {a}");
+            }
+        }
+        TableRef::Derived { query, alias } => {
+            let _ = write!(out, "({}) AS {alias}", query_sql(query));
+        }
+        TableRef::LeftJoin { left, right, on } => {
+            // The grammar is left-deep: the right side must be a
+            // primary reference (the parser cannot re-read a join
+            // there), which the generator and shrinker respect.
+            write_table_ref(out, left);
+            out.push_str(" LEFT JOIN ");
+            write_table_ref(out, right);
+            out.push_str(" ON ");
+            write_expr(out, on, 1);
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("NULL"),
+        Value::Bool(true) => out.push_str("TRUE"),
+        Value::Bool(false) => out.push_str("FALSE"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Double(d) => {
+            if d.fract() == 0.0 && d.is_finite() && d.abs() < 1e15 {
+                let _ = write!(out, "{d:.1}");
+            } else {
+                let _ = write!(out, "{d}");
+            }
+        }
+        Value::Str(s) => {
+            out.push('\'');
+            for ch in s.chars() {
+                if ch == '\'' {
+                    out.push('\'');
+                }
+                out.push(ch);
+            }
+            out.push('\'');
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn write_expr(out: &mut String, e: &Expr, min: u8) {
+    if prec(e) < min {
+        out.push('(');
+        write_expr(out, e, 1);
+        out.push(')');
+        return;
+    }
+    match e {
+        Expr::Column { qualifier, name } => {
+            if let Some(q) = qualifier {
+                let _ = write!(out, "{q}.");
+            }
+            out.push_str(name);
+        }
+        Expr::Literal(v) => write_value(out, v),
+        Expr::Binary { op, left, right } => {
+            let (lmin, rmin) = match op {
+                crate::ast::BinOp::Or => (1, 2),
+                crate::ast::BinOp::And => (2, 3),
+                // Comparisons are non-associative with additive
+                // operands on both sides.
+                crate::ast::BinOp::Eq
+                | crate::ast::BinOp::Neq
+                | crate::ast::BinOp::Lt
+                | crate::ast::BinOp::Le
+                | crate::ast::BinOp::Gt
+                | crate::ast::BinOp::Ge => (5, 5),
+                crate::ast::BinOp::Add | crate::ast::BinOp::Sub => (5, 6),
+                crate::ast::BinOp::Mul | crate::ast::BinOp::Div => (6, 7),
+            };
+            write_expr(out, left, lmin);
+            let _ = write!(out, " {} ", op.sql());
+            write_expr(out, right, rmin);
+        }
+        // Always parenthesized: avoids every NOT edge case (`NOT
+        // EXISTS` re-parsing as a negated Exists node, NOT binding
+        // over AND, ...).
+        Expr::Not(inner) => {
+            out.push_str("NOT (");
+            write_expr(out, inner, 1);
+            out.push(')');
+        }
+        Expr::Neg(inner) => {
+            out.push('-');
+            write_expr(out, inner, 7);
+        }
+        Expr::IsNull { expr, negated } => {
+            write_expr(out, expr, 5);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            write_expr(out, expr, 5);
+            out.push_str(if *negated {
+                " NOT BETWEEN "
+            } else {
+                " BETWEEN "
+            });
+            write_expr(out, low, 5);
+            out.push_str(" AND ");
+            // The grammar reads the high bound at additive level, so
+            // an AND/OR there would terminate BETWEEN early.
+            write_expr(out, high, 5);
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            write_expr(out, expr, 5);
+            out.push_str(if *negated { " NOT LIKE " } else { " LIKE " });
+            write_value(out, &Value::str(pattern.clone()));
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            write_expr(out, expr, 5);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 5);
+            }
+            out.push(')');
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
+            write_expr(out, expr, 5);
+            let _ = write!(
+                out,
+                "{} ({})",
+                if *negated { " NOT IN" } else { " IN" },
+                query_sql(query)
+            );
+        }
+        Expr::Exists { query, negated } => {
+            let _ = write!(
+                out,
+                "{}EXISTS ({})",
+                if *negated { "NOT " } else { "" },
+                query_sql(query)
+            );
+        }
+        Expr::QuantifiedCmp {
+            expr,
+            op,
+            quantifier,
+            query,
+        } => {
+            write_expr(out, expr, 5);
+            let q = match quantifier {
+                crate::ast::Quantified::Any => "ANY",
+                crate::ast::Quantified::All => "ALL",
+            };
+            let _ = write!(out, " {} {q} ({})", op.sql(), query_sql(query));
+        }
+        Expr::ScalarSubquery(query) => {
+            let _ = write!(out, "({})", query_sql(query));
+        }
+        Expr::Agg {
+            func,
+            distinct,
+            arg,
+        } => {
+            let _ = write!(out, "{}(", func.sql());
+            match arg {
+                None => out.push('*'),
+                Some(a) => {
+                    if *distinct {
+                        out.push_str("DISTINCT ");
+                    }
+                    write_expr(out, a, 1);
+                }
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    /// Parse, print, and assert the reprint parses to the same AST.
+    fn round_trip(sql: &str) -> String {
+        let q1 = parse_query(sql).expect("original parses");
+        let text = query_sql(&q1);
+        let q2 = parse_query(&text).unwrap_or_else(|e| panic!("reprint {text:?} fails: {e}"));
+        assert_eq!(q1, q2, "round trip changed the AST for {text:?}");
+        text
+    }
+
+    #[test]
+    fn plain_select() {
+        round_trip("SELECT empno, salary FROM employee WHERE salary > 100");
+        round_trip("SELECT DISTINCT e.empno FROM employee AS e, department d");
+        round_trip("SELECT * FROM employee");
+        round_trip("SELECT e.* FROM employee e");
+    }
+
+    #[test]
+    fn precedence_is_preserved() {
+        round_trip("SELECT a FROM t WHERE x = 1 AND (y = 2 OR z = 3)");
+        round_trip("SELECT a FROM t WHERE (x = 1 AND y = 2) OR z = 3");
+        round_trip("SELECT a FROM t WHERE NOT (x = 1 OR y = 2)");
+        round_trip("SELECT a + b * c FROM t");
+        round_trip("SELECT (a + b) * c FROM t");
+        round_trip("SELECT a - (b - c) FROM t");
+        round_trip("SELECT a FROM t WHERE -x < 3");
+    }
+
+    #[test]
+    fn predicates_round_trip() {
+        round_trip("SELECT a FROM t WHERE x IS NULL AND y IS NOT NULL");
+        round_trip("SELECT a FROM t WHERE x BETWEEN 1 AND 10");
+        round_trip("SELECT a FROM t WHERE x NOT BETWEEN 1 + 2 AND 10");
+        round_trip("SELECT a FROM t WHERE name LIKE 'a%_b'");
+        round_trip("SELECT a FROM t WHERE name NOT LIKE '100%'");
+        round_trip("SELECT a FROM t WHERE x IN (1, 2, 3)");
+        round_trip("SELECT a FROM t WHERE x NOT IN (SELECT y FROM u)");
+        round_trip("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.a)");
+        round_trip("SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)");
+        round_trip("SELECT a FROM t WHERE x > ANY (SELECT y FROM u)");
+        round_trip("SELECT a FROM t WHERE x <> ALL (SELECT y FROM u)");
+        round_trip("SELECT a, (SELECT MAX(y) FROM u) FROM t");
+    }
+
+    #[test]
+    fn like_pattern_requoting() {
+        let q = parse_query("SELECT a FROM t WHERE name LIKE 'it''s %'").unwrap();
+        let text = query_sql(&q);
+        assert!(text.contains("'it''s %'"), "got {text}");
+        round_trip("SELECT a FROM t WHERE name LIKE 'it''s %'");
+        round_trip("SELECT 'o''brien' FROM t");
+    }
+
+    #[test]
+    fn group_having_aggregates() {
+        round_trip("SELECT d, SUM(s) AS total FROM t GROUP BY d HAVING SUM(s) > 10");
+        round_trip("SELECT d, COUNT(*) FROM t GROUP BY d");
+        round_trip("SELECT COUNT(DISTINCT x) FROM t");
+        round_trip("SELECT AVG(salary + bonus) FROM employee");
+    }
+
+    #[test]
+    fn set_operations() {
+        round_trip("SELECT a FROM t UNION SELECT b FROM u");
+        round_trip("SELECT a FROM t UNION ALL SELECT b FROM u EXCEPT SELECT c FROM v");
+        round_trip("SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v");
+        round_trip("(SELECT a FROM t UNION SELECT b FROM u) INTERSECT SELECT c FROM v");
+        round_trip("SELECT a FROM t EXCEPT ALL (SELECT b FROM u EXCEPT SELECT c FROM v)");
+        round_trip("SELECT a FROM t INTERSECT ALL SELECT b FROM u");
+    }
+
+    #[test]
+    fn joins_and_derived_tables() {
+        round_trip(
+            "SELECT e.empno FROM employee e LEFT JOIN department d ON e.workdept = d.deptno",
+        );
+        round_trip("SELECT x.n FROM (SELECT empno AS n FROM employee) AS x");
+        round_trip(
+            "SELECT e.empno FROM employee e LEFT OUTER JOIN department d ON e.workdept = d.deptno \
+             LEFT JOIN project p ON p.deptno = d.deptno",
+        );
+    }
+
+    #[test]
+    fn literals() {
+        round_trip("SELECT 1, 2.5, 'x', NULL, TRUE, FALSE FROM t");
+        // A whole double must keep its decimal point.
+        let q = parse_query("SELECT 2.0 FROM t").unwrap();
+        assert!(query_sql(&q).contains("2.0"));
+        round_trip("SELECT 2.0 FROM t");
+    }
+
+    #[test]
+    fn statements_print() {
+        let st = crate::parse_statement("CREATE VIEW v (a, b) AS SELECT x, y FROM t").unwrap();
+        assert_eq!(
+            statement_sql(&st),
+            "CREATE VIEW v (a, b) AS SELECT x, y FROM t"
+        );
+        let st = crate::parse_statement("CREATE TABLE t (a INTEGER, b VARCHAR, PRIMARY KEY (a))")
+            .unwrap();
+        assert_eq!(
+            statement_sql(&st),
+            "CREATE TABLE t (a INTEGER, b VARCHAR, PRIMARY KEY (a))"
+        );
+        let st = crate::parse_statement("INSERT INTO t VALUES (1, 'x'), (2, NULL)").unwrap();
+        assert_eq!(
+            statement_sql(&st),
+            "INSERT INTO t VALUES (1, 'x'), (2, NULL)"
+        );
+    }
+}

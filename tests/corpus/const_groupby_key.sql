@@ -1,0 +1,6 @@
+-- Minimized by starmagic-fuzz (seed 9). Predicate pushdown moved
+-- `workdept = 0` below the group-by; proving the view still has at
+-- most one row needs constancy to propagate through the grouping keys
+-- (all group keys constant => at most one group), or the earlier
+-- Preserve claim becomes unprovable (L030).
+SELECT DISTINCT t1.maxsal AS c0 FROM deptsummary AS t1 WHERE t1.deptno = 0

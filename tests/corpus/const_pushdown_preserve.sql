@@ -1,0 +1,5 @@
+-- Minimized by starmagic-fuzz (seed 7). Before EMST fired, the
+-- constant magic box proved the adorned view at-most-one-row and a
+-- Preserve claim was recorded; after the union extension the proof
+-- needed `t4.deptno = 0` to pin the key member to a constant (L030).
+SELECT 0 FROM deptavgsal AS t1, deptsummary AS t2 WHERE t1.workdept = t2.deptno AND t1.headcount IN (25) EXCEPT SELECT DISTINCT '' AS c0 FROM deptsummary AS t4 WHERE t4.deptno = 0

@@ -1,0 +1,4 @@
+-- Minimized by starmagic-fuzz (seed 3). Same family as
+-- const_groupby_key.sql but with the distinct output fed by an
+-- arithmetic expression, exercising the L030 re-proof after pushdown.
+SELECT DISTINCT t1.avgsal + 0 AS c0 FROM deptsummary AS t1 WHERE t1.deptno = 0

@@ -1,0 +1,8 @@
+-- Minimized by starmagic-fuzz (seed 3). EMST decorrelated a subquery
+-- whose correlation sat under an OR; the added magic join test
+-- `mb = outer_col` is Unknown for NULL outer values while the original
+-- EXISTS could still be true via the other disjunct, so the magic
+-- strategy silently dropped NULL-workdept employees (wrong results).
+-- Decorrelation is now gated on null-strictness of the correlated
+-- predicates.
+SELECT t1.empno AS c0 FROM employee AS t1 WHERE EXISTS (SELECT 0 FROM employee AS t4 WHERE t4.workdept = t1.workdept OR t4.empname IN (SELECT t5.empname FROM mgrsal AS t5))

@@ -1,0 +1,4 @@
+-- Minimized by starmagic-fuzz. EXCEPT over two join arms, one
+-- DISTINCT: bag-minus arithmetic must agree after each strategy's
+-- rewrite of the arms.
+SELECT t1.workdept AS c0, t2.cnt AS c1 FROM mgrsal AS t1, projcount AS t2 EXCEPT SELECT DISTINCT t4.deptno AS c0, t5.deptno AS c1 FROM department AS t4, projcount AS t5 WHERE t4.deptno = t5.deptno

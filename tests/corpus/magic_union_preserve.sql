@@ -1,0 +1,6 @@
+-- Minimized by starmagic-fuzz (seed 14). A second user of a memoized
+-- adorned copy grows the magic box into a dup-free UNION; the key
+-- prover then needed the join equality `m.mc0 = t2.workdept` to map
+-- the magic table's key through the projected group key, or the
+-- downstream Preserve claim became unprovable (L030).
+SELECT DISTINCT t1.workdept AS c1 FROM toppay AS t1 WHERE t1.workdept = 0 AND t1.workdept IN (SELECT t2.deptno FROM deptsummary AS t2)

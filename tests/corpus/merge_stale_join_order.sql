@@ -1,0 +1,5 @@
+-- Minimized by starmagic-fuzz (seed 11). The merge rule dissolved a
+-- view box but left its deposited join order behind; once a later
+-- merge removed one of the moved quantifiers the stale order named a
+-- dead quantifier (L009) and PerFire linting aborted optimization.
+SELECT t3.salary AS c1 FROM mgrsal AS t3 WHERE t3.empno = 0 AND EXISTS (SELECT 0 FROM mgrsal AS t4)

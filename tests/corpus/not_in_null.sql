@@ -1,0 +1,5 @@
+-- Hand-written. NOT IN against a subquery that can produce NULLs:
+-- three-valued logic makes the whole predicate Unknown whenever the
+-- list contains a NULL and no exact match exists, so NULL-workdept
+-- employees must not leak through under any strategy.
+SELECT t1.empno AS c0 FROM employee AS t1 WHERE t1.workdept NOT IN (SELECT t2.workdept FROM employee AS t2 WHERE t2.salary > 90000)

@@ -1,0 +1,5 @@
+-- Hand-written. EXCEPT ALL where both arms carry duplicated NULL
+-- group keys: set-op grouping must treat NULL = NULL when pairing
+-- rows for bag subtraction, and the NULL survivors' multiplicities
+-- must come out exact.
+SELECT t1.workdept AS c0 FROM employee AS t1 EXCEPT ALL SELECT t2.workdept AS c0 FROM employee AS t2 WHERE t2.salary > 60000

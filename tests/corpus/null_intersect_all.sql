@@ -1,0 +1,3 @@
+-- Hand-written. INTERSECT ALL with NULL rows on both sides: the
+-- min-multiplicity rule must count NULL keys like any other value.
+SELECT t1.workdept AS c0 FROM employee AS t1 INTERSECT ALL SELECT t2.workdept AS c0 FROM mgrsal AS t2

@@ -1,0 +1,4 @@
+-- Minimized by starmagic-fuzz. A correlated `>= ANY` subquery whose
+-- DISTINCT inner block is decorrelated through a magic join; replayed
+-- to keep the quantified-comparison path honest across strategies.
+SELECT t3.deptno AS c2 FROM toppay AS t2, deptsummary AS t3 WHERE t2.workdept >= ANY (SELECT DISTINCT t4.workdept FROM deptavgsal AS t4 WHERE t4.workdept = t2.workdept)

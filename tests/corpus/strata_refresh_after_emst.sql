@@ -1,0 +1,6 @@
+-- Minimized by starmagic-fuzz (seed 11). EMST rewires quantifiers
+-- onto fresh magic/adorned boxes without renumbering strata; phase 3's
+-- merges then collapsed an unassigned buffer box and exposed a stale
+-- cross-stratum edge (L010) until the pipeline refreshed strata after
+-- phase 2.
+SELECT t3.workdept AS c1 FROM avgmgrsal AS t3 WHERE EXISTS (SELECT 0 FROM project AS t4 WHERE t4.deptno = t3.workdept)

@@ -1,0 +1,6 @@
+-- Minimized by starmagic-fuzz (seed 16). Splitting the query through a
+-- supplementary-magic box needs two prover features at once: a key
+-- member mapped through either side of a join equality (multi-image)
+-- and a quantifier whose whole key is pinned to another quant's
+-- columns dropping out of the join key (L030 otherwise).
+SELECT DISTINCT t2.deptno AS c0 FROM deptavgsal AS t1, department AS t2, avgmgrsal AS t3 WHERE t1.workdept = t2.deptno AND t1.workdept = t3.workdept

@@ -346,3 +346,92 @@ fn having_with_subquery() {
     // Groups with count >= 1: all three groups (NULL, 1, 2).
     assert_eq!(rows.len(), 3);
 }
+
+#[test]
+fn except_all_pairs_duplicated_null_keys() {
+    let e = engine();
+    // Left: emp deptnos crossed with dept = {1×6, 2×3, NULL×3}; right:
+    // emp deptnos = {1×2, 2×1, NULL×1}. Bag difference must pair NULL
+    // with NULL: {1×4, 2×2, NULL×2}.
+    let rows = ints(
+        &e,
+        "SELECT e.deptno FROM emp e, dept d \
+         EXCEPT ALL SELECT deptno FROM emp",
+    );
+    assert_eq!(
+        rows,
+        vec![
+            vec![i64::MIN],
+            vec![i64::MIN],
+            vec![1],
+            vec![1],
+            vec![1],
+            vec![1],
+            vec![2],
+            vec![2],
+        ]
+    );
+}
+
+#[test]
+fn intersect_all_pairs_duplicated_null_keys() {
+    let e = engine();
+    // min-multiplicity per key, NULLs included: min(6,2)=2 ones,
+    // min(3,1)=1 two, min(3,1)=1 NULL.
+    let rows = ints(
+        &e,
+        "SELECT e.deptno FROM emp e, dept d \
+         INTERSECT ALL SELECT deptno FROM emp",
+    );
+    assert_eq!(rows, vec![vec![i64::MIN], vec![1], vec![1], vec![2]]);
+}
+
+#[test]
+fn not_in_list_with_null_member_is_three_valued() {
+    let e = engine();
+    // empno 10: salary 100 hits the 100 → excluded. empno 11: bonus is
+    // NULL, salary 200 ≠ 100 → NOT IN is Unknown → excluded. 12 and
+    // 13: definite miss against non-NULL bonus → kept.
+    let rows = ints(&e, "SELECT empno FROM emp WHERE salary NOT IN (100, bonus)");
+    assert_eq!(rows, vec![vec![12], vec![13]]);
+}
+
+#[test]
+fn having_over_null_aggregate_is_unknown() {
+    let e = engine();
+    // The lone row of the group has a NULL bonus, so SUM(bonus) is
+    // NULL; the HAVING comparison is Unknown and must drop the group,
+    // in both directions.
+    let rows = ints(
+        &e,
+        "SELECT deptno FROM emp WHERE empno = 11 \
+         GROUP BY deptno HAVING SUM(bonus) > 0",
+    );
+    assert!(rows.is_empty(), "Unknown HAVING keeps no group");
+    let rows = ints(
+        &e,
+        "SELECT deptno FROM emp WHERE empno = 11 \
+         GROUP BY deptno HAVING SUM(bonus) <= 0",
+    );
+    assert!(rows.is_empty(), "negated comparison is equally Unknown");
+    // IS NULL turns the same aggregate into a definite True.
+    let rows = ints(
+        &e,
+        "SELECT deptno FROM emp WHERE empno = 11 \
+         GROUP BY deptno HAVING SUM(bonus) IS NULL",
+    );
+    assert_eq!(rows, vec![vec![1]]);
+}
+
+#[test]
+fn null_like_operand_is_unknown() {
+    let e = engine();
+    // The scalar subquery finds no row → NULL; NULL LIKE '%' is
+    // Unknown, not True, so no rows survive.
+    let rows = ints(
+        &e,
+        "SELECT deptno FROM dept \
+         WHERE (SELECT name FROM dept WHERE deptno = 99) LIKE '%'",
+    );
+    assert!(rows.is_empty());
+}
