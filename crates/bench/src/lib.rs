@@ -130,6 +130,41 @@ pub fn bench_engine(scale: Scale) -> Result<Engine> {
     Ok(engine)
 }
 
+/// The scale the differential fuzzer runs at. The employee table (640
+/// rows + the NULL-rich tail) crosses the executor's 512-row parallel
+/// threshold, so thread counts > 1 actually take the morsel path.
+/// Lives here (not in `starmagic-fuzz`) so `starmagic-server --scale
+/// fuzz` can host the identical database for `starmagic-fuzz
+/// --server`.
+pub fn fuzz_scale() -> Scale {
+    Scale {
+        departments: 8,
+        emps_per_dept: 80,
+        projects_per_dept: 2,
+        acts_per_emp: 2,
+        seed: 7,
+    }
+}
+
+/// The engine every fuzz case runs against: the benchmark catalog and
+/// views (shared with the Table-1 experiments via [`bench_engine`]),
+/// plus a NULL-rich employee tail — rows with NULL
+/// `workdept`/`salary`/`bonus`/`yearhired` — so joins, grouping, and
+/// set operations constantly see NULL keys.
+pub fn fuzz_engine() -> Result<Engine> {
+    let mut engine = bench_engine(fuzz_scale())?;
+    engine.run_sql(
+        "INSERT INTO employee VALUES \
+         (9001, 'Null_Dept_A', NULL, 52000.0, NULL, 1990), \
+         (9002, 'Null_Dept_B', NULL, 52000.0, NULL, 1990), \
+         (9003, 'Null_Sal', 3, NULL, NULL, NULL), \
+         (9004, 'Null_Sal', 3, NULL, NULL, NULL), \
+         (9005, 'Null_All', NULL, NULL, NULL, NULL), \
+         (9006, 'Null_All', NULL, NULL, NULL, NULL)",
+    )?;
+    Ok(engine)
+}
+
 /// The eight experiments.
 pub fn experiments() -> Vec<Experiment> {
     vec![

@@ -16,8 +16,9 @@ use starmagic_common::Result;
 use crate::Experiment;
 
 /// Schema version of the emitted document. Bump when the shape
-/// changes; the pinning test tracks this constant.
-pub const SCHEMA_VERSION: u64 = 1;
+/// changes; the pinning test tracks this constant. v2 added the
+/// `plan_cache` counters object.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Build the full trace document for a set of experiments.
 pub fn trace_report(engine: &Engine, scale: Scale, exps: &[Experiment]) -> Result<Value> {
@@ -39,9 +40,23 @@ pub fn trace_report(engine: &Engine, scale: Scale, exps: &[Experiment]) -> Resul
             ),
         ]));
     }
+    let cache = engine.cache_stats();
     Ok(Value::Obj(vec![
         ("schema_version".to_string(), Value::from(SCHEMA_VERSION)),
         ("generated_by".to_string(), Value::from("starmagic-bench")),
+        (
+            "plan_cache".to_string(),
+            Value::Obj(vec![
+                ("entries".to_string(), Value::from(engine.cache_len())),
+                ("hits".to_string(), Value::from(cache.hits)),
+                ("misses".to_string(), Value::from(cache.misses)),
+                ("evictions".to_string(), Value::from(cache.evictions)),
+                (
+                    "invalidations".to_string(),
+                    Value::from(cache.invalidations),
+                ),
+            ]),
+        ),
         (
             "scale".to_string(),
             Value::Obj(vec![
@@ -217,6 +232,13 @@ mod tests {
         );
         assert!(v.get("scale").unwrap().get("departments").is_some());
         assert!(v.get("scale").unwrap().get("emps_per_dept").is_some());
+        let cache = v.get("plan_cache").unwrap();
+        for key in ["entries", "hits", "misses", "evictions", "invalidations"] {
+            assert!(
+                cache.get(key).unwrap().as_f64().is_some(),
+                "plan_cache.{key} must be numeric"
+            );
+        }
 
         let exps = v.get("experiments").unwrap().as_arr().unwrap();
         assert_eq!(exps.len(), 2);

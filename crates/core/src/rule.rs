@@ -563,7 +563,9 @@ fn strict_in_external(p: &ScalarExpr, is_external: &dyn Fn(QuantId) -> bool) -> 
 /// reads is NULL (column refs, literals, arithmetic, negation).
 fn null_propagating(e: &ScalarExpr) -> bool {
     match e {
-        ScalarExpr::ColRef { .. } | ScalarExpr::Literal(_) => true,
+        // A parameter reads no columns, so the property holds
+        // vacuously — like a literal.
+        ScalarExpr::ColRef { .. } | ScalarExpr::Literal(_) | ScalarExpr::Param(_) => true,
         ScalarExpr::Neg(inner) => null_propagating(inner),
         ScalarExpr::Bin {
             op: BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div,

@@ -13,6 +13,7 @@
 //! * `\strategy original|magic|cost` — pin the optimizer strategy;
 //! * `\timing [on|off]` — toggle the per-query timing footer;
 //! * `\trace on|off` — print optimizer phase spans after each query;
+//! * `\cache [clear]` — plan-cache counters (optionally clearing it);
 //! * `\tables` / `\views` — list catalog contents;
 //! * `\?` or `\help` — this list;
 //! * `\quit`.
@@ -42,6 +43,7 @@ meta-commands:
   \\timing [on|off]             toggle the per-query timing footer
   \\trace on|off                print phase spans after each query
   \\threads [n]                 executor worker threads (1 = serial)
+  \\cache [clear]               plan-cache counters (clear to flush)
   \\tables                      list tables with row counts
   \\views                       list views
   \\? | \\help                   this list
@@ -171,6 +173,17 @@ fn meta_command(engine: &mut Engine, session: &mut Session, cmd: &str) -> bool {
                 _ => println!("usage: \\threads [n]  (n >= 1)"),
             },
         },
+        "\\cache" => match rest.trim() {
+            "" => print!(
+                "{}",
+                starmagic::explain::render_cache(engine.cache_stats(), engine.cache_len())
+            ),
+            "clear" => {
+                engine.cache_clear();
+                println!("plan cache cleared");
+            }
+            _ => println!("usage: \\cache [clear]"),
+        },
         "\\explain" => match engine.explain(rest.trim().trim_end_matches(';')) {
             Ok(text) => println!("{text}"),
             Err(e) => println!("error: {e}"),
@@ -212,7 +225,10 @@ fn run_statement(engine: &mut Engine, session: &Session, sql: &str) {
             }
         }
     } else {
-        match engine.query_with(sql, session.strategy) {
+        // The plain path goes through the shared plan cache (so
+        // repeated statements skip rewrite/planning and `\cache`
+        // reports real traffic).
+        match engine.query_cached(sql, session.strategy) {
             Ok(r) => (r, starmagic::trace::TraceSink::disabled()),
             Err(e) => {
                 println!("error: {e}");

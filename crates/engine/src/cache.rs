@@ -1,0 +1,250 @@
+//! Shared plan cache: normalized SQL → optimized plan.
+//!
+//! The cache keys on the *parameterized* query text produced by
+//! [`starmagic_sql::parameterize`] — literals are lifted into `?N`
+//! markers, so `WHERE deptno = 3` and `WHERE deptno = 7` share one
+//! entry. A cached entry stores the post-rewrite, post-plan
+//! [`Prepared`] graph with the parameter slots still in place; every
+//! execution rebinds it by substituting the bound constants
+//! ([`starmagic_qgm::Qgm::bind_params`]) and runs the result.
+//!
+//! Eviction is LRU over a bounded map (the capacity is small enough
+//! that an O(n) scan for the oldest tick beats the bookkeeping of a
+//! linked map). The engine invalidates the whole cache on any DDL —
+//! views, tables, and inserts all change what a plan would look like
+//! or return, and correctness beats cleverness here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::Prepared;
+
+/// Default number of plans an engine retains.
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 128;
+
+/// Monotonically collected cache counters. `invalidations` counts
+/// flush *events* (one per DDL statement), not evicted entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups so far (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// A cached, parameterized plan plus the binding metadata needed to
+/// execute it with fresh constants.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The normalized cache key: `strategy|parameterized-sql`.
+    pub key: String,
+    /// The optimized plan, parameter slots intact.
+    pub prepared: Prepared,
+    /// Total parameter slots the plan expects (user markers plus
+    /// extracted literals).
+    pub param_count: usize,
+    /// How many leading slots (`?1..?user_params`) were written by the
+    /// user and must be supplied at execute time; slots above that
+    /// hold the literals the normalizer extracted.
+    pub user_params: usize,
+}
+
+struct Entry {
+    plan: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+/// Bounded LRU map of normalized key → plan.
+pub struct PlanCache {
+    map: HashMap<String, Entry>,
+    cap: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            map: HashMap::new(),
+            cap: cap.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up a plan, counting the hit or miss and refreshing its
+    /// recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<CachedPlan>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.plan))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly optimized plan, evicting the least recently
+    /// used entry when full. Returns the shared handle.
+    pub fn insert(&mut self, plan: CachedPlan) -> Arc<CachedPlan> {
+        self.tick += 1;
+        if !self.map.contains_key(&plan.key) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        let key = plan.key.clone();
+        let shared = Arc::new(plan);
+        self.map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&shared),
+                last_used: self.tick,
+            },
+        );
+        shared
+    }
+
+    /// Drop every entry because the catalog changed (DDL). Counted in
+    /// `stats.invalidations`; skipped entirely when already empty.
+    pub fn invalidate(&mut self) {
+        if !self.map.is_empty() {
+            self.map.clear();
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drop every entry at the user's request (`\cache clear`) without
+    /// touching the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(key: &str) -> CachedPlan {
+        // A structurally minimal Prepared: cache tests never execute it.
+        let qgm = starmagic_qgm::build_qgm(
+            &starmagic_catalog::generator::benchmark_catalog(
+                starmagic_catalog::generator::Scale::small(),
+            )
+            .unwrap(),
+            &starmagic_sql::parse_query("SELECT empno FROM employee").unwrap(),
+        )
+        .unwrap();
+        CachedPlan {
+            key: key.to_string(),
+            prepared: Prepared {
+                qgm,
+                columns: vec!["empno".to_string()],
+                used_magic: false,
+                cost_without_magic: 1.0,
+                cost_with_magic: 1.0,
+                threads: 1,
+            },
+            param_count: 0,
+            user_params: 0,
+        }
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let mut c = PlanCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert(plan("a"));
+        assert!(c.get("a").is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = PlanCache::new(2);
+        c.insert(plan("a"));
+        c.insert(plan("b"));
+        assert!(c.get("a").is_some()); // refresh a; b is now LRU
+        c.insert(plan("c"));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get("b").is_none(), "b should have been evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = PlanCache::new(1);
+        c.insert(plan("a"));
+        c.insert(plan("a"));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_counts_once_and_only_when_nonempty() {
+        let mut c = PlanCache::new(4);
+        c.invalidate();
+        assert_eq!(c.stats().invalidations, 0);
+        c.insert(plan("a"));
+        c.insert(plan("b"));
+        c.invalidate();
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let mut c = PlanCache::new(4);
+        c.insert(plan("a"));
+        let _ = c.get("a");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().invalidations, 0);
+    }
+}

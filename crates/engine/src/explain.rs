@@ -14,6 +14,7 @@ use starmagic_planner::feedback;
 use starmagic_qgm::{printer, render_sql};
 use starmagic_rewrite::RewriteStats;
 
+use crate::cache::CacheStats;
 use crate::pipeline::Optimized;
 use crate::ProfiledQuery;
 
@@ -79,6 +80,28 @@ pub fn render(o: &Optimized) -> String {
         o.stats[1].fires,
         o.stats[2].fires,
     );
+    out
+}
+
+/// Render the plan-cache counters (REPL `\cache`, the server's
+/// `CACHE` frame, and the tail of every EXPLAIN).
+pub fn render_cache(stats: CacheStats, entries: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== plan cache");
+    let _ = writeln!(out, "  entries       {entries}");
+    let _ = writeln!(out, "  hits          {}", stats.hits);
+    let _ = writeln!(out, "  misses        {}", stats.misses);
+    let _ = writeln!(out, "  evictions     {}", stats.evictions);
+    let _ = writeln!(out, "  invalidations {}", stats.invalidations);
+    let _ = writeln!(out, "  hit rate      {:.1}%", stats.hit_rate() * 100.0);
+    out
+}
+
+/// The `== cache` section EXPLAIN appends: the query's normalized
+/// cache key plus the engine's counters.
+pub fn render_cache_section(stats: CacheStats, entries: usize, key: &str) -> String {
+    let mut out = render_cache(stats, entries);
+    let _ = writeln!(out, "  key           {key}");
     out
 }
 

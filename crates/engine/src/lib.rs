@@ -27,17 +27,21 @@
 //! never degrade a query. [`Strategy`] lets benchmarks pin either
 //! side.
 
+pub mod cache;
 pub mod explain;
 pub mod pipeline;
 
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use starmagic_catalog::{Catalog, ViewDef};
-use starmagic_common::{Error, Result, Row};
+use starmagic_common::{Error, Result, Row, Value};
 use starmagic_exec::{ExecProfile, Metrics};
 use starmagic_rewrite::OpRegistry;
 use starmagic_sql::{parse_statement, Statement};
+use starmagic_trace::TraceSink;
 
+pub use cache::{CacheStats, CachedPlan, PlanCache, DEFAULT_PLAN_CACHE_CAP};
 pub use pipeline::{optimize, Optimized, PipelineOptions};
 
 // Re-export the building blocks so downstream users need only this
@@ -109,6 +113,21 @@ pub struct Prepared {
     pub threads: usize,
 }
 
+/// A cached-path query run: the rows plus the request's spans and the
+/// cache verdict.
+#[derive(Debug, Clone)]
+pub struct CachedQuery {
+    pub result: QueryResult,
+    /// Request spans: `parse`, then — only on a miss — the pipeline's
+    /// spans (`build`, `rewrite.*`, `plan.*`, `lint`), then `bind` and
+    /// `execute`. A hit records no pipeline spans at all.
+    pub trace: TraceSink,
+    /// Whether the plan came out of the cache.
+    pub hit: bool,
+    /// The normalized cache key (`strategy|parameterized SQL`).
+    pub key: String,
+}
+
 /// The engine: a catalog plus the optimizer configuration.
 pub struct Engine {
     catalog: Catalog,
@@ -118,6 +137,10 @@ pub struct Engine {
     /// Executor worker threads injected into every plan this engine
     /// prepares (REPL `\threads n`, benchmark `--threads n`).
     threads: usize,
+    /// Shared plan cache over normalized (parameterized) SQL. Interior
+    /// mutability so the read-mostly server path (`&Engine` behind an
+    /// `RwLock` read guard) can still record hits and insert plans.
+    plans: Mutex<PlanCache>,
 }
 
 impl Engine {
@@ -128,6 +151,7 @@ impl Engine {
             registry: OpRegistry::new(),
             indexes: starmagic_exec::IndexCache::default(),
             threads: 1,
+            plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAP)),
         }
     }
 
@@ -140,7 +164,15 @@ impl Engine {
             registry,
             indexes: starmagic_exec::IndexCache::default(),
             threads: 1,
+            plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAP)),
         }
+    }
+
+    /// The plan-cache lock, tolerating poisoning: the cache holds only
+    /// plans and counters, both valid at every instruction boundary,
+    /// so a panic elsewhere never leaves it corrupt.
+    fn plans(&self) -> MutexGuard<'_, PlanCache> {
+        self.plans.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Set the executor worker-thread count used by every subsequent
@@ -194,6 +226,8 @@ impl Engine {
                     let _ = self.catalog.drop_view(&name);
                     return Err(e);
                 }
+                // A new view changes what any SQL text can mean.
+                self.plans().invalidate();
                 Ok(None)
             }
             Statement::CreateTable { name, columns, key } => {
@@ -209,6 +243,7 @@ impl Engine {
                 self.catalog
                     .add_table(starmagic_catalog::Table::new(schema))?;
                 self.indexes = starmagic_exec::IndexCache::default();
+                self.plans().invalidate();
                 Ok(None)
             }
             Statement::Insert { table, rows } => {
@@ -229,8 +264,11 @@ impl Engine {
                     materialized.push(Row::new(vals));
                 }
                 self.catalog.table_mut(&table)?.insert(materialized)?;
-                // Stored data changed: the cached indexes are stale.
+                // Stored data changed: the cached indexes are stale,
+                // and cached plans embed stale statistics-driven
+                // choices (join orders, magic-vs-original).
                 self.indexes = starmagic_exec::IndexCache::default();
+                self.plans().invalidate();
                 Ok(None)
             }
             Statement::Query(_) => self.query(sql).map(Some),
@@ -253,21 +291,7 @@ impl Engine {
     pub fn prepare_with_options(&self, sql: &str, opts: PipelineOptions) -> Result<Prepared> {
         let query = starmagic_sql::parse_query(sql)?;
         let optimized = optimize(&self.catalog, &self.registry, &query, opts)?;
-        let chosen = optimized.chosen().clone();
-        let columns = chosen
-            .boxed(chosen.top())
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect();
-        Ok(Prepared {
-            qgm: chosen,
-            columns,
-            used_magic: optimized.chose_magic,
-            cost_without_magic: optimized.cost_without_magic,
-            cost_with_magic: optimized.cost_with_magic,
-            threads: opts.threads.max(1),
-        })
+        Ok(prepared_from(&optimized, opts.threads))
     }
 
     /// Optimize a query down to an executable plan without running it.
@@ -296,6 +320,220 @@ impl Engine {
             used_magic: prepared.used_magic,
             cost_without_magic: prepared.cost_without_magic,
             cost_with_magic: prepared.cost_with_magic,
+        })
+    }
+
+    // ---- Plan-cache path -------------------------------------------
+
+    /// The normalized cache key a query would use under a strategy.
+    pub fn cache_key(strategy: Strategy, normalized_sql: &str) -> String {
+        format!("{strategy:?}|{normalized_sql}")
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plans().stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.plans().len()
+    }
+
+    /// Drop every cached plan (REPL `\cache clear`). Counters are
+    /// preserved; this is not counted as an invalidation.
+    pub fn cache_clear(&self) {
+        self.plans().clear();
+    }
+
+    /// Parameterize a query, fetch or build its cached plan, and hand
+    /// back the plan plus the literals the normalizer extracted (to be
+    /// rebound at execution) and whether the lookup hit.
+    ///
+    /// The optimizer runs outside the cache lock, so two sessions
+    /// missing on the same key may both optimize; the second insert
+    /// simply replaces the first — identical by construction.
+    pub fn prepare_cached(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+    ) -> Result<(Arc<CachedPlan>, Vec<Value>, bool)> {
+        let query = starmagic_sql::parse_query(sql)?;
+        let p = starmagic_sql::parameterize(&query);
+        let key = Engine::cache_key(strategy, &p.key);
+        if let Some(plan) = self.plans().get(&key) {
+            return Ok((plan, p.args, true));
+        }
+        let optimized = optimize(
+            &self.catalog,
+            &self.registry,
+            &p.query,
+            self.options_for(strategy),
+        )?;
+        let plan = CachedPlan {
+            key: key.clone(),
+            prepared: prepared_from(&optimized, self.threads),
+            param_count: p.first_index + p.args.len(),
+            user_params: p.first_index,
+        };
+        Ok((self.plans().insert(plan), p.args, false))
+    }
+
+    /// Execute a cached plan with `user_args` filling the user-written
+    /// `?N` markers and `extracted` the literals the normalizer lifted
+    /// (as returned by [`Engine::prepare_cached`]).
+    pub fn execute_cached(
+        &self,
+        plan: &CachedPlan,
+        user_args: &[Value],
+        extracted: &[Value],
+    ) -> Result<QueryResult> {
+        self.execute_cached_with(plan, user_args, extracted, self.threads)
+    }
+
+    /// [`Engine::execute_cached`] with an explicit executor worker
+    /// count — server sessions carry their own `SET THREADS` value
+    /// without mutating the shared engine.
+    pub fn execute_cached_with(
+        &self,
+        plan: &CachedPlan,
+        user_args: &[Value],
+        extracted: &[Value],
+        threads: usize,
+    ) -> Result<QueryResult> {
+        let bound = self.bind_cached(plan, user_args, extracted)?;
+        self.run_bound(plan, &bound, threads)
+    }
+
+    /// Run a query through the plan cache (parameterize, fetch or
+    /// build the plan, rebind, execute). Equivalent in results to
+    /// [`Engine::query_with`]; cheaper on repeats.
+    pub fn query_cached(&self, sql: &str, strategy: Strategy) -> Result<QueryResult> {
+        let (plan, extracted, _) = self.prepare_cached(sql, strategy)?;
+        self.execute_cached(&plan, &[], &extracted)
+    }
+
+    /// [`Engine::query_cached`] with request spans and the cache
+    /// verdict — the engine behind the server's per-request tracing
+    /// and the cache-correctness tests.
+    pub fn query_cached_traced(&self, sql: &str, strategy: Strategy) -> Result<CachedQuery> {
+        self.query_cached_traced_with(sql, strategy, self.threads)
+    }
+
+    /// [`Engine::query_cached_traced`] with an explicit executor
+    /// worker count (per-session `SET THREADS`).
+    pub fn query_cached_traced_with(
+        &self,
+        sql: &str,
+        strategy: Strategy,
+        threads: usize,
+    ) -> Result<CachedQuery> {
+        let mut sink = TraceSink::enabled();
+        let t = sink.start("parse");
+        let query = starmagic_sql::parse_query(sql)?;
+        sink.finish(t);
+        let p = starmagic_sql::parameterize(&query);
+        let key = Engine::cache_key(strategy, &p.key);
+
+        // Bind the lookup to a statement so the cache guard drops
+        // before the miss arm re-locks to insert.
+        let looked_up = self.plans().get(&key);
+        let (plan, hit) = match looked_up {
+            Some(plan) => (plan, true),
+            None => {
+                let optimized = optimize(
+                    &self.catalog,
+                    &self.registry,
+                    &p.query,
+                    self.options_for(strategy),
+                )?;
+                sink.extend(&optimized.trace);
+                let plan = CachedPlan {
+                    key: key.clone(),
+                    prepared: prepared_from(&optimized, self.threads),
+                    param_count: p.first_index + p.args.len(),
+                    user_params: p.first_index,
+                };
+                (self.plans().insert(plan), false)
+            }
+        };
+
+        let t = sink.start("bind");
+        let bound = self.bind_cached(&plan, &[], &p.args)?;
+        sink.finish(t);
+        let t = sink.start("execute");
+        let result = self.run_bound(&plan, &bound, threads)?;
+        sink.finish(t);
+        Ok(CachedQuery {
+            result,
+            trace: sink,
+            hit,
+            key,
+        })
+    }
+
+    /// Check arities and NULL-freedom, then substitute the constants
+    /// into the plan's parameter slots.
+    fn bind_cached(
+        &self,
+        plan: &CachedPlan,
+        user_args: &[Value],
+        extracted: &[Value],
+    ) -> Result<starmagic_qgm::Qgm> {
+        if user_args.len() != plan.user_params {
+            return Err(Error::execution(format!(
+                "statement takes {} parameter(s), {} bound",
+                plan.user_params,
+                user_args.len()
+            )));
+        }
+        if extracted.len() != plan.param_count - plan.user_params {
+            return Err(Error::internal(format!(
+                "cache entry expects {} extracted literal(s), got {}",
+                plan.param_count - plan.user_params,
+                extracted.len()
+            )));
+        }
+        // NULL never equals anything; the optimizer treated every
+        // parameter as one definite constant (key pinning, magic
+        // filters), so hold the line and refuse NULL bindings.
+        if let Some(i) = user_args.iter().position(|v| matches!(v, Value::Null)) {
+            return Err(Error::execution(format!(
+                "cannot bind NULL to parameter ?{} — use IS NULL",
+                i + 1
+            )));
+        }
+        let mut all = Vec::with_capacity(plan.param_count);
+        all.extend_from_slice(user_args);
+        all.extend_from_slice(extracted);
+        plan.prepared.qgm.bind_params(&all)
+    }
+
+    /// Execute a rebound cached plan with the given worker count (the
+    /// plan's recorded count may predate a `\threads` change; results
+    /// are identical at any setting).
+    fn run_bound(
+        &self,
+        plan: &CachedPlan,
+        bound: &starmagic_qgm::Qgm,
+        threads: usize,
+    ) -> Result<QueryResult> {
+        let (rows, profile) = starmagic_exec::execute_with_options(
+            bound,
+            &self.catalog,
+            &self.indexes,
+            starmagic_exec::ExecOptions {
+                timing: false,
+                threads: threads.max(1),
+            },
+        )?;
+        Ok(QueryResult {
+            rows,
+            columns: plan.prepared.columns.clone(),
+            metrics: profile.aggregate(),
+            used_magic: plan.prepared.used_magic,
+            cost_without_magic: plan.prepared.cost_without_magic,
+            cost_with_magic: plan.prepared.cost_with_magic,
         })
     }
 
@@ -372,18 +610,37 @@ impl Engine {
         })
     }
 
-    /// Full EXPLAIN text: per-phase graphs, SQL renderings, costs.
+    /// Full EXPLAIN text: per-phase graphs, SQL renderings, costs,
+    /// and the plan-cache section (counters + this query's normalized
+    /// key).
     pub fn explain(&self, sql: &str) -> Result<String> {
         let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
-        Ok(explain::render(&optimized))
+        let mut out = explain::render(&optimized);
+        out.push_str(&self.cache_section(sql, Strategy::CostBased)?);
+        Ok(out)
     }
 
     /// EXPLAIN ANALYZE: run the query with full instrumentation and
     /// render the plan sections plus the profile, rewrite trace,
-    /// cardinality misestimation report, and phase spans.
+    /// cardinality misestimation report, phase spans, and the
+    /// plan-cache section.
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
         let p = self.query_profiled(sql, Strategy::CostBased)?;
-        Ok(explain::render_analyze(&p, &self.catalog))
+        let mut out = explain::render_analyze(&p, &self.catalog);
+        out.push_str(&self.cache_section(sql, Strategy::CostBased)?);
+        Ok(out)
+    }
+
+    /// The `== cache` section for a query: engine counters plus the
+    /// normalized key the cached path would use.
+    fn cache_section(&self, sql: &str, strategy: Strategy) -> Result<String> {
+        let query = starmagic_sql::parse_query(sql)?;
+        let p = starmagic_sql::parameterize(&query);
+        Ok(explain::render_cache_section(
+            self.cache_stats(),
+            self.cache_len(),
+            &Engine::cache_key(strategy, &p.key),
+        ))
     }
 
     /// Run the semantic linter over a query's chosen plan. The report
@@ -393,6 +650,25 @@ impl Engine {
     pub fn lint(&self, sql: &str) -> Result<starmagic_lint::LintReport> {
         let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
         Ok(optimized.lint)
+    }
+}
+
+/// Package an optimization result as an executable [`Prepared`].
+fn prepared_from(optimized: &Optimized, threads: usize) -> Prepared {
+    let chosen = optimized.chosen().clone();
+    let columns = chosen
+        .boxed(chosen.top())
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    Prepared {
+        qgm: chosen,
+        columns,
+        used_magic: optimized.chose_magic,
+        cost_without_magic: optimized.cost_without_magic,
+        cost_with_magic: optimized.cost_with_magic,
+        threads: threads.max(1),
     }
 }
 
@@ -634,6 +910,192 @@ mod tests {
         let e = paper_engine();
         let report = e.lint(QUERY_D).unwrap();
         assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use starmagic_catalog::generator::{benchmark_catalog, Scale};
+
+    fn paper_engine() -> Engine {
+        let mut e = Engine::new(benchmark_catalog(Scale::small()).unwrap());
+        e.run_sql(
+            "CREATE VIEW mgrSal (empno, empname, workdept, salary) AS \
+             SELECT e.empno, e.empname, e.workdept, e.salary \
+             FROM employee e, department d WHERE e.empno = d.mgrno",
+        )
+        .unwrap();
+        e.run_sql(
+            "CREATE VIEW avgMgrSal (workdept, avgsalary) AS \
+             SELECT workdept, AVG(salary) FROM mgrSal GROUP BY workdept",
+        )
+        .unwrap();
+        e
+    }
+
+    fn query_d(dept: &str) -> String {
+        format!(
+            "SELECT d.deptname, s.workdept, s.avgsalary \
+             FROM department d, avgMgrSal s \
+             WHERE d.deptno = s.workdept AND d.deptname = '{dept}'"
+        )
+    }
+
+    #[test]
+    fn different_constants_share_one_plan() {
+        let e = paper_engine();
+        for strategy in [Strategy::CostBased, Strategy::Original, Strategy::Magic] {
+            e.cache_clear();
+            let a = e
+                .query_cached_traced(&query_d("Planning"), strategy)
+                .unwrap();
+            let b = e
+                .query_cached_traced(&query_d("Research"), strategy)
+                .unwrap();
+            assert!(!a.hit);
+            assert!(b.hit, "same shape, different literal must hit");
+            assert_eq!(a.key, b.key);
+            // Cached-path results equal fresh single-shot runs.
+            let fresh_a = e.query_with(&query_d("Planning"), strategy).unwrap();
+            let fresh_b = e.query_with(&query_d("Research"), strategy).unwrap();
+            let sort = |mut rows: Vec<Row>| {
+                rows.sort_by(Row::group_cmp);
+                rows
+            };
+            assert_eq!(sort(a.result.rows), sort(fresh_a.rows), "{strategy:?}");
+            assert_eq!(sort(b.result.rows), sort(fresh_b.rows), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn hit_skips_rewrite_and_planning() {
+        let e = paper_engine();
+        let miss = e
+            .query_cached_traced(&query_d("Planning"), Strategy::CostBased)
+            .unwrap();
+        assert!(!miss.hit);
+        assert!(
+            miss.trace
+                .spans()
+                .iter()
+                .any(|s| s.name.starts_with("rewrite.")),
+            "miss must run the rewrite pipeline"
+        );
+        let hit = e
+            .query_cached_traced(&query_d("Research"), Strategy::CostBased)
+            .unwrap();
+        assert!(hit.hit);
+        for s in hit.trace.spans() {
+            assert!(
+                !s.name.starts_with("rewrite.") && !s.name.starts_with("plan."),
+                "hit must not re-optimize, saw span {}",
+                s.name
+            );
+        }
+        for name in ["parse", "bind", "execute"] {
+            assert!(hit.trace.get(name).is_some(), "missing {name} span");
+        }
+    }
+
+    #[test]
+    fn strategies_get_distinct_entries() {
+        let e = paper_engine();
+        let a = e
+            .query_cached_traced(&query_d("Planning"), Strategy::Original)
+            .unwrap();
+        let b = e
+            .query_cached_traced(&query_d("Planning"), Strategy::Magic)
+            .unwrap();
+        assert!(!a.hit && !b.hit, "strategies must not share plans");
+        assert_ne!(a.key, b.key);
+        assert!(
+            a.result.rows == b.result.rows || {
+                let sort = |mut r: Vec<Row>| {
+                    r.sort_by(Row::group_cmp);
+                    r
+                };
+                sort(a.result.rows.clone()) == sort(b.result.rows.clone())
+            }
+        );
+    }
+
+    #[test]
+    fn ddl_invalidates_cached_plans() {
+        let mut e = paper_engine();
+        let _ = e
+            .query_cached(&query_d("Planning"), Strategy::CostBased)
+            .unwrap();
+        assert_eq!(e.cache_len(), 1);
+        e.run_sql("CREATE TABLE scratch (x INT)").unwrap();
+        assert_eq!(e.cache_len(), 0, "DDL must flush the plan cache");
+        assert_eq!(e.cache_stats().invalidations, 1);
+        // Data changes flush too: cached plans bake in statistics.
+        let _ = e
+            .query_cached(&query_d("Planning"), Strategy::CostBased)
+            .unwrap();
+        e.run_sql("INSERT INTO scratch VALUES (1)").unwrap();
+        assert_eq!(e.cache_len(), 0);
+    }
+
+    #[test]
+    fn view_resolution_change_cannot_serve_stale_plan() {
+        let mut e = Engine::new(benchmark_catalog(Scale::small()).unwrap());
+        e.run_sql("CREATE VIEW hi (empno) AS SELECT empno FROM employee WHERE salary > 90000")
+            .unwrap();
+        let before = e
+            .query_cached("SELECT empno FROM hi", Strategy::CostBased)
+            .unwrap();
+        // New DDL flushes; re-running re-optimizes against the current
+        // catalog rather than serving the old expansion.
+        e.run_sql("CREATE TABLE unrelated (x INT)").unwrap();
+        let after = e
+            .query_cached("SELECT empno FROM hi", Strategy::CostBased)
+            .unwrap();
+        assert_eq!(before.rows, after.rows);
+        assert_eq!(e.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn user_markers_bind_through_execute_cached() {
+        let e = paper_engine();
+        let sql = "SELECT d.deptname, s.workdept, s.avgsalary \
+                   FROM department d, avgMgrSal s \
+                   WHERE d.deptno = s.workdept AND d.deptname = ?";
+        let (plan, extracted, hit) = e.prepare_cached(sql, Strategy::Magic).unwrap();
+        assert!(!hit);
+        assert_eq!(plan.user_params, 1);
+        let r1 = e
+            .execute_cached(&plan, &[Value::str("Planning")], &extracted)
+            .unwrap();
+        let fresh = e.query_with(&query_d("Planning"), Strategy::Magic).unwrap();
+        let sort = |mut r: Vec<Row>| {
+            r.sort_by(Row::group_cmp);
+            r
+        };
+        assert_eq!(sort(r1.rows), sort(fresh.rows));
+        // A literal-bearing query of the same shape shares the entry.
+        let (_, extracted2, hit2) = e
+            .prepare_cached(&query_d("Research"), Strategy::Magic)
+            .unwrap();
+        assert!(hit2, "user-marker and extracted-literal forms share a key");
+        assert_eq!(extracted2.len(), 1);
+    }
+
+    #[test]
+    fn arity_and_null_bindings_are_rejected() {
+        let e = paper_engine();
+        let (plan, extracted, _) = e
+            .prepare_cached(
+                "SELECT empno FROM employee WHERE workdept = ?",
+                Strategy::CostBased,
+            )
+            .unwrap();
+        assert!(e.execute_cached(&plan, &[], &extracted).is_err());
+        let err = e
+            .execute_cached(&plan, &[Value::Null], &extracted)
+            .unwrap_err();
+        assert!(err.to_string().contains("NULL"), "{err}");
     }
 }
 

@@ -1150,6 +1150,12 @@ impl<'a> Executor<'a> {
                 )))
             }
             ScalarExpr::Literal(v) => Ok(v.clone()),
+            // Cached plans substitute parameters before execution
+            // (`Qgm::bind_params`); reaching one here is an engine bug.
+            ScalarExpr::Param(i) => Err(Error::internal(format!(
+                "unbound parameter ?{} reached the executor",
+                i + 1
+            ))),
             ScalarExpr::Bin { op, left, right } => self.eval_bin(*op, left, right, frame),
             ScalarExpr::Neg(x) => {
                 let v = self.eval_expr(x, frame)?;
@@ -1373,6 +1379,10 @@ fn eval_pure(e: &ScalarExpr, frame: &Frame<'_>) -> Result<Value> {
             .map(|row| row.get(*col).clone())
             .ok_or_else(|| Error::internal(format!("unbound quantifier {quant} in parallel loop"))),
         ScalarExpr::Literal(v) => Ok(v.clone()),
+        ScalarExpr::Param(i) => Err(Error::internal(format!(
+            "unbound parameter ?{} reached the executor",
+            i + 1
+        ))),
         ScalarExpr::Bin { op, left, right } => eval_bin_pure(*op, left, right, frame),
         ScalarExpr::Neg(x) => {
             let v = eval_pure(x, frame)?;

@@ -3,6 +3,7 @@
 //! ```text
 //! starmagic-fuzz [--seed N] [--count N] [--budget-ms N]
 //!                [--corpus-dir PATH] [--threads a,b,...]
+//!                [--server host:port]
 //! ```
 //!
 //! Generates `count` seeded queries, runs each under Original /
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
             "--count" => cfg.count = parse(&take("--count"), "--count"),
             "--budget-ms" => cfg.budget_ms = parse(&take("--budget-ms"), "--budget-ms"),
             "--corpus-dir" => cfg.corpus_dir = Some(take("--corpus-dir").into()),
+            "--server" => cfg.server = Some(take("--server")),
             "--threads" => {
                 cfg.threads = take("--threads")
                     .split(',')
@@ -45,7 +47,9 @@ fn main() -> ExitCode {
                      --count N         queries to generate (default 100)\n  \
                      --budget-ms N     wall-clock budget, 0 = unlimited (default 0)\n  \
                      --corpus-dir DIR  persist minimized repros as .sql files\n  \
-                     --threads a,b     executor thread counts (default 1,4)"
+                     --threads a,b     executor thread counts (default 1,4)\n  \
+                     --server ADDR     run the Magic strategy over the wire against a\n                    \
+                     running `starmagic-server --scale fuzz` at host:port"
                 );
                 return ExitCode::SUCCESS;
             }

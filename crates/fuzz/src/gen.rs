@@ -835,7 +835,7 @@ fn has_subquery(e: &Expr) -> bool {
         | Expr::Exists { .. }
         | Expr::QuantifiedCmp { .. }
         | Expr::ScalarSubquery(_) => true,
-        Expr::Column { .. } | Expr::Literal(_) | Expr::Like { .. } => false,
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) | Expr::Like { .. } => false,
         Expr::Binary { left, right, .. } => has_subquery(left) || has_subquery(right),
         Expr::Neg(inner) | Expr::Not(inner) => has_subquery(inner),
         Expr::IsNull { expr, .. } => has_subquery(expr),

@@ -29,36 +29,17 @@ use starmagic_sql::query_sql;
 
 use oracle::{Oracle, Outcome};
 
-/// The scale the fuzzer runs at. The employee table (640 rows + the
-/// NULL-rich tail) crosses the executor's 512-row parallel threshold,
-/// so thread counts > 1 actually take the morsel path.
+/// The scale the fuzzer runs at (re-exported from the bench crate so
+/// `starmagic-server --scale fuzz` hosts the identical database).
 pub fn fuzz_scale() -> Scale {
-    Scale {
-        departments: 8,
-        emps_per_dept: 80,
-        projects_per_dept: 2,
-        acts_per_emp: 2,
-        seed: 7,
-    }
+    starmagic_bench::fuzz_scale()
 }
 
 /// The engine every fuzz case runs against: the benchmark catalog and
-/// views (shared with the Table-1 experiments via
-/// [`starmagic_bench::bench_engine`]), plus a NULL-rich employee tail —
-/// rows with NULL `workdept`/`salary`/`bonus`/`yearhired` — so joins,
-/// grouping, and set operations constantly see NULL keys.
+/// views plus a NULL-rich employee tail (see
+/// [`starmagic_bench::fuzz_engine`]).
 pub fn fuzz_engine() -> Result<Engine> {
-    let mut engine = starmagic_bench::bench_engine(fuzz_scale())?;
-    engine.run_sql(
-        "INSERT INTO employee VALUES \
-         (9001, 'Null_Dept_A', NULL, 52000.0, NULL, 1990), \
-         (9002, 'Null_Dept_B', NULL, 52000.0, NULL, 1990), \
-         (9003, 'Null_Sal', 3, NULL, NULL, NULL), \
-         (9004, 'Null_Sal', 3, NULL, NULL, NULL), \
-         (9005, 'Null_All', NULL, NULL, NULL, NULL), \
-         (9006, 'Null_All', NULL, NULL, NULL, NULL)",
-    )?;
-    Ok(engine)
+    starmagic_bench::fuzz_engine()
 }
 
 /// Fuzzer knobs (the `starmagic-fuzz` CLI maps onto this 1:1).
@@ -76,6 +57,10 @@ pub struct FuzzConfig {
     pub threads: Vec<usize>,
     /// Candidate-evaluation cap per shrink.
     pub shrink_checks: usize,
+    /// When set, route the Magic strategy through a running
+    /// `starmagic-server` at this address (`host:port`). The server
+    /// must host the fuzz database (`starmagic-server --scale fuzz`).
+    pub server: Option<String>,
 }
 
 impl Default for FuzzConfig {
@@ -87,6 +72,7 @@ impl Default for FuzzConfig {
             corpus_dir: None,
             threads: vec![1, 4],
             shrink_checks: 600,
+            server: None,
         }
     }
 }
@@ -123,8 +109,25 @@ pub struct FuzzReport {
 }
 
 /// Run the fuzzer. Deterministic for a given `(engine, config)`.
+///
+/// With [`FuzzConfig::server`] set, the Magic strategy executes over
+/// the wire protocol against that server; a connection failure is a
+/// setup error, not a divergence, so it panics.
 pub fn run_fuzz(engine: &Engine, cfg: &FuzzConfig) -> FuzzReport {
-    let oracle = Oracle::new(engine, cfg.threads.clone());
+    let oracle = match &cfg.server {
+        Some(addr) => {
+            let client = starmagic_server::Client::connect(addr.as_str())
+                .unwrap_or_else(|e| panic!("cannot connect to --server {addr}: {e}"));
+            Oracle::with_remote_magic(engine, cfg.threads.clone(), client)
+                .unwrap_or_else(|e| panic!("cannot pin magic strategy on {addr}: {e}"))
+        }
+        None => Oracle::new(engine, cfg.threads.clone()),
+    };
+    run_fuzz_with(&oracle, cfg)
+}
+
+/// Run the fuzzer against an already-constructed oracle.
+pub fn run_fuzz_with(oracle: &Oracle<'_>, cfg: &FuzzConfig) -> FuzzReport {
     let start = Instant::now();
     let budget = (cfg.budget_ms > 0).then(|| Duration::from_millis(cfg.budget_ms));
     let mut report = FuzzReport::default();

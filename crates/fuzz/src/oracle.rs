@@ -12,9 +12,12 @@
 //! that breaks a QGM invariant surfaces as a divergence too (the
 //! secondary oracle).
 
+use std::cell::RefCell;
+
 use starmagic::{Engine, PipelineOptions};
 use starmagic_common::{Error, Row};
 use starmagic_rewrite::engine::CheckLevel;
+use starmagic_server::{Client, Response};
 
 /// One execution configuration of the oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,12 +116,38 @@ pub struct Divergence {
 pub struct Oracle<'a> {
     engine: &'a Engine,
     threads: Vec<usize>,
+    /// When set, the Magic strategy runs over the wire protocol
+    /// against this connection instead of in-process, so the whole
+    /// server stack (codec, session, shared plan cache) sits inside
+    /// the differential loop. The remote database must be identical
+    /// to `engine`'s (`starmagic-server --scale fuzz`).
+    remote_magic: Option<RefCell<Client>>,
 }
 
 impl<'a> Oracle<'a> {
     pub fn new(engine: &'a Engine, threads: Vec<usize>) -> Oracle<'a> {
         assert!(!threads.is_empty());
-        Oracle { engine, threads }
+        Oracle {
+            engine,
+            threads,
+            remote_magic: None,
+        }
+    }
+
+    /// An oracle whose Magic strategy executes through `client`. Pins
+    /// the session strategy to magic up front.
+    pub fn with_remote_magic(
+        engine: &'a Engine,
+        threads: Vec<usize>,
+        mut client: Client,
+    ) -> Result<Oracle<'a>, Error> {
+        assert!(!threads.is_empty());
+        client.set_strategy("magic")?;
+        Ok(Oracle {
+            engine,
+            threads,
+            remote_magic: Some(RefCell::new(client)),
+        })
     }
 
     pub fn engine(&self) -> &Engine {
@@ -129,6 +158,16 @@ impl<'a> Oracle<'a> {
     pub fn check(&self, sql: &str) -> Outcome {
         let mut runs: Vec<(Config, Result<Vec<Row>, Error>)> = Vec::new();
         for strategy in StrategyKind::ALL {
+            if strategy == StrategyKind::Magic {
+                if let Some(remote) = &self.remote_magic {
+                    let mut client = remote.borrow_mut();
+                    for &threads in &self.threads {
+                        let rows = remote_run(&mut client, sql, threads);
+                        runs.push((Config { strategy, threads }, rows));
+                    }
+                    continue;
+                }
+            }
             match self.engine.prepare_with_options(sql, strategy.options()) {
                 Err(e) => {
                     // A prepare failure applies to every thread count.
@@ -150,6 +189,25 @@ impl<'a> Oracle<'a> {
             }
         }
         classify(&runs)
+    }
+}
+
+/// One wire-protocol execution: pin the session's thread count, run
+/// the query, sort the bag. The codec carries the error variant, so a
+/// server-side failure reconstructs as the same [`Error`] the
+/// in-process run would produce and error-vs-error comparison works
+/// unchanged; doubles travel as their IEEE-754 bits, so row bags
+/// compare byte-identically.
+fn remote_run(client: &mut Client, sql: &str, threads: usize) -> Result<Vec<Row>, Error> {
+    client.set_threads(threads)?;
+    match client.query(sql)? {
+        Response::Rows { mut rows, .. } => {
+            rows.sort_by(Row::group_cmp);
+            Ok(rows)
+        }
+        other => Err(Error::internal(format!(
+            "expected a result set over the wire, got {other:?}"
+        ))),
     }
 }
 

@@ -114,7 +114,7 @@ fn references(e: &Expr, aliases: &[String]) -> bool {
     let hit = |q: &Option<String>| q.as_ref().is_some_and(|q| aliases.iter().any(|a| a == q));
     match e {
         Expr::Column { qualifier, .. } => hit(qualifier),
-        Expr::Literal(_) => false,
+        Expr::Literal(_) | Expr::Param(_) => false,
         Expr::Binary { left, right, .. } => references(left, aliases) || references(right, aliases),
         Expr::Neg(x) | Expr::Not(x) => references(x, aliases),
         Expr::IsNull { expr, .. } => references(expr, aliases),
@@ -429,7 +429,7 @@ fn expr_reductions(e: &Expr) -> Vec<Expr> {
         Expr::Literal(Value::Str(s)) if !s.is_empty() => {
             out.push(Expr::Literal(Value::str("")));
         }
-        Expr::Literal(_) | Expr::Column { .. } => {}
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
         Expr::IsNull { expr, negated } => {
             if *negated {
                 out.push(Expr::IsNull {

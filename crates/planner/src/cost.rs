@@ -111,7 +111,7 @@ fn distinct_cap(qgm: &Qgm, catalog: &Catalog, b: BoxId, card: f64) -> f64 {
     for c in &qb.columns {
         let nd = match &c.expr {
             ScalarExpr::ColRef { quant, col } => ndv_of(qgm, catalog, *quant, *col),
-            ScalarExpr::Literal(_) => Some(1.0),
+            ScalarExpr::Literal(_) | ScalarExpr::Param(_) => Some(1.0),
             _ => None,
         };
         match nd {

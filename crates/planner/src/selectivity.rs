@@ -49,7 +49,9 @@ fn ndv_in_box(qgm: &Qgm, catalog: &Catalog, b: BoxId, col: usize, depth: usize) 
                 ScalarExpr::ColRef { quant, col: c } => {
                     ndv_in_box(qgm, catalog, qgm.quant(*quant).input, *c, depth + 1)
                 }
-                ScalarExpr::Literal(_) => Some(1.0),
+                // One fixed value per execution — NDV 1, like a
+                // literal.
+                ScalarExpr::Literal(_) | ScalarExpr::Param(_) => Some(1.0),
                 _ => None,
             }
         }

@@ -773,6 +773,7 @@ impl<'a> Builder<'a> {
                 self.resolve_column(qualifier.as_deref(), name, scope)?
             }
             sql::Expr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            sql::Expr::Param(i) => ScalarExpr::Param(*i),
             sql::Expr::Binary { op, left, right } => ScalarExpr::bin(
                 *op,
                 self.translate(left, scope, sink)?,
@@ -1025,6 +1026,7 @@ impl<'a> Builder<'a> {
                 }
             }
             sql::Expr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            sql::Expr::Param(i) => ScalarExpr::Param(*i),
             sql::Expr::Column { name, .. } => {
                 return Err(Error::semantic(format!(
                     "column {name} must appear in GROUP BY or an aggregate"

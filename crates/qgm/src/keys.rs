@@ -362,9 +362,13 @@ fn select_const_cols(
         else {
             continue;
         };
+        // A parameter pins a column just like a literal: it has one
+        // fixed (non-NULL) value for the whole execution.
         let col = match (&**left, &**right) {
-            (ScalarExpr::ColRef { quant, col }, ScalarExpr::Literal(_))
-            | (ScalarExpr::Literal(_), ScalarExpr::ColRef { quant, col }) => (quant.0, *col),
+            (ScalarExpr::ColRef { quant, col }, ScalarExpr::Literal(_) | ScalarExpr::Param(_))
+            | (ScalarExpr::Literal(_) | ScalarExpr::Param(_), ScalarExpr::ColRef { quant, col }) => {
+                (quant.0, *col)
+            }
             _ => continue,
         };
         if fset.contains(&col.0) {
@@ -446,7 +450,7 @@ fn const_group_keys(
 /// a provably-constant column.
 fn expr_const(e: &ScalarExpr, consts: &BTreeSet<(u32, usize)>) -> bool {
     match e {
-        ScalarExpr::Literal(_) => true,
+        ScalarExpr::Literal(_) | ScalarExpr::Param(_) => true,
         ScalarExpr::ColRef { quant, col } => consts.contains(&(quant.0, *col)),
         _ => false,
     }

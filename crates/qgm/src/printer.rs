@@ -132,6 +132,7 @@ pub fn expr_str(qgm: &Qgm, home: BoxId, e: &ScalarExpr) -> String {
             }
         }
         ScalarExpr::Literal(v) => v.to_string(),
+        ScalarExpr::Param(i) => format!("?{}", i + 1),
         ScalarExpr::Bin { op, left, right } => format!(
             "{} {} {}",
             expr_str(qgm, home, left),

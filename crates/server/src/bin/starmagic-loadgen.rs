@@ -1,0 +1,118 @@
+//! The load-generator binary.
+//!
+//! ```text
+//! cargo run --release -p starmagic-server --bin starmagic-loadgen -- \
+//!     [--addr host:port]        # target server; omit to self-host in-process
+//!     [--connections 8] [--budget-ms 500] [--threads 1]
+//!     [--scale small|benchmark] # self-hosted server's database
+//!     [--json BENCH_server.json]
+//!     [--require-hits]          # exit 1 unless the cache hit rate > 0
+//! ```
+//!
+//! Replays the Table-1 suite per strategy from 1 and N connections,
+//! prints a throughput/latency table, and writes the versioned
+//! `BENCH_server.json`. Exits nonzero on any query error (and, with
+//! `--require-hits`, on a zero cache hit rate) so CI can gate on it.
+
+use std::time::Duration;
+
+use starmagic_catalog::generator::Scale;
+use starmagic_server::loadgen::{self, LoadgenConfig};
+use starmagic_server::{serve_engine, ServerConfig};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{name}=")).map(String::from))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = LoadgenConfig {
+        connections: flag_value(&args, "--connections")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8),
+        budget: Duration::from_millis(
+            flag_value(&args, "--budget-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(500),
+        ),
+        threads: flag_value(&args, "--threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+    };
+    let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_server.json".to_string());
+    let require_hits = args.iter().any(|a| a == "--require-hits");
+
+    // Self-host unless a target address was given.
+    let (addr, local) = match flag_value(&args, "--addr") {
+        Some(a) => (a.parse().expect("bad --addr"), None),
+        None => {
+            let scale = match flag_value(&args, "--scale").as_deref() {
+                Some("benchmark") => Scale::benchmark(),
+                _ => Scale::small(),
+            };
+            let engine = starmagic_bench::bench_engine(scale).expect("build benchmark engine");
+            let handle = serve_engine(
+                engine,
+                "127.0.0.1:0",
+                ServerConfig {
+                    max_sessions: cfg.connections + 4,
+                },
+            )
+            .expect("bind self-hosted server");
+            (handle.addr(), Some(handle))
+        }
+    };
+
+    eprintln!(
+        "loadgen: {} connections, {}ms budget/window, {} executor thread(s), target {addr}",
+        cfg.connections,
+        cfg.budget.as_millis(),
+        cfg.threads
+    );
+    let report = loadgen::run(addr, cfg).expect("load run failed");
+
+    println!(
+        "{:<10} {:>5} {:>10} {:>9} {:>9} {:>9} {:>8} {:>7}",
+        "strategy", "conns", "qps", "p50us", "p95us", "p99us", "hitrate", "errors"
+    );
+    for s in &report.strategies {
+        for w in [&s.serial, &s.concurrent] {
+            println!(
+                "{:<10} {:>5} {:>10.1} {:>9} {:>9} {:>9} {:>7.1}% {:>7}",
+                s.strategy,
+                w.connections,
+                w.qps(),
+                w.percentile_us(50.0),
+                w.percentile_us(95.0),
+                w.percentile_us(99.0),
+                w.hit_rate() * 100.0,
+                w.errors
+            );
+        }
+        println!("{:<10} speedup {:>5.2}x", s.strategy, s.speedup());
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let doc = loadgen::bench_server_report(&report, host_cpus);
+    std::fs::write(&json_path, format!("{doc}\n")).expect("write BENCH_server.json");
+    eprintln!("wrote {json_path}");
+
+    if let Some(handle) = local {
+        handle.shutdown();
+    }
+
+    if report.total_errors() > 0 {
+        eprintln!("loadgen: {} query error(s)", report.total_errors());
+        std::process::exit(1);
+    }
+    if require_hits && report.concurrent_hit_rate() <= 0.0 {
+        eprintln!("loadgen: cache hit rate was zero");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! The server binary.
+//!
+//! ```text
+//! cargo run -p starmagic-server --bin starmagic-server -- \
+//!     [--addr 127.0.0.1:7878] [--scale small|benchmark|fuzz] [--max-sessions 64]
+//! ```
+//!
+//! Serves the generated benchmark database (with the Table-1 views
+//! pre-created) until a client sends `SHUTDOWN`. `--scale fuzz` hosts
+//! the differential fuzzer's NULL-rich database so `starmagic-fuzz
+//! --server` compares against identical data. Prints the bound
+//! address on the first line of stdout so scripts can use `--addr
+//! 127.0.0.1:0` and read the ephemeral port back.
+
+use starmagic_catalog::generator::Scale;
+use starmagic_server::{serve_engine, ServerConfig};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix(&format!("{name}=")).map(String::from))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let max_sessions = flag_value(&args, "--max-sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+
+    let engine = match flag_value(&args, "--scale").as_deref() {
+        Some("benchmark") => starmagic_bench::bench_engine(Scale::benchmark()),
+        Some("fuzz") => starmagic_bench::fuzz_engine(),
+        _ => starmagic_bench::bench_engine(Scale::small()),
+    }
+    .expect("build benchmark engine");
+    let handle = serve_engine(engine, &addr, ServerConfig { max_sessions }).expect("bind");
+    println!("{}", handle.addr());
+    eprintln!(
+        "starmagic-server listening on {} (max {max_sessions} sessions); send SHUTDOWN to stop",
+        handle.addr()
+    );
+    handle.wait();
+    eprintln!("starmagic-server stopped");
+}

@@ -1,0 +1,197 @@
+//! Blocking client for the line protocol — used by the load
+//! generator, the fuzzer's `--server` oracle, and the tests.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use starmagic_common::{Error, Result, Value};
+
+use crate::protocol::{decode_error, decode_row, encode_value, ok_info, unescape, Response};
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and decode the response.
+    pub fn request(&mut self, line: &str) -> Result<Response> {
+        let io_err = |e: io::Error| Error::execution(format!("connection lost: {e}"));
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(io_err)?;
+        let first = self.read_line()?;
+        let mut parts = first.split_whitespace();
+        match parts.next() {
+            Some("OK") => Ok(Response::Ok {
+                info: ok_info(&first),
+            }),
+            Some("ERR") => Err(decode_error(&first)),
+            Some("TEXT") => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| Error::internal("bad TEXT frame"))?;
+                let mut text = String::new();
+                for _ in 0..n {
+                    text.push_str(&self.read_line()?);
+                    text.push('\n');
+                }
+                Ok(Response::Text(text))
+            }
+            Some("COLS") => {
+                let _n = parts.next();
+                let mut columns = Vec::new();
+                for tok in parts {
+                    columns.push(unescape(tok)?);
+                }
+                let mut rows = Vec::new();
+                loop {
+                    let line = self.read_line()?;
+                    if line.starts_with("ROW") {
+                        rows.push(decode_row(&line)?);
+                    } else if line.starts_with("OK") {
+                        let info = ok_info(&line);
+                        let flag = |k: &str| {
+                            info.iter()
+                                .find(|(key, _)| key == k)
+                                .is_some_and(|(_, v)| v == "1")
+                        };
+                        return Ok(Response::Rows {
+                            columns,
+                            rows,
+                            cache_hit: flag("hit"),
+                            used_magic: flag("magic"),
+                        });
+                    } else if line.starts_with("ERR") {
+                        return Err(decode_error(&line));
+                    } else {
+                        return Err(Error::internal(format!(
+                            "unexpected frame in result set: {line:?}"
+                        )));
+                    }
+                }
+            }
+            _ => Err(Error::internal(format!(
+                "unexpected response frame: {first:?}"
+            ))),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| Error::execution(format!("connection lost: {e}")))?;
+        if n == 0 {
+            return Err(Error::execution("connection closed by server"));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Run a query; returns the result-set response.
+    pub fn query(&mut self, sql: &str) -> Result<Response> {
+        self.request(&format!("QUERY {}", single_line(sql)))
+    }
+
+    /// Prepare a named statement; returns its user-parameter count.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
+        let r = self.request(&format!("PREPARE {name} {}", single_line(sql)))?;
+        Ok(r.info("params").and_then(|v| v.parse().ok()).unwrap_or(0))
+    }
+
+    /// Execute a named statement with bound values.
+    pub fn execute(&mut self, name: &str, args: &[Value]) -> Result<Response> {
+        let mut line = format!("EXECUTE {name}");
+        for v in args {
+            line.push(' ');
+            line.push_str(&encode_value(v));
+        }
+        self.request(&line)
+    }
+
+    /// Forget a named statement.
+    pub fn close(&mut self, name: &str) -> Result<()> {
+        self.request(&format!("CLOSE {name}")).map(|_| ())
+    }
+
+    /// Pin the session's optimizer strategy.
+    pub fn set_strategy(&mut self, strategy: &str) -> Result<()> {
+        self.request(&format!("SET STRATEGY {strategy}"))
+            .map(|_| ())
+    }
+
+    /// Set the session's executor worker count.
+    pub fn set_threads(&mut self, threads: usize) -> Result<()> {
+        self.request(&format!("SET THREADS {threads}")).map(|_| ())
+    }
+
+    /// EXPLAIN over the wire.
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        match self.request(&format!("EXPLAIN {}", single_line(sql)))? {
+            Response::Text(t) => Ok(t),
+            other => Err(Error::internal(format!("expected TEXT, got {other:?}"))),
+        }
+    }
+
+    /// EXPLAIN ANALYZE over the wire.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        match self.request(&format!("ANALYZE {}", single_line(sql)))? {
+            Response::Text(t) => Ok(t),
+            other => Err(Error::internal(format!("expected TEXT, got {other:?}"))),
+        }
+    }
+
+    /// The server's plan-cache report (optionally clearing it).
+    pub fn cache(&mut self, clear: bool) -> Result<String> {
+        let line = if clear { "CACHE CLEAR" } else { "CACHE" };
+        match self.request(line)? {
+            Response::Text(t) => Ok(t),
+            other => Err(Error::internal(format!("expected TEXT, got {other:?}"))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<()> {
+        self.request("PING").map(|_| ())
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.request("SHUTDOWN").map(|_| ())
+    }
+}
+
+/// SQL travels on one line; fold any embedded newlines to spaces
+/// (the grammar is whitespace-insensitive). Full-line `--` comments
+/// are dropped first — folded onto one line they would comment out
+/// everything after them (corpus repro files start with such
+/// headers). A trailing `--` comment mid-line cannot be stripped
+/// safely (it could sit inside a string literal), so those still
+/// poison the remainder; keep them off wire-bound SQL.
+fn single_line(sql: &str) -> String {
+    if sql.contains('\n') || sql.contains('\r') {
+        sql.lines()
+            .filter(|l| !l.trim_start().starts_with("--"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    } else {
+        sql.to_string()
+    }
+}

@@ -1,0 +1,30 @@
+//! starmagic-server — a concurrent SQL service over the starmagic
+//! engine.
+//!
+//! The engine is shared across sessions behind an `RwLock`
+//! ([`shared::SharedEngine`]): queries run concurrently under the
+//! read lock, and every session's plan lookups land in one shared
+//! plan cache (normalized SQL → optimized plan), so a query shape
+//! optimized by any connection is a cache hit for all of them. DDL
+//! takes the write lock and flushes the cache.
+//!
+//! The wire format ([`protocol`]) is a newline-delimited text
+//! protocol with a lossless value codec — replayed result bags are
+//! byte-identical to in-process execution, which is what the
+//! concurrency determinism tests and the fuzzer's `--server` oracle
+//! rely on. [`server`] hosts the accept loop, session threads, hard
+//! session cap, and graceful shutdown; [`client`] is the matching
+//! blocking client; [`loadgen`] replays the Table-1 suite from many
+//! connections and measures throughput, tail latency, and cache hit
+//! rate.
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod shared;
+
+pub use client::Client;
+pub use protocol::Response;
+pub use server::{serve, serve_engine, ServerConfig, ServerHandle};
+pub use shared::SharedEngine;

@@ -1,0 +1,401 @@
+//! Load generator: replay the Table-1 suite from N concurrent
+//! connections and measure throughput, tail latency, and plan-cache
+//! hit rate per strategy.
+//!
+//! Each worker owns one connection, pins the strategy under test, and
+//! replays the eight experiments round-robin (starting at a
+//! worker-specific offset so the workers don't move in lockstep)
+//! until the wall-clock budget expires. Every response carries the
+//! server's `hit=` flag, so the hit rate is measured at the protocol
+//! level, not inferred. The run is repeated at one connection and at
+//! `connections`, per strategy — the qps ratio is the concurrency
+//! speedup the shared engine delivers on this hardware.
+//!
+//! [`bench_server_report`] serializes a run into the versioned
+//! `BENCH_server.json` document (schema pinned by a test, like
+//! `BENCH_table1.json`).
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use starmagic::trace::json::Value;
+use starmagic_bench::Experiment;
+use starmagic_common::{Error, Result};
+
+use crate::client::Client;
+
+/// Schema version of `BENCH_server.json`. Bump on shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Load-generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Concurrent connections in the loaded window.
+    pub connections: usize,
+    /// Wall-clock budget per measured window.
+    pub budget: Duration,
+    /// Per-session executor workers (`SET THREADS`).
+    pub threads: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            connections: 8,
+            budget: Duration::from_millis(500),
+            threads: 1,
+        }
+    }
+}
+
+/// One measured window: every worker's samples merged.
+#[derive(Debug, Clone)]
+pub struct Window {
+    pub connections: usize,
+    pub queries: u64,
+    pub errors: u64,
+    pub cache_hits: u64,
+    pub elapsed: Duration,
+    /// Per-query latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl Window {
+    pub fn qps(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.queries as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        }
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// The `p`-th percentile latency in microseconds (nearest-rank on
+    /// the sorted samples).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let idx = ((p / 100.0) * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[idx.min(self.latencies_us.len() - 1)]
+    }
+}
+
+/// One strategy's serial and concurrent windows.
+#[derive(Debug, Clone)]
+pub struct StrategyLoad {
+    /// Protocol token (`original`, `cost`, `magic`).
+    pub strategy: &'static str,
+    pub serial: Window,
+    pub concurrent: Window,
+}
+
+impl StrategyLoad {
+    /// Concurrent qps over serial qps.
+    pub fn speedup(&self) -> f64 {
+        self.concurrent.qps() / self.serial.qps().max(1e-12)
+    }
+}
+
+/// A full load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub config: LoadgenConfig,
+    pub strategies: Vec<StrategyLoad>,
+}
+
+impl LoadReport {
+    /// Total queries across every window.
+    pub fn total_queries(&self) -> u64 {
+        self.strategies
+            .iter()
+            .map(|s| s.serial.queries + s.concurrent.queries)
+            .sum()
+    }
+
+    /// Total errors across every window.
+    pub fn total_errors(&self) -> u64 {
+        self.strategies
+            .iter()
+            .map(|s| s.serial.errors + s.concurrent.errors)
+            .sum()
+    }
+
+    /// Hit rate over the concurrent windows only (the serial windows
+    /// include each strategy's compulsory misses).
+    pub fn concurrent_hit_rate(&self) -> f64 {
+        let (hits, queries) = self.strategies.iter().fold((0u64, 0u64), |(h, q), s| {
+            (h + s.concurrent.cache_hits, q + s.concurrent.queries)
+        });
+        if queries == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            hits as f64 / queries as f64
+        }
+    }
+}
+
+/// The strategies a run measures, as protocol tokens.
+pub const STRATEGIES: [&str; 3] = ["original", "cost", "magic"];
+
+/// Run the full matrix against a server: per strategy, a one-
+/// connection window then a `connections`-wide window.
+pub fn run(addr: SocketAddr, cfg: LoadgenConfig) -> Result<LoadReport> {
+    let suite: Vec<String> = starmagic_bench::experiments()
+        .iter()
+        .map(|e: &Experiment| e.original_sql.to_string())
+        .collect();
+    let mut strategies = Vec::new();
+    for strategy in STRATEGIES {
+        let serial = window(addr, strategy, &suite, 1, cfg)?;
+        let concurrent = window(addr, strategy, &suite, cfg.connections, cfg)?;
+        strategies.push(StrategyLoad {
+            strategy,
+            serial,
+            concurrent,
+        });
+    }
+    Ok(LoadReport {
+        config: cfg,
+        strategies,
+    })
+}
+
+fn window(
+    addr: SocketAddr,
+    strategy: &str,
+    suite: &[String],
+    connections: usize,
+    cfg: LoadgenConfig,
+) -> Result<Window> {
+    let start = Instant::now();
+    let deadline = start + cfg.budget;
+    let mut handles = Vec::new();
+    for w in 0..connections.max(1) {
+        let suite = suite.to_vec();
+        let strategy = strategy.to_string();
+        handles.push(std::thread::spawn(move || {
+            worker(addr, &strategy, &suite, w, deadline, cfg.threads)
+        }));
+    }
+    let mut queries = 0u64;
+    let mut errors = 0u64;
+    let mut cache_hits = 0u64;
+    let mut latencies_us = Vec::new();
+    for h in handles {
+        let w = h
+            .join()
+            .map_err(|_| Error::internal("loadgen worker panicked"))??;
+        queries += w.queries;
+        errors += w.errors;
+        cache_hits += w.cache_hits;
+        latencies_us.extend(w.latencies_us);
+    }
+    latencies_us.sort_unstable();
+    Ok(Window {
+        connections: connections.max(1),
+        queries,
+        errors,
+        cache_hits,
+        elapsed: start.elapsed(),
+        latencies_us,
+    })
+}
+
+struct WorkerStats {
+    queries: u64,
+    errors: u64,
+    cache_hits: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn worker(
+    addr: SocketAddr,
+    strategy: &str,
+    suite: &[String],
+    offset: usize,
+    deadline: Instant,
+    threads: usize,
+) -> Result<WorkerStats> {
+    let mut client =
+        Client::connect(addr).map_err(|e| Error::execution(format!("connect: {e}")))?;
+    client.set_strategy(strategy)?;
+    if threads > 1 {
+        client.set_threads(threads)?;
+    }
+    let mut stats = WorkerStats {
+        queries: 0,
+        errors: 0,
+        cache_hits: 0,
+        latencies_us: Vec::new(),
+    };
+    let mut i = offset % suite.len().max(1);
+    while Instant::now() < deadline {
+        let sql = &suite[i];
+        i = (i + 1) % suite.len();
+        let t = Instant::now();
+        match client.query(sql) {
+            Ok(crate::protocol::Response::Rows { cache_hit, .. }) => {
+                stats.queries += 1;
+                if cache_hit {
+                    stats.cache_hits += 1;
+                }
+            }
+            Ok(_) => stats.queries += 1,
+            Err(_) => stats.errors += 1,
+        }
+        stats
+            .latencies_us
+            .push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    Ok(stats)
+}
+
+fn window_obj(w: &Window) -> Value {
+    Value::Obj(vec![
+        ("connections".to_string(), Value::from(w.connections)),
+        ("queries".to_string(), Value::from(w.queries)),
+        ("errors".to_string(), Value::from(w.errors)),
+        (
+            "elapsed_ms".to_string(),
+            Value::from(u64::try_from(w.elapsed.as_millis()).unwrap_or(u64::MAX)),
+        ),
+        ("qps".to_string(), Value::from(w.qps())),
+        ("p50_us".to_string(), Value::from(w.percentile_us(50.0))),
+        ("p95_us".to_string(), Value::from(w.percentile_us(95.0))),
+        ("p99_us".to_string(), Value::from(w.percentile_us(99.0))),
+        ("cache_hit_rate".to_string(), Value::from(w.hit_rate())),
+    ])
+}
+
+/// Build the `BENCH_server.json` document.
+pub fn bench_server_report(report: &LoadReport, host_cpus: usize) -> Value {
+    let strategies: Vec<(String, Value)> = report
+        .strategies
+        .iter()
+        .map(|s| {
+            (
+                s.strategy.to_string(),
+                Value::Obj(vec![
+                    ("serial".to_string(), window_obj(&s.serial)),
+                    ("concurrent".to_string(), window_obj(&s.concurrent)),
+                    ("speedup".to_string(), Value::from(s.speedup())),
+                ]),
+            )
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema_version".to_string(), Value::from(SCHEMA_VERSION)),
+        ("generated_by".to_string(), Value::from("starmagic-loadgen")),
+        ("mode".to_string(), Value::from("server-load")),
+        (
+            "connections".to_string(),
+            Value::from(report.config.connections),
+        ),
+        (
+            "budget_ms".to_string(),
+            Value::from(u64::try_from(report.config.budget.as_millis()).unwrap_or(u64::MAX)),
+        ),
+        ("threads".to_string(), Value::from(report.config.threads)),
+        ("host_cpus".to_string(), Value::from(host_cpus)),
+        ("strategies".to_string(), Value::Obj(strategies)),
+        (
+            "concurrent_hit_rate".to_string(),
+            Value::from(report.concurrent_hit_rate()),
+        ),
+        (
+            "total_errors".to_string(),
+            Value::from(report.total_errors()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_window() -> Window {
+        Window {
+            connections: 2,
+            queries: 10,
+            errors: 0,
+            cache_hits: 8,
+            elapsed: Duration::from_millis(100),
+            latencies_us: (1..=10).collect(),
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let w = dummy_window();
+        assert_eq!(w.percentile_us(50.0), 6);
+        assert_eq!(w.percentile_us(99.0), 10);
+        assert_eq!(w.percentile_us(0.0), 1);
+    }
+
+    #[test]
+    fn schema_is_stable() {
+        let report = LoadReport {
+            config: LoadgenConfig::default(),
+            strategies: STRATEGIES
+                .iter()
+                .map(|s| StrategyLoad {
+                    strategy: s,
+                    serial: dummy_window(),
+                    concurrent: dummy_window(),
+                })
+                .collect(),
+        };
+        let doc = bench_server_report(&report, 4);
+        assert_eq!(doc.get("schema_version").and_then(Value::as_f64), Some(1.0));
+        for key in [
+            "generated_by",
+            "mode",
+            "connections",
+            "budget_ms",
+            "threads",
+            "host_cpus",
+            "strategies",
+            "concurrent_hit_rate",
+            "total_errors",
+        ] {
+            assert!(doc.get(key).is_some(), "missing top-level key {key}");
+        }
+        let strategies = doc.get("strategies").unwrap();
+        for s in STRATEGIES {
+            let obj = strategies.get(s).unwrap_or_else(|| panic!("missing {s}"));
+            for sect in ["serial", "concurrent"] {
+                let w = obj.get(sect).unwrap();
+                for key in [
+                    "connections",
+                    "queries",
+                    "errors",
+                    "elapsed_ms",
+                    "qps",
+                    "p50_us",
+                    "p95_us",
+                    "p99_us",
+                    "cache_hit_rate",
+                ] {
+                    assert!(w.get(key).is_some(), "missing {s}.{sect}.{key}");
+                }
+            }
+            assert!(obj.get("speedup").is_some());
+        }
+    }
+}

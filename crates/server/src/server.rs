@@ -1,0 +1,474 @@
+//! The TCP service: accept loop, session threads, graceful shutdown.
+//!
+//! One thread per connection, bounded by a hard session cap. The
+//! accept loop polls a nonblocking listener so it can observe the
+//! shutdown flag; sessions poll their sockets with a short read
+//! timeout for the same reason. Shutdown is *graceful*: in-flight
+//! requests run to completion and their responses are written, new
+//! connections are refused with an error frame, and every thread is
+//! joined before [`ServerHandle::shutdown`] returns.
+
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use starmagic::{Engine, Strategy};
+use starmagic_common::{Error, Value};
+
+use crate::protocol::{decode_value, encode_error, encode_row, escape};
+use crate::shared::SharedEngine;
+
+/// How long a blocked read waits before the session re-checks the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Hard cap on concurrent sessions; further connections receive
+    /// an error frame and are closed immediately.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { max_sessions: 64 }
+    }
+}
+
+/// A running server: the bound address plus the handle needed to stop
+/// it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flip the shutdown flag without waiting (a `SHUTDOWN` frame
+    /// from any session does the same).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful stop: refuse new connections, let in-flight requests
+    /// finish, join every thread.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server stops on its own (a client sent
+    /// `SHUTDOWN`, or the flag was flipped elsewhere).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind `addr` and start serving `engine` on a background thread.
+pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let accept = std::thread::Builder::new()
+        .name("starmagic-accept".to_string())
+        .spawn(move || accept_loop(&listener, &engine, &flag, cfg))?;
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &SharedEngine,
+    shutdown: &Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    refuse(stream, "server is shutting down");
+                    break;
+                }
+                if active.load(Ordering::SeqCst) >= cfg.max_sessions {
+                    refuse(
+                        stream,
+                        &format!("server at capacity ({} sessions)", cfg.max_sessions),
+                    );
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let engine = engine.clone();
+                let flag = Arc::clone(shutdown);
+                let count = Arc::clone(&active);
+                let spawned = std::thread::Builder::new()
+                    .name("starmagic-session".to_string())
+                    .spawn(move || {
+                        let _guard = SessionGuard(count);
+                        Session::new(engine, flag).run(stream);
+                    });
+                match spawned {
+                    Ok(h) => sessions.push(h),
+                    Err(_) => {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                sessions.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                sessions.retain(|h| !h.is_finished());
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    // Drain: sessions observe the flag at their next poll and exit
+    // after finishing whatever request is in flight.
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+/// Decrements the live-session counter however the session ends.
+struct SessionGuard(Arc<AtomicUsize>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn refuse(mut stream: TcpStream, why: &str) {
+    let _ = stream.write_all(format!("ERR Execution {}\n", escape(why)).as_bytes());
+}
+
+/// Timeout-tolerant line reader: a partial line interrupted by the
+/// poll timeout stays buffered instead of being lost (which is why
+/// `BufReader::read_line` is not usable here).
+struct LineReader {
+    buf: Vec<u8>,
+}
+
+enum ReadOutcome {
+    Line(String),
+    TimedOut,
+    Closed,
+}
+
+impl LineReader {
+    fn new() -> LineReader {
+        LineReader { buf: Vec::new() }
+    }
+
+    fn read_line(&mut self, stream: &mut TcpStream) -> ReadOutcome {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return ReadOutcome::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return ReadOutcome::TimedOut;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
+/// Per-connection state.
+struct Session {
+    engine: SharedEngine,
+    shutdown: Arc<AtomicBool>,
+    strategy: Strategy,
+    threads: usize,
+    /// Named prepared statements: name → SQL text. Execution
+    /// re-resolves through the shared plan cache, so a DDL flush can
+    /// never leave a session holding a stale plan.
+    statements: HashMap<String, String>,
+}
+
+impl Session {
+    fn new(engine: SharedEngine, shutdown: Arc<AtomicBool>) -> Session {
+        Session {
+            engine,
+            shutdown,
+            strategy: Strategy::CostBased,
+            threads: 1,
+            statements: HashMap::new(),
+        }
+    }
+
+    fn run(mut self, mut stream: TcpStream) {
+        if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        let mut reader = LineReader::new();
+        loop {
+            match reader.read_line(&mut stream) {
+                ReadOutcome::TimedOut => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                ReadOutcome::Closed => return,
+                ReadOutcome::Line(line) => {
+                    let line = line.trim().to_string();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let (reply, quit) = self.dispatch(&line);
+                    if stream.write_all(reply.as_bytes()).is_err() || quit {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle one request; returns the full response text (newline
+    /// terminated) and whether the session should close.
+    fn dispatch(&mut self, line: &str) -> (String, bool) {
+        let (verb, rest) = split_word(line);
+        match verb.to_ascii_uppercase().as_str() {
+            "PING" => ("OK\n".to_string(), false),
+            "QUIT" => ("OK\n".to_string(), true),
+            "SHUTDOWN" => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                ("OK\n".to_string(), true)
+            }
+            "SET" => (self.set(rest), false),
+            "QUERY" => (self.query(rest), false),
+            "PREPARE" => (self.prepare(rest), false),
+            "EXECUTE" => (self.execute(rest), false),
+            "CLOSE" => {
+                let name = rest.trim();
+                if self.statements.remove(name).is_some() {
+                    ("OK\n".to_string(), false)
+                } else {
+                    (
+                        err_line(&Error::NotFound(format!("prepared statement {name}"))),
+                        false,
+                    )
+                }
+            }
+            "EXPLAIN" => (self.text_frame(self.engine.read().explain(rest)), false),
+            "ANALYZE" => (
+                self.text_frame(self.engine.read().explain_analyze(rest)),
+                false,
+            ),
+            "CACHE" => (self.cache(rest), false),
+            _ => (
+                err_line(&Error::unsupported(format!("unknown command {verb}"))),
+                false,
+            ),
+        }
+    }
+
+    fn set(&mut self, rest: &str) -> String {
+        let (what, value) = split_word(rest);
+        match what.to_ascii_uppercase().as_str() {
+            "STRATEGY" => match value.trim().to_ascii_lowercase().as_str() {
+                "original" => {
+                    self.strategy = Strategy::Original;
+                    "OK\n".to_string()
+                }
+                "magic" => {
+                    self.strategy = Strategy::Magic;
+                    "OK\n".to_string()
+                }
+                "cost" | "costbased" | "cost-based" => {
+                    self.strategy = Strategy::CostBased;
+                    "OK\n".to_string()
+                }
+                other => err_line(&Error::unsupported(format!("unknown strategy {other}"))),
+            },
+            "THREADS" => match value.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    self.threads = n;
+                    "OK\n".to_string()
+                }
+                _ => err_line(&Error::unsupported("SET THREADS needs an integer >= 1")),
+            },
+            other => err_line(&Error::unsupported(format!("unknown setting {other}"))),
+        }
+    }
+
+    fn query(&mut self, sql: &str) -> String {
+        let sql = sql.trim();
+        if sql.is_empty() {
+            return err_line(&Error::unsupported("QUERY needs SQL text"));
+        }
+        if is_ddl(sql) {
+            // DDL changes the catalog: exclusive access.
+            let mut engine = self.engine.write();
+            return match engine.run_sql(sql) {
+                Ok(None) => "OK rows=0\n".to_string(),
+                Ok(Some(r)) => rows_frame(&r.columns, &r.rows, false, r.used_magic),
+                Err(e) => err_line(&e),
+            };
+        }
+        let engine = self.engine.read();
+        match engine.query_cached_traced_with(sql, self.strategy, self.threads) {
+            Ok(c) => rows_frame(
+                &c.result.columns,
+                &c.result.rows,
+                c.hit,
+                c.result.used_magic,
+            ),
+            Err(e) => err_line(&e),
+        }
+    }
+
+    fn prepare(&mut self, rest: &str) -> String {
+        let (name, sql) = split_word(rest);
+        let sql = sql.trim();
+        if name.is_empty() || sql.is_empty() {
+            return err_line(&Error::unsupported("usage: PREPARE <name> <sql>"));
+        }
+        // Validate and warm the shared cache now, so EXECUTE's
+        // re-resolution is a pure cache hit.
+        let engine = self.engine.read();
+        match engine.prepare_cached(sql, self.strategy) {
+            Ok((plan, _, _)) => {
+                let params = plan.user_params;
+                drop(engine);
+                self.statements.insert(name.to_string(), sql.to_string());
+                format!("OK params={params}\n")
+            }
+            Err(e) => err_line(&e),
+        }
+    }
+
+    fn execute(&mut self, rest: &str) -> String {
+        let (name, args_text) = split_word(rest);
+        let Some(sql) = self.statements.get(name).cloned() else {
+            return err_line(&Error::NotFound(format!("prepared statement {name}")));
+        };
+        let mut args: Vec<Value> = Vec::new();
+        for tok in args_text.split_whitespace() {
+            match decode_value(tok) {
+                Ok(v) => args.push(v),
+                Err(e) => return err_line(&e),
+            }
+        }
+        let engine = self.engine.read();
+        match engine.prepare_cached(&sql, self.strategy) {
+            Ok((plan, extracted, hit)) => {
+                match engine.execute_cached_with(&plan, &args, &extracted, self.threads) {
+                    Ok(r) => rows_frame(&r.columns, &r.rows, hit, r.used_magic),
+                    Err(e) => err_line(&e),
+                }
+            }
+            Err(e) => err_line(&e),
+        }
+    }
+
+    fn cache(&mut self, rest: &str) -> String {
+        let engine = self.engine.read();
+        if rest.trim().eq_ignore_ascii_case("clear") {
+            engine.cache_clear();
+        }
+        let report = starmagic::explain::render_cache(engine.cache_stats(), engine.cache_len());
+        drop(engine);
+        self.text_frame(Ok(report))
+    }
+
+    fn text_frame(&self, text: starmagic_common::Result<String>) -> String {
+        match text {
+            Ok(t) => {
+                let lines: Vec<&str> = t.lines().collect();
+                let mut out = format!("TEXT {}\n", lines.len());
+                for l in &lines {
+                    out.push_str(l);
+                    out.push('\n');
+                }
+                out
+            }
+            Err(e) => err_line(&e),
+        }
+    }
+}
+
+fn rows_frame(
+    columns: &[String],
+    rows: &[starmagic_common::Row],
+    hit: bool,
+    magic: bool,
+) -> String {
+    let mut out = format!("COLS {}", columns.len());
+    for c in columns {
+        out.push(' ');
+        out.push_str(&escape(c));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&encode_row(r));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "OK rows={} hit={} magic={}\n",
+        rows.len(),
+        u8::from(hit),
+        u8::from(magic)
+    ));
+    out
+}
+
+fn err_line(e: &Error) -> String {
+    let mut line = encode_error(e);
+    line.push('\n');
+    line
+}
+
+/// First whitespace-delimited word and the remainder.
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+/// Statements that mutate the catalog and need the write lock.
+fn is_ddl(sql: &str) -> bool {
+    let first = sql.split_whitespace().next().unwrap_or("");
+    first.eq_ignore_ascii_case("CREATE") || first.eq_ignore_ascii_case("INSERT")
+}
+
+/// Convenience for tests and the binary: build a shared engine and
+/// serve it on `addr` (use port 0 for an ephemeral port).
+pub fn serve_engine(engine: Engine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    serve(SharedEngine::new(engine), addr, cfg)
+}

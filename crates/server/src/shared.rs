@@ -1,0 +1,46 @@
+//! The engine shared across sessions.
+//!
+//! Queries (including plan-cache hits and inserts — the cache has its
+//! own interior mutex) run under the read lock, so they execute
+//! concurrently; DDL takes the write lock, which also serializes it
+//! against every in-flight query. Lock poisoning is tolerated: the
+//! engine's state is valid at every instruction boundary (the catalog
+//! rolls back failed DDL itself), so a panicking session must not
+//! take the server down with it.
+
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use starmagic::Engine;
+
+/// `Arc<RwLock<Engine>>` with poison-tolerant guards.
+#[derive(Clone)]
+pub struct SharedEngine {
+    inner: Arc<RwLock<Engine>>,
+}
+
+// The server hands `SharedEngine` to one thread per connection; this
+// is the single point that demands `Engine: Send + Sync` (columnar
+// state is `Arc`-shared, the plan cache is a `Mutex`).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<SharedEngine>();
+};
+
+impl SharedEngine {
+    pub fn new(engine: Engine) -> SharedEngine {
+        SharedEngine {
+            inner: Arc::new(RwLock::new(engine)),
+        }
+    }
+
+    /// Shared (query) access.
+    pub fn read(&self) -> RwLockReadGuard<'_, Engine> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive (DDL) access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Engine> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}

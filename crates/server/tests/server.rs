@@ -1,0 +1,336 @@
+//! End-to-end tests of the TCP service: wire round-trips, prepared
+//! statements, per-session settings, the session cap, DDL/cache
+//! interaction, and graceful shutdown.
+
+use starmagic::{Engine, Strategy};
+use starmagic_catalog::generator::Scale;
+use starmagic_common::{Error, Value};
+use starmagic_server::protocol::{encode_row, Response};
+use starmagic_server::{serve, serve_engine, Client, ServerConfig, SharedEngine};
+
+fn test_engine() -> Engine {
+    starmagic_bench::bench_engine(Scale::small()).expect("bench engine builds")
+}
+
+fn start(max_sessions: usize) -> (starmagic_server::ServerHandle, std::net::SocketAddr) {
+    let handle = serve_engine(test_engine(), "127.0.0.1:0", ServerConfig { max_sessions })
+        .expect("bind ephemeral server");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+/// Sorted bag of encoded row tokens — the byte-identical comparison
+/// unit shared with the determinism suite.
+fn bag(rows: &[starmagic_common::Row]) -> Vec<String> {
+    let mut b: Vec<String> = rows.iter().map(encode_row).collect();
+    b.sort_unstable();
+    b
+}
+
+const SUITE_QUERY: &str = "SELECT d.deptname, v.avgsal \
+                           FROM department d, deptAvgSal v \
+                           WHERE v.workdept = d.deptno AND d.deptno = 7";
+
+#[test]
+fn query_round_trips_byte_identical_to_in_process() {
+    let (handle, addr) = start(4);
+    let engine = test_engine();
+    let mut client = Client::connect(addr).expect("connect");
+
+    for (name, strategy) in [
+        ("original", Strategy::Original),
+        ("cost", Strategy::CostBased),
+        ("magic", Strategy::Magic),
+    ] {
+        client.set_strategy(name).expect("SET STRATEGY");
+        let local = engine.query_with(SUITE_QUERY, strategy).expect("local run");
+        match client.query(SUITE_QUERY).expect("wire run") {
+            Response::Rows { columns, rows, .. } => {
+                assert_eq!(columns, local.columns, "{name}: column names");
+                assert_eq!(bag(&rows), bag(&local.rows), "{name}: row bag");
+            }
+            other => panic!("{name}: expected rows, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn prepared_statements_bind_constants_over_the_wire() {
+    let (handle, addr) = start(4);
+    let engine = test_engine();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let params = client
+        .prepare(
+            "by_dept",
+            "SELECT empname, salary FROM employee WHERE workdept = ?",
+        )
+        .expect("PREPARE");
+    assert_eq!(params, 1, "one user parameter marker");
+
+    // Two executions with different constants must match two fresh
+    // single-shot runs — and the second must be a plan-cache hit.
+    let mut hits = Vec::new();
+    for dept in [3_i64, 5] {
+        let local = engine
+            .query_with(
+                &format!("SELECT empname, salary FROM employee WHERE workdept = {dept}"),
+                Strategy::CostBased,
+            )
+            .expect("local run");
+        match client
+            .execute("by_dept", &[Value::Int(dept)])
+            .expect("EXECUTE")
+        {
+            Response::Rows {
+                rows, cache_hit, ..
+            } => {
+                assert_eq!(bag(&rows), bag(&local.rows), "dept {dept}");
+                assert!(!rows.is_empty(), "dept {dept} should have employees");
+                hits.push(cache_hit);
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+    assert!(hits[1], "second execution must hit the shared plan cache");
+
+    client.close("by_dept").expect("CLOSE");
+    let err = client.execute("by_dept", &[Value::Int(3)]).unwrap_err();
+    assert!(
+        matches!(err, Error::NotFound(_)),
+        "closed statement must be gone, got {err:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn arity_mismatch_is_rejected_over_the_wire() {
+    let (handle, addr) = start(4);
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .prepare("p", "SELECT empname FROM employee WHERE workdept = ?")
+        .expect("PREPARE");
+    let err = client.execute("p", &[]).unwrap_err();
+    assert!(
+        err.to_string().contains("parameter"),
+        "expected an arity error, got {err:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn session_cap_refuses_excess_connections() {
+    let (handle, addr) = start(2);
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+    a.ping().expect("a alive");
+    b.ping().expect("b alive");
+
+    let mut c = Client::connect(addr).expect("tcp accepts, then refuses");
+    let err = c.ping().unwrap_err();
+    assert!(
+        err.to_string().contains("capacity"),
+        "expected a capacity refusal, got {err:?}"
+    );
+
+    // A slot frees up once a session ends.
+    a.request("QUIT").expect("quit a");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let mut d = Client::connect(addr).expect("connect d");
+        if d.ping().is_ok() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "freed session slot was never reusable"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn errors_travel_with_their_variant() {
+    let (handle, addr) = start(4);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let err = client.query("SELECT FROM").unwrap_err();
+    assert!(
+        matches!(err, Error::Parse { .. }),
+        "parse failures must arrive as Error::Parse, got {err:?}"
+    );
+    let err = client.query("SELECT * FROM no_such_table").unwrap_err();
+    assert!(
+        !matches!(err, Error::Internal(_)),
+        "unknown table is a user error, got {err:?}"
+    );
+    let err = client.request("FROBNICATE now").unwrap_err();
+    assert!(
+        matches!(err, Error::Unsupported(_)),
+        "unknown verbs must be Unsupported, got {err:?}"
+    );
+    // The session survives all of the above.
+    client.ping().expect("session still alive");
+    handle.shutdown();
+}
+
+#[test]
+fn explain_analyze_and_cache_frames_work_over_the_wire() {
+    let (handle, addr) = start(4);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let explain = client.explain(SUITE_QUERY).expect("EXPLAIN");
+    assert!(explain.contains("== plan cache"), "explain:\n{explain}");
+    assert!(explain.contains("key"), "explain carries the cache key");
+
+    let analyze = client.explain_analyze(SUITE_QUERY).expect("ANALYZE");
+    assert!(analyze.contains("== profile"), "analyze:\n{analyze}");
+    assert!(analyze.contains("== plan cache"), "analyze:\n{analyze}");
+
+    client.cache(true).expect("CACHE CLEAR");
+    client.query(SUITE_QUERY).expect("miss");
+    let hit = match client.query(SUITE_QUERY).expect("hit") {
+        Response::Rows { cache_hit, .. } => cache_hit,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert!(hit, "identical query must hit the plan cache");
+    let report = client.cache(false).expect("CACHE");
+    assert!(report.contains("== plan cache"), "cache report:\n{report}");
+    handle.shutdown();
+}
+
+#[test]
+fn ddl_over_the_wire_flushes_the_shared_cache() {
+    let (handle, addr) = start(4);
+    let mut client = Client::connect(addr).expect("connect");
+
+    client.cache(true).expect("CACHE CLEAR");
+    client.query(SUITE_QUERY).expect("warm the cache");
+    match client.query(SUITE_QUERY).expect("hit") {
+        Response::Rows { cache_hit, .. } => assert!(cache_hit, "warmed plan must hit"),
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    client
+        .query("CREATE VIEW wire_view (deptno) AS SELECT deptno FROM department")
+        .expect("DDL over the wire");
+    match client.query(SUITE_QUERY).expect("after DDL") {
+        Response::Rows { cache_hit, .. } => {
+            assert!(!cache_hit, "DDL must invalidate every cached plan");
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+    match client
+        .query("SELECT deptno FROM wire_view")
+        .expect("new view")
+    {
+        Response::Rows { rows, .. } => assert!(!rows.is_empty()),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn per_session_strategy_controls_the_executed_plan() {
+    let (handle, addr) = start(4);
+    let mut client = Client::connect(addr).expect("connect");
+
+    client.set_strategy("magic").expect("SET STRATEGY magic");
+    let magic = match client.query(SUITE_QUERY).expect("magic run") {
+        Response::Rows {
+            rows, used_magic, ..
+        } => {
+            assert!(used_magic, "forced magic must execute the magic plan");
+            bag(&rows)
+        }
+        other => panic!("expected rows, got {other:?}"),
+    };
+    client
+        .set_strategy("original")
+        .expect("SET STRATEGY original");
+    match client.query(SUITE_QUERY).expect("original run") {
+        Response::Rows {
+            rows, used_magic, ..
+        } => {
+            assert!(!used_magic, "original must not take the magic plan");
+            assert_eq!(bag(&rows), magic, "strategies agree on results");
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    client.set_threads(4).expect("SET THREADS");
+    match client.query(SUITE_QUERY).expect("threaded run") {
+        Response::Rows { rows, .. } => {
+            assert_eq!(bag(&rows), magic, "thread count never changes results");
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+    let err = client.request("SET THREADS 0").unwrap_err();
+    assert!(matches!(err, Error::Unsupported(_)), "got {err:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_sessions() {
+    // Keep a handle on the shared engine so lock health is checkable
+    // after the server is gone.
+    let shared = SharedEngine::new(test_engine());
+    let handle = serve(
+        shared.clone(),
+        "127.0.0.1:0",
+        ServerConfig { max_sessions: 4 },
+    )
+    .expect("bind server");
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("session established");
+    let worker = std::thread::spawn(move || {
+        // A burst of requests racing the shutdown flag: every one must
+        // complete — drain semantics — because the session only exits
+        // at an idle poll.
+        for i in 0..50 {
+            let r = client.query(SUITE_QUERY);
+            assert!(
+                r.is_ok(),
+                "in-flight query {i} failed during shutdown: {r:?}"
+            );
+        }
+        client.request("QUIT").expect("quit");
+    });
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    handle.request_shutdown();
+    worker.join().expect("worker panicked");
+    handle.shutdown(); // joins accept loop + sessions; must not hang
+
+    // New connections are refused once the listener is down.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            assert!(
+                late.ping().is_err(),
+                "server accepted a session after shutdown"
+            );
+        }
+    }
+
+    // No poisoned locks: the engine is immediately usable in-process.
+    let rows = shared
+        .read()
+        .query(SUITE_QUERY)
+        .expect("engine healthy after shutdown")
+        .rows;
+    assert!(!rows.is_empty());
+}
+
+#[test]
+fn shutdown_frame_from_a_client_stops_the_server() {
+    let (handle, addr) = start(4);
+    let mut client = Client::connect(addr).expect("connect");
+    client.query(SUITE_QUERY).expect("server serves");
+    client.shutdown_server().expect("SHUTDOWN acknowledged");
+    // wait() returns only when the accept loop exits on its own.
+    handle.wait();
+}

@@ -196,6 +196,10 @@ pub enum Expr {
     },
     /// Literal value.
     Literal(Value),
+    /// Parameter marker `?N` (0-based index; printed 1-based). Stands
+    /// for a constant bound at execution time — the plan cache's
+    /// normalization pass extracts literals into these.
+    Param(usize),
     /// Binary operation.
     Binary {
         op: BinOp,
@@ -303,6 +307,7 @@ impl Expr {
             Expr::QuantifiedCmp { expr, .. } => expr.contains_aggregate(),
             Expr::Column { .. }
             | Expr::Literal(_)
+            | Expr::Param(_)
             | Expr::Exists { .. }
             | Expr::ScalarSubquery(_) => false,
         }

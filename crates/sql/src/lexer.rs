@@ -121,6 +121,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     (',', _) => (TokenKind::Comma, 1),
                     ('.', _) => (TokenKind::Dot, 1),
                     (';', _) => (TokenKind::Semi, 1),
+                    ('?', _) => (TokenKind::Question, 1),
                     _ => {
                         return Err(Error::Parse {
                             message: format!("unexpected character {c:?}"),

@@ -7,10 +7,12 @@
 
 pub mod ast;
 pub mod lexer;
+pub mod params;
 pub mod parser;
 pub mod printer;
 pub mod token;
 
 pub use ast::*;
+pub use params::{param_count, parameterize, Parameterized};
 pub use parser::{parse_query, parse_statement};
 pub use printer::{expr_sql, query_sql, statement_sql};

@@ -1,0 +1,360 @@
+//! AST-level query parameterization for the plan cache.
+//!
+//! Two statements that differ only in constants — `... WHERE deptname
+//! = 'Planning'` vs `... = 'Operations'` — should share one optimized
+//! plan. [`parameterize`] rewrites a query's Int/Double/Str literals
+//! into [`Expr::Param`] markers and returns the extracted values, so
+//! the printed parameterized text (`... WHERE deptname = ?1`) is a
+//! normalization key: any query with the same shape maps to the same
+//! key and the same cached plan, rebound per execution.
+//!
+//! Deliberately *not* extracted:
+//!
+//! * `NULL` and boolean literals — the EMST decorrelation gate and
+//!   predicate simplification reason about them structurally
+//!   (null-strictness, TRUE/FALSE folding), and a parameter must be
+//!   able to stand for *any* value of its slot without changing what
+//!   the optimizer proved;
+//! * `GROUP BY` keys — a constant grouping key is a structural
+//!   property of the block, not a point constant;
+//! * `LIKE` patterns — the grammar stores them as strings, not
+//!   expressions, and pattern structure drives matching;
+//! * literals inside view bodies — views are expanded from catalog
+//!   text by the QGM builder, after parameterization.
+//!
+//! Queries that already contain explicit `?` markers (wire-protocol
+//! `PREPARE`) keep them: extraction numbers its parameters *after* the
+//! highest user-written marker, so user-bound arguments and extracted
+//! constants compose into one flat argument vector.
+
+use starmagic_common::Value;
+
+use crate::ast::{Expr, Query, SelectItem, SetExpr, TableRef};
+use crate::printer::query_sql;
+
+/// The result of [`parameterize`].
+#[derive(Debug, Clone)]
+pub struct Parameterized {
+    /// The query with literals replaced by `Param` markers.
+    pub query: Query,
+    /// Values extracted by this pass, for parameter indices
+    /// `first_index .. first_index + args.len()`.
+    pub args: Vec<Value>,
+    /// Index of the first *extracted* parameter — equals the number of
+    /// user-written markers the query already had.
+    pub first_index: usize,
+    /// The normalization key: the parameterized query printed back to
+    /// SQL.
+    pub key: String,
+}
+
+/// Extract constants from a query. See the module docs for what is
+/// (and is not) extracted.
+pub fn parameterize(q: &Query) -> Parameterized {
+    let first_index = param_count(q);
+    let mut query = q.clone();
+    let mut ex = Extractor {
+        args: Vec::new(),
+        next: first_index,
+    };
+    ex.query(&mut query);
+    let key = query_sql(&query);
+    Parameterized {
+        query,
+        args: ex.args,
+        first_index,
+        key,
+    }
+}
+
+/// Number of parameter slots a query needs bound: one past the highest
+/// `Param` index, or 0 when the query has none.
+pub fn param_count(q: &Query) -> usize {
+    let mut max: Option<usize> = None;
+    scan_query(q, &mut max);
+    max.map_or(0, |m| m + 1)
+}
+
+struct Extractor {
+    args: Vec<Value>,
+    next: usize,
+}
+
+impl Extractor {
+    fn query(&mut self, q: &mut Query) {
+        self.set_expr(&mut q.body);
+    }
+
+    fn set_expr(&mut self, e: &mut SetExpr) {
+        match e {
+            SetExpr::Select(block) => {
+                for item in &mut block.items {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        self.expr(expr);
+                    }
+                }
+                for t in &mut block.from {
+                    self.table_ref(t);
+                }
+                if let Some(w) = &mut block.where_clause {
+                    self.expr(w);
+                }
+                // GROUP BY keys are left untouched (see module docs).
+                if let Some(h) = &mut block.having {
+                    self.expr(h);
+                }
+            }
+            SetExpr::SetOp { left, right, .. } => {
+                self.set_expr(left);
+                self.set_expr(right);
+            }
+        }
+    }
+
+    fn table_ref(&mut self, t: &mut TableRef) {
+        match t {
+            TableRef::Named { .. } => {}
+            TableRef::Derived { query, .. } => self.query(query),
+            TableRef::LeftJoin { left, right, on } => {
+                self.table_ref(left);
+                self.table_ref(right);
+                self.expr(on);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) {
+        match e {
+            Expr::Literal(v @ (Value::Int(_) | Value::Double(_) | Value::Str(_))) => {
+                self.args.push(v.clone());
+                *e = Expr::Param(self.next);
+                self.next += 1;
+            }
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => {}
+            Expr::Binary { left, right, .. } => {
+                self.expr(left);
+                self.expr(right);
+            }
+            Expr::Neg(inner) | Expr::Not(inner) => self.expr(inner),
+            Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => self.expr(expr),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                self.expr(expr);
+                self.expr(low);
+                self.expr(high);
+            }
+            Expr::InList { expr, list, .. } => {
+                self.expr(expr);
+                for item in list {
+                    self.expr(item);
+                }
+            }
+            Expr::InSubquery { expr, query, .. } => {
+                self.expr(expr);
+                self.query(query);
+            }
+            Expr::Exists { query, .. } => self.query(query),
+            Expr::QuantifiedCmp { expr, query, .. } => {
+                self.expr(expr);
+                self.query(query);
+            }
+            Expr::ScalarSubquery(query) => self.query(query),
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    self.expr(a);
+                }
+            }
+        }
+    }
+}
+
+fn scan_query(q: &Query, max: &mut Option<usize>) {
+    scan_set_expr(&q.body, max);
+}
+
+fn scan_set_expr(e: &SetExpr, max: &mut Option<usize>) {
+    match e {
+        SetExpr::Select(block) => {
+            for item in &block.items {
+                if let SelectItem::Expr { expr, .. } = item {
+                    scan_expr(expr, max);
+                }
+            }
+            for t in &block.from {
+                scan_table_ref(t, max);
+            }
+            if let Some(w) = &block.where_clause {
+                scan_expr(w, max);
+            }
+            for g in &block.group_by {
+                scan_expr(g, max);
+            }
+            if let Some(h) = &block.having {
+                scan_expr(h, max);
+            }
+        }
+        SetExpr::SetOp { left, right, .. } => {
+            scan_set_expr(left, max);
+            scan_set_expr(right, max);
+        }
+    }
+}
+
+fn scan_table_ref(t: &TableRef, max: &mut Option<usize>) {
+    match t {
+        TableRef::Named { .. } => {}
+        TableRef::Derived { query, .. } => scan_query(query, max),
+        TableRef::LeftJoin { left, right, on } => {
+            scan_table_ref(left, max);
+            scan_table_ref(right, max);
+            scan_expr(on, max);
+        }
+    }
+}
+
+fn scan_expr(e: &Expr, max: &mut Option<usize>) {
+    match e {
+        Expr::Param(i) => *max = Some(max.map_or(*i, |m| m.max(*i))),
+        Expr::Column { .. } | Expr::Literal(_) => {}
+        Expr::Binary { left, right, .. } => {
+            scan_expr(left, max);
+            scan_expr(right, max);
+        }
+        Expr::Neg(inner) | Expr::Not(inner) => scan_expr(inner, max),
+        Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => scan_expr(expr, max),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            scan_expr(expr, max);
+            scan_expr(low, max);
+            scan_expr(high, max);
+        }
+        Expr::InList { expr, list, .. } => {
+            scan_expr(expr, max);
+            for item in list {
+                scan_expr(item, max);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            scan_expr(expr, max);
+            scan_query(query, max);
+        }
+        Expr::Exists { query, .. } => scan_query(query, max),
+        Expr::QuantifiedCmp { expr, query, .. } => {
+            scan_expr(expr, max);
+            scan_query(query, max);
+        }
+        Expr::ScalarSubquery(query) => scan_query(query, max),
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                scan_expr(a, max);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn extracts_int_double_str_literals() {
+        let q = parse_query(
+            "SELECT empno FROM employee WHERE salary > 50000.0 AND empname = 'Smith' \
+             AND yearhired = 1990",
+        )
+        .unwrap();
+        let p = parameterize(&q);
+        assert_eq!(
+            p.args,
+            vec![
+                Value::Double(50000.0),
+                Value::str("Smith"),
+                Value::Int(1990)
+            ]
+        );
+        assert_eq!(p.first_index, 0);
+        assert_eq!(
+            p.key,
+            "SELECT empno FROM employee WHERE salary > ?1 AND empname = ?2 AND yearhired = ?3"
+        );
+        // The key re-parses to the parameterized AST.
+        assert_eq!(parse_query(&p.key).unwrap(), p.query);
+    }
+
+    #[test]
+    fn null_and_bool_stay_literal() {
+        let q = parse_query("SELECT a FROM t WHERE x IN (1, NULL) AND b = TRUE").unwrap();
+        let p = parameterize(&q);
+        assert_eq!(p.args, vec![Value::Int(1)]);
+        assert!(p.key.contains("NULL"));
+        assert!(p.key.contains("TRUE"));
+    }
+
+    #[test]
+    fn same_shape_same_key() {
+        let a = parse_query("SELECT a FROM t WHERE x = 1 AND y = 'u'").unwrap();
+        let b = parse_query("SELECT a FROM t WHERE x = 99 AND y = 'v'").unwrap();
+        assert_eq!(parameterize(&a).key, parameterize(&b).key);
+    }
+
+    #[test]
+    fn group_by_keys_and_like_patterns_are_kept() {
+        let q = parse_query(
+            "SELECT d, COUNT(*) FROM t WHERE name LIKE 'a%' GROUP BY d, 1 HAVING COUNT(*) > 2",
+        )
+        .unwrap();
+        let p = parameterize(&q);
+        // Only the HAVING constant moves; the LIKE pattern and the
+        // constant group key stay in the text.
+        assert_eq!(p.args, vec![Value::Int(2)]);
+        assert!(p.key.contains("LIKE 'a%'"));
+        assert!(p.key.contains("GROUP BY d, 1"));
+    }
+
+    #[test]
+    fn subqueries_are_walked() {
+        let q = parse_query(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.a AND u.v = 7)",
+        )
+        .unwrap();
+        let p = parameterize(&q);
+        assert_eq!(p.args, vec![Value::Int(1), Value::Int(7)]);
+    }
+
+    #[test]
+    fn user_markers_are_preserved_and_extraction_numbers_after_them() {
+        let q = parse_query("SELECT a FROM t WHERE x = ? AND y = 5").unwrap();
+        assert_eq!(param_count(&q), 1);
+        let p = parameterize(&q);
+        assert_eq!(p.first_index, 1);
+        assert_eq!(p.args, vec![Value::Int(5)]);
+        assert_eq!(p.key, "SELECT a FROM t WHERE x = ?1 AND y = ?2");
+    }
+
+    #[test]
+    fn explicit_marker_round_trip() {
+        let q = parse_query("SELECT a FROM t WHERE x = ?2 AND y = ?1").unwrap();
+        assert_eq!(param_count(&q), 2);
+        let text = query_sql(&q);
+        assert_eq!(text, "SELECT a FROM t WHERE x = ?2 AND y = ?1");
+        assert_eq!(parse_query(&text).unwrap(), q);
+    }
+
+    #[test]
+    fn bare_markers_number_left_to_right() {
+        let q = parse_query("SELECT a FROM t WHERE x = ? AND y = ?").unwrap();
+        assert_eq!(query_sql(&q), "SELECT a FROM t WHERE x = ?1 AND y = ?2");
+    }
+
+    #[test]
+    fn spaced_digit_after_marker_is_not_an_index() {
+        // `? 3` is a marker compared against... nothing valid — the
+        // grammar has no adjacent-literal production, so this errors
+        // rather than silently reading an index.
+        assert!(parse_query("SELECT a FROM t WHERE x = ? 3").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE x = ?0").is_err());
+    }
+}

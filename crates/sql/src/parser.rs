@@ -34,6 +34,8 @@ pub fn parse_query(sql: &str) -> Result<Query> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Next auto-assigned parameter index for bare `?` markers.
+    next_param: usize,
 }
 
 impl Parser {
@@ -41,6 +43,7 @@ impl Parser {
         Ok(Parser {
             tokens: lex(sql)?,
             pos: 0,
+            next_param: 0,
         })
     }
 
@@ -631,6 +634,29 @@ impl Parser {
             TokenKind::Str(s) => {
                 self.bump();
                 Ok(Expr::Literal(Value::str(s)))
+            }
+            TokenKind::Question => {
+                let q_offset = self.offset();
+                self.bump();
+                // `?3` (digits adjacent to the marker) is an explicit
+                // 1-based index; a bare `?` numbers itself left to
+                // right. `? 3` stays a bare marker followed by a
+                // literal, so a stray number is a parse error.
+                if let TokenKind::Int(n) = *self.peek() {
+                    if self.offset() == q_offset + 1 {
+                        self.bump();
+                        if n < 1 {
+                            return Err(self.error("parameter markers are numbered from ?1"));
+                        }
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        let idx = (n - 1) as usize;
+                        self.next_param = self.next_param.max(idx + 1);
+                        return Ok(Expr::Param(idx));
+                    }
+                }
+                let idx = self.next_param;
+                self.next_param += 1;
+                Ok(Expr::Param(idx))
             }
             TokenKind::LParen => {
                 self.bump();

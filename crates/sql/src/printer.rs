@@ -48,7 +48,11 @@ fn prec(e: &Expr) -> u8 {
         | Expr::Exists { .. }
         | Expr::QuantifiedCmp { .. } => 4,
         Expr::Neg(_) => 7,
-        Expr::Column { .. } | Expr::Literal(_) | Expr::ScalarSubquery(_) | Expr::Agg { .. } => 8,
+        Expr::Column { .. }
+        | Expr::Literal(_)
+        | Expr::Param(_)
+        | Expr::ScalarSubquery(_)
+        | Expr::Agg { .. } => 8,
     }
 }
 
@@ -287,6 +291,9 @@ fn write_expr(out: &mut String, e: &Expr, min: u8) {
             out.push_str(name);
         }
         Expr::Literal(v) => write_value(out, v),
+        Expr::Param(i) => {
+            let _ = write!(out, "?{}", i + 1);
+        }
         Expr::Binary { op, left, right } => {
             let (lmin, rmin) = match op {
                 crate::ast::BinOp::Or => (1, 2),

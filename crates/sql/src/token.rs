@@ -24,21 +24,22 @@ pub enum TokenKind {
     /// String literal, quotes stripped and `''` unescaped.
     Str(String),
     // Operators and punctuation.
-    Eq,     // =
-    Neq,    // <> or !=
-    Lt,     // <
-    Le,     // <=
-    Gt,     // >
-    Ge,     // >=
-    Plus,   // +
-    Minus,  // -
-    Star,   // *
-    Slash,  // /
-    LParen, // (
-    RParen, // )
-    Comma,  // ,
-    Dot,    // .
-    Semi,   // ;
+    Eq,       // =
+    Neq,      // <> or !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    LParen,   // (
+    RParen,   // )
+    Comma,    // ,
+    Dot,      // .
+    Semi,     // ;
+    Question, // ? (parameter marker)
     /// End of input.
     Eof,
 }
@@ -72,6 +73,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Comma => f.write_str(","),
             TokenKind::Dot => f.write_str("."),
             TokenKind::Semi => f.write_str(";"),
+            TokenKind::Question => f.write_str("?"),
             TokenKind::Eof => f.write_str("<eof>"),
         }
     }

@@ -120,6 +120,15 @@ impl TraceSink {
         }
     }
 
+    /// Append every span of `other`, preserving order. Used to fold a
+    /// nested operation's sink (e.g. the optimizer pipeline's) into the
+    /// sink of the surrounding request. A disabled receiver drops them.
+    pub fn extend(&mut self, other: &TraceSink) {
+        if self.enabled {
+            self.spans.extend(other.spans.iter().cloned());
+        }
+    }
+
     /// The recorded spans, in completion order (except prepends).
     pub fn spans(&self) -> &[Span] {
         &self.spans
