@@ -1,0 +1,34 @@
+use starmagic::{Engine, Strategy};
+use starmagic_catalog::generator::{benchmark_catalog, Scale};
+use starmagic_common::Value;
+
+#[test]
+fn prepare_then_query_same_shape() {
+    let e = Engine::new(benchmark_catalog(Scale::small()).unwrap());
+    // 1. PREPARE-style: user marker query warms the cache.
+    let (plan, extracted, hit) = e
+        .prepare_cached("SELECT empno FROM employee WHERE empno = ?", Strategy::CostBased)
+        .unwrap();
+    assert!(!hit);
+    let r = e.execute_cached(&plan, &[Value::Int(1)], &extracted);
+    println!("EXECUTE with user arg: {:?}", r.as_ref().map(|x| x.rows.len()));
+    // 2. Plain QUERY with a literal of the same shape.
+    let q = e.query_cached("SELECT empno FROM employee WHERE empno = 1", Strategy::CostBased);
+    println!("QUERY after PREPARE: {:?}", q.as_ref().map(|x| x.rows.len()));
+    assert!(q.is_ok(), "plain QUERY failed after PREPARE of same shape: {:?}", q.err());
+}
+
+#[test]
+fn query_then_execute_same_shape() {
+    let e = Engine::new(benchmark_catalog(Scale::small()).unwrap());
+    // 1. Plain QUERY with a literal warms the cache.
+    e.query_cached("SELECT empno FROM employee WHERE empno = 1", Strategy::CostBased)
+        .unwrap();
+    // 2. EXECUTE-style: same shape with a user marker.
+    let (plan, extracted, hit) = e
+        .prepare_cached("SELECT empno FROM employee WHERE empno = ?", Strategy::CostBased)
+        .unwrap();
+    println!("hit={hit} user_params={} extracted={:?}", plan.user_params, extracted);
+    let r = e.execute_cached(&plan, &[Value::Int(1)], &extracted);
+    assert!(r.is_ok(), "EXECUTE failed after QUERY of same shape: {:?}", r.err());
+}
