@@ -1,0 +1,123 @@
+//! Abstract-interpretation dataflow framework over the QGM.
+//!
+//! A worklist fixpoint engine ([`fixpoint`]) evaluates pluggable
+//! abstract domains ([`domains`]) bottom-up through boxes and
+//! quantifiers:
+//!
+//! * **nullability** — a three-valued lattice per output column
+//!   (`NotNull` / `MaybeNull` / `Null`), refined by null-rejecting
+//!   predicates;
+//! * **multiplicity bounds** — per-box `[lo, hi]` row counts per
+//!   evaluation, proving (or refuting) duplicate-freedom more
+//!   precisely than `keys::is_dup_free` alone;
+//! * **key/functional dependencies** — candidate keys plus
+//!   constant-column tracking, feeding the multiplicity refinements;
+//! * **binding flow** — which output columns are provably restricted
+//!   to a magic box's binding set, traced through joins, selects,
+//!   group-bys, and set operations.
+//!
+//! On top of the facts, [`checks`] re-proves rewrite soundness as
+//! lint diagnostics (codes L200–L211; see `starmagic-lint`): the EMST
+//! null-strictness gate on the *output* graph, duplicate claims
+//! against the multiplicity domain, binding-flow enforcement, and
+//! cross-checks of the planner's estimates and the executor's
+//! parallel heuristics. The rewrite engine appends these checks to
+//! its PerFire/PerPass lint runs, so an unsound fire is caught and
+//! attributed the moment it happens.
+
+#![forbid(unsafe_code)]
+
+pub mod checks;
+pub mod domains;
+pub mod fixpoint;
+pub mod transfer;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use starmagic_catalog::Catalog;
+use starmagic_lint::LintReport;
+use starmagic_qgm::{BoxId, Qgm};
+
+pub use domains::{BoxFacts, Card, DupVerdict, Nullability};
+
+/// The result of analyzing one graph: the solved facts plus the
+/// diagnostics the checks derived from them.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Facts per reachable box.
+    pub facts: BTreeMap<BoxId, BoxFacts>,
+    /// L2xx findings.
+    pub report: LintReport,
+}
+
+/// Solve the dataflow equations and run every analysis-backed check.
+pub fn analyze(qgm: &Qgm, catalog: &Catalog) -> Analysis {
+    let facts = fixpoint::solve(qgm, catalog);
+    let report = checks::run(qgm, catalog, &facts);
+    Analysis { facts, report }
+}
+
+/// Just the diagnostics — what the rewrite engine appends to its
+/// PerFire/PerPass lint reports.
+pub fn checks(qgm: &Qgm, catalog: &Catalog) -> LintReport {
+    analyze(qgm, catalog).report
+}
+
+impl Analysis {
+    /// Facts of one box, if it was reachable.
+    pub fn facts_for(&self, b: BoxId) -> Option<&BoxFacts> {
+        self.facts.get(&b)
+    }
+
+    /// Human-readable fact table plus diagnostics — the body of
+    /// EXPLAIN's `== analysis` section and the REPL's `\analysis`.
+    pub fn render(&self, qgm: &Qgm) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  {:<18} {:<15} {:>14} {:>8} {:>5}  {:<12} restricted",
+            "box", "kind", "rows", "dup", "pure", "nulls"
+        );
+        for (&b, f) in &self.facts {
+            if !qgm.box_exists(b) {
+                continue;
+            }
+            let qb = qgm.boxed(b);
+            let restricted = if f.restricted.is_empty() {
+                "-".to_string()
+            } else {
+                format!(
+                    "{{{}}}",
+                    f.restricted
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            };
+            let _ = writeln!(
+                out,
+                "  {:<18} {:<15} {:>14} {:>8} {:>5}  {:<12} {}",
+                qb.display_name(),
+                qb.kind.label(),
+                f.card.to_string(),
+                f.dup_free.label(),
+                if f.pure { "yes" } else { "no" },
+                f.null_mask(),
+                restricted
+            );
+        }
+        if self.report.diagnostics.is_empty() {
+            let _ = writeln!(out, "  checks: clean");
+        } else {
+            let errors = self.report.errors().count();
+            let warns = self.report.warnings().count();
+            let _ = writeln!(out, "  checks: {errors} error(s), {warns} warning(s)");
+            for d in &self.report.diagnostics {
+                let _ = writeln!(out, "    {d}");
+            }
+        }
+        out
+    }
+}

@@ -19,6 +19,8 @@
 //! experiments (A, F), catastrophic when the outer is large (C, D),
 //! and EMST is stable everywhere.
 
+#![forbid(unsafe_code)]
+
 pub mod benchjson;
 pub mod throughput;
 pub mod tracejson;

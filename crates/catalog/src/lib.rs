@@ -6,6 +6,8 @@
 //! optimizer). Also ships seeded synthetic data generators for the
 //! benchmark database the paper's Table 1 experiments run against.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod generator;
 pub mod schema;

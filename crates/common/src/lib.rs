@@ -7,6 +7,8 @@
 //! NULL-aware grouping and DISTINCT — are centralized here so that every
 //! layer agrees on them.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod row;
 pub mod truth;

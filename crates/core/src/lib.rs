@@ -36,6 +36,8 @@
 //! their children, which is how the restriction travels through
 //! `avgMgrSal` into `mgrSal` in the running example.
 
+#![forbid(unsafe_code)]
+
 pub mod bindings;
 pub mod rule;
 

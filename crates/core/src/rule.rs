@@ -38,6 +38,7 @@ struct CopyInfo {
 pub struct EmstRule {
     copies: RefCell<BTreeMap<(BoxId, String), CopyInfo>>,
     use_supplementary: bool,
+    skip_null_strict_gate: bool,
 }
 
 impl Default for EmstRule {
@@ -51,6 +52,7 @@ impl EmstRule {
         EmstRule {
             copies: RefCell::new(BTreeMap::new()),
             use_supplementary: true,
+            skip_null_strict_gate: false,
         }
     }
 
@@ -60,7 +62,18 @@ impl EmstRule {
         EmstRule {
             copies: RefCell::new(BTreeMap::new()),
             use_supplementary: false,
+            skip_null_strict_gate: false,
         }
+    }
+
+    /// Test-only seeded unsoundness: disable the null-strictness gate
+    /// so decorrelation fires on predicates a NULL binding could
+    /// satisfy (the PR 4 fuzzer bug class). Exists so regression tests
+    /// can prove `starmagic-analysis` catches the resulting graph
+    /// statically (L200). Never enable outside tests.
+    pub fn unsound_skip_null_strict_gate(mut self) -> EmstRule {
+        self.skip_null_strict_gate = true;
+        self
     }
 }
 
@@ -191,7 +204,9 @@ impl EmstRule {
             };
             // Collect the outer references; they must all sit in the
             // subquery's own predicates and point at b's F-quantifiers.
-            let Some(outer_refs) = collect_decorrelatable_refs(ctx.qgm, b, s, &fquants) else {
+            let Some(outer_refs) =
+                collect_decorrelatable_refs(ctx.qgm, b, s, &fquants, self.skip_null_strict_gate)
+            else {
                 continue;
             };
             if outer_refs.is_empty() {
@@ -469,6 +484,7 @@ fn collect_decorrelatable_refs(
     _b: BoxId,
     s: BoxId,
     fquants: &BTreeSet<QuantId>,
+    skip_null_strict_gate: bool,
 ) -> Option<Vec<(QuantId, usize)>> {
     // Boxes of the subtree under s.
     let mut subtree = BTreeSet::new();
@@ -527,7 +543,11 @@ fn collect_decorrelatable_refs(
             // under a NULL binding — e.g. a correlation under OR can
             // be satisfied by the other disjunct, and rewriting it
             // would silently drop NULL-valued outer rows.
-            if p_has_external && *x == s && !strict_in_external(p, &is_external) {
+            if p_has_external
+                && *x == s
+                && !skip_null_strict_gate
+                && !strict_in_external(p, &is_external)
+            {
                 ok = false;
             }
         }

@@ -39,6 +39,7 @@ meta-commands:
   \\explain <q>                 full optimization trace for a query
   \\profile <q>                 EXPLAIN ANALYZE: run + per-box profile
   \\lint <q>                    semantic lint of the chosen plan
+  \\analysis <q>                static dataflow facts + L2xx checks
   \\strategy original|magic|cost  pin the optimizer strategy
   \\timing [on|off]             toggle the per-query timing footer
   \\trace on|off                print phase spans after each query
@@ -194,6 +195,10 @@ fn meta_command(engine: &mut Engine, session: &mut Session, cmd: &str) -> bool {
         },
         "\\lint" => match engine.lint(rest.trim().trim_end_matches(';')) {
             Ok(report) => print!("{report}"),
+            Err(e) => println!("error: {e}"),
+        },
+        "\\analysis" => match engine.analyze(rest.trim().trim_end_matches(';')) {
+            Ok(text) => print!("{text}"),
             Err(e) => println!("error: {e}"),
         },
         other => println!("unknown meta-command {other}; \\? for help"),

@@ -60,6 +60,8 @@ pub fn render(o: &Optimized) -> String {
             let _ = writeln!(out, "  {d}");
         }
     }
+    let _ = writeln!(out, "== analysis (chosen plan)");
+    out.push_str(&o.analysis.render(o.chosen()));
     let _ = writeln!(out, "== SQL after optimization");
     out.push_str(&render_sql::render_graph(o.chosen()));
     let _ = writeln!(

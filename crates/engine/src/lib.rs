@@ -27,6 +27,8 @@
 //! never degrade a query. [`Strategy`] lets benchmarks pin either
 //! side.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod explain;
 pub mod pipeline;
@@ -46,6 +48,7 @@ pub use pipeline::{optimize, Optimized, PipelineOptions};
 
 // Re-export the building blocks so downstream users need only this
 // crate.
+pub use starmagic_analysis as analysis;
 pub use starmagic_catalog as catalog;
 pub use starmagic_common as common;
 pub use starmagic_exec as exec;
@@ -124,7 +127,8 @@ pub struct CachedQuery {
     pub trace: TraceSink,
     /// Whether the plan came out of the cache.
     pub hit: bool,
-    /// The normalized cache key (`strategy|parameterized SQL`).
+    /// The normalized cache key (`strategy|user params|parameterized
+    /// SQL`).
     pub key: String,
 }
 
@@ -294,6 +298,15 @@ impl Engine {
         Ok(prepared_from(&optimized, opts.threads))
     }
 
+    /// Optimize with explicit pipeline options without executing —
+    /// the full [`Optimized`] record, static analysis included (the
+    /// fuzzer's analysis oracle consumes the facts alongside the
+    /// executable plan, via [`prepared_from`]).
+    pub fn optimize_with_options(&self, sql: &str, opts: PipelineOptions) -> Result<Optimized> {
+        let query = starmagic_sql::parse_query(sql)?;
+        optimize(&self.catalog, &self.registry, &query, opts)
+    }
+
     /// Optimize a query down to an executable plan without running it.
     /// Lets benchmarks time execution separately from optimization
     /// (the paper's Table 1 reports execution elapsed time).
@@ -326,8 +339,12 @@ impl Engine {
     // ---- Plan-cache path -------------------------------------------
 
     /// The normalized cache key a query would use under a strategy.
-    pub fn cache_key(strategy: Strategy, normalized_sql: &str) -> String {
-        format!("{strategy:?}|{normalized_sql}")
+    /// The user-marker count is part of the key: `WHERE c = ?` (one
+    /// bound parameter) and `WHERE c = 1` (one extracted literal)
+    /// normalize to the same SQL but bind differently, so they must
+    /// not share a plan entry.
+    pub fn cache_key(strategy: Strategy, user_params: usize, normalized_sql: &str) -> String {
+        format!("{strategy:?}|{user_params}|{normalized_sql}")
     }
 
     /// Current cache counters.
@@ -360,7 +377,7 @@ impl Engine {
     ) -> Result<(Arc<CachedPlan>, Vec<Value>, bool)> {
         let query = starmagic_sql::parse_query(sql)?;
         let p = starmagic_sql::parameterize(&query);
-        let key = Engine::cache_key(strategy, &p.key);
+        let key = Engine::cache_key(strategy, p.first_index, &p.key);
         if let Some(plan) = self.plans().get(&key) {
             return Ok((plan, p.args, true));
         }
@@ -433,7 +450,7 @@ impl Engine {
         let query = starmagic_sql::parse_query(sql)?;
         sink.finish(t);
         let p = starmagic_sql::parameterize(&query);
-        let key = Engine::cache_key(strategy, &p.key);
+        let key = Engine::cache_key(strategy, p.first_index, &p.key);
 
         // Bind the lookup to a statement so the cache guard drops
         // before the miss arm re-locks to insert.
@@ -639,7 +656,7 @@ impl Engine {
         Ok(explain::render_cache_section(
             self.cache_stats(),
             self.cache_len(),
-            &Engine::cache_key(strategy, &p.key),
+            &Engine::cache_key(strategy, p.first_index, &p.key),
         ))
     }
 
@@ -651,10 +668,17 @@ impl Engine {
         let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
         Ok(optimized.lint)
     }
+
+    /// Run the static analysis over a query's chosen plan and render
+    /// the fact table plus L2xx diagnostics (REPL `\analysis`).
+    pub fn analyze(&self, sql: &str) -> Result<String> {
+        let optimized = self.optimize_sql(sql, Strategy::CostBased)?;
+        Ok(optimized.analysis.render(optimized.chosen()))
+    }
 }
 
 /// Package an optimization result as an executable [`Prepared`].
-fn prepared_from(optimized: &Optimized, threads: usize) -> Prepared {
+pub fn prepared_from(optimized: &Optimized, threads: usize) -> Prepared {
     let chosen = optimized.chosen().clone();
     let columns = chosen
         .boxed(chosen.top())
@@ -1074,12 +1098,18 @@ mod cache_tests {
             r
         };
         assert_eq!(sort(r1.rows), sort(fresh.rows));
-        // A literal-bearing query of the same shape shares the entry.
-        let (_, extracted2, hit2) = e
+        // A literal-bearing query of the same shape binds differently
+        // (no user markers), so it gets its own entry rather than
+        // colliding with the prepared one.
+        let (plan2, extracted2, hit2) = e
             .prepare_cached(&query_d("Research"), Strategy::Magic)
             .unwrap();
-        assert!(hit2, "user-marker and extracted-literal forms share a key");
+        assert!(!hit2, "marker and literal forms must not share a key");
+        assert_eq!(plan2.user_params, 0);
         assert_eq!(extracted2.len(), 1);
+        let r2 = e.execute_cached(&plan2, &[], &extracted2).unwrap();
+        let fresh2 = e.query_with(&query_d("Research"), Strategy::Magic).unwrap();
+        assert_eq!(sort(r2.rows), sort(fresh2.rows));
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub struct Optimized {
     /// Lint report over the chosen graph (always computed, whatever
     /// the engine's [`CheckLevel`]); surfaced by EXPLAIN and `\lint`.
     pub lint: LintReport,
+    /// Dataflow facts and L2xx checks over the chosen graph, plus any
+    /// error-severity findings from the phase-2 graph (phase-3 merges
+    /// can dissolve the magic boxes carrying the evidence, so the
+    /// pre-cleanup graph is scanned too). Surfaced by EXPLAIN's
+    /// `== analysis` section and the REPL's `\analysis`.
+    pub analysis: starmagic_analysis::Analysis,
     /// Per-phase spans (build, rewrite phases, plan optimizations,
     /// lint). Empty when [`PipelineOptions::trace`] was off.
     pub trace: TraceSink,
@@ -109,6 +115,11 @@ pub struct PipelineOptions {
     /// executor; higher counts parallelize the executor's hot loops
     /// with byte-identical results.
     pub threads: usize,
+    /// Test-only seeded unsoundness: run EMST with its null-strictness
+    /// gate disabled, re-introducing the PR 4 decorrelation bug class.
+    /// Exists so regression tests can prove the static analysis flags
+    /// the bad graph (L200). Never enable outside tests.
+    pub unsound_decorrelation: bool,
 }
 
 impl Default for PipelineOptions {
@@ -122,6 +133,7 @@ impl Default for PipelineOptions {
             check: CheckLevel::default(),
             trace: true,
             threads: 1,
+            unsound_decorrelation: false,
         }
     }
 }
@@ -179,6 +191,9 @@ pub fn optimize(
         let t = trace.start("lint");
         let lint = starmagic_lint::lint(&phase1, catalog);
         trace.finish(t);
+        let t = trace.start("analysis");
+        let analysis = starmagic_analysis::analyze(&phase1, catalog);
+        trace.finish(t);
         return Ok(Optimized {
             initial,
             phase2: phase1.clone(),
@@ -190,17 +205,21 @@ pub fn optimize(
             plan_optimizations: 1,
             chose_magic: false,
             lint,
+            analysis,
             trace,
         });
     }
 
     // Phase 2: EMST active (one rule instance per run: it memoizes
     // adorned copies).
-    let emst = if opts.use_supplementary {
+    let mut emst = if opts.use_supplementary {
         EmstRule::new()
     } else {
         EmstRule::without_supplementary()
     };
+    if opts.unsound_decorrelation {
+        emst = emst.unsound_skip_null_strict_gate();
+    }
     let t = trace.start("rewrite.phase2");
     let stats2 = engine.run(
         &mut g,
@@ -246,6 +265,22 @@ pub fn optimize(
     let t = trace.start("lint");
     let lint = starmagic_lint::lint(if chose_magic { &phase3 } else { &phase1 }, catalog);
     trace.finish(t);
+    let t = trace.start("analysis");
+    let mut analysis =
+        starmagic_analysis::analyze(if chose_magic { &phase3 } else { &phase1 }, catalog);
+    // Phase-3 merges can dissolve the magic boxes that carry an L2xx
+    // signature (the merge rule substitutes the magic quantifier away),
+    // and the cost model may pick the phase-1 plan outright — either
+    // way an unsound EMST fire would vanish from the chosen graph.
+    // Scan the pre-cleanup phase-2 graph too and keep its errors.
+    for d in starmagic_analysis::checks(&phase2, catalog).diagnostics {
+        if d.code.severity() == starmagic_lint::Severity::Error {
+            analysis
+                .report
+                .push(d.code, d.box_id, d.quant, format!("phase 2: {}", d.message));
+        }
+    }
+    trace.finish(t);
     Ok(Optimized {
         initial,
         phase1,
@@ -257,6 +292,7 @@ pub fn optimize(
         plan_optimizations: 2,
         chose_magic,
         lint,
+        analysis,
         trace,
     })
 }

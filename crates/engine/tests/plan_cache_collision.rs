@@ -1,0 +1,83 @@
+//! Plan-cache key separation between prepared statements and plain
+//! queries. `WHERE c = ?` (a user-bound parameter) and `WHERE c = 1`
+//! (an extracted literal) normalize to the same SQL, but their cache
+//! entries bind differently — sharing one entry makes whichever form
+//! arrives second fail at bind time with a parameter-arity error. The
+//! key therefore includes the user-marker count; these tests cover the
+//! collision in both directions.
+
+use starmagic::{Engine, Strategy};
+use starmagic_catalog::generator::{benchmark_catalog, Scale};
+use starmagic_common::Value;
+
+fn engine() -> Engine {
+    Engine::new(benchmark_catalog(Scale::small()).unwrap())
+}
+
+const MARKER: &str = "SELECT empno FROM employee WHERE empno = ?";
+const LITERAL: &str = "SELECT empno FROM employee WHERE empno = 1";
+
+#[test]
+fn prepare_then_query_same_shape() {
+    let e = engine();
+    // PREPARE-style: the user-marker form warms the cache.
+    let (plan, extracted, hit) = e.prepare_cached(MARKER, Strategy::CostBased).unwrap();
+    assert!(!hit);
+    assert_eq!(plan.user_params, 1);
+    let r = e
+        .execute_cached(&plan, &[Value::Int(1)], &extracted)
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].values(), &[Value::Int(1)]);
+
+    // A plain QUERY of the same shape must not collide with the
+    // prepared entry (its one parameter is an extracted literal, not a
+    // user binding).
+    let q = e.query_cached(LITERAL, Strategy::CostBased).unwrap();
+    assert_eq!(q.rows.len(), 1);
+    assert_eq!(q.rows[0].values(), &[Value::Int(1)]);
+    assert_eq!(
+        e.cache_len(),
+        2,
+        "marker and literal forms get distinct entries"
+    );
+}
+
+#[test]
+fn query_then_execute_same_shape() {
+    let e = engine();
+    // Plain QUERY with a literal warms the cache.
+    let q = e.query_cached(LITERAL, Strategy::CostBased).unwrap();
+    assert_eq!(q.rows.len(), 1);
+
+    // EXECUTE-style: the marker form of the same shape misses, builds
+    // its own entry, and binds the user argument cleanly.
+    let (plan, extracted, hit) = e.prepare_cached(MARKER, Strategy::CostBased).unwrap();
+    assert!(!hit, "marker form must not hit the literal form's entry");
+    assert_eq!(plan.user_params, 1);
+    let r = e
+        .execute_cached(&plan, &[Value::Int(1)], &extracted)
+        .unwrap();
+    assert_eq!(r.rows, q.rows);
+}
+
+#[test]
+fn each_form_still_hits_its_own_entry() {
+    let e = engine();
+    e.query_cached(LITERAL, Strategy::CostBased).unwrap();
+    let (_, _, hit) = e.prepare_cached(MARKER, Strategy::CostBased).unwrap();
+    assert!(!hit);
+
+    // Repeats of either form hit their own entries; different literals
+    // still share the literal-form plan.
+    let (_, _, hit) = e.prepare_cached(MARKER, Strategy::CostBased).unwrap();
+    assert!(hit);
+    let before = e.cache_stats().hits;
+    e.query_cached(
+        "SELECT empno FROM employee WHERE empno = 2",
+        Strategy::CostBased,
+    )
+    .unwrap();
+    assert_eq!(e.cache_stats().hits, before + 1);
+    assert_eq!(e.cache_len(), 2);
+}

@@ -27,6 +27,8 @@
 //! aggregate survives as the deterministic work metric benchmarks
 //! report alongside wall-clock time.
 
+#![forbid(unsafe_code)]
+
 pub mod agg;
 pub mod executor;
 pub mod like;

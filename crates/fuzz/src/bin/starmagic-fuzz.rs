@@ -3,13 +3,15 @@
 //! ```text
 //! starmagic-fuzz [--seed N] [--count N] [--budget-ms N]
 //!                [--corpus-dir PATH] [--threads a,b,...]
-//!                [--server host:port]
+//!                [--server host:port] [--no-analysis-oracle]
 //! ```
 //!
 //! Generates `count` seeded queries, runs each under Original /
 //! CostBased / Magic at every thread count, and compares results as
-//! bags. Divergences are minimized by the shrinker and printed (and,
-//! with `--corpus-dir`, persisted as replayable `.sql` repros). Exits
+//! bags; each in-process execution is additionally cross-checked
+//! against the static analysis (disable with `--no-analysis-oracle`).
+//! Divergences are minimized by the shrinker and printed (and, with
+//! `--corpus-dir`, persisted as replayable `.sql` repros). Exits
 //! nonzero if any divergence was found.
 
 use std::process::ExitCode;
@@ -30,6 +32,8 @@ fn main() -> ExitCode {
             "--budget-ms" => cfg.budget_ms = parse(&take("--budget-ms"), "--budget-ms"),
             "--corpus-dir" => cfg.corpus_dir = Some(take("--corpus-dir").into()),
             "--server" => cfg.server = Some(take("--server")),
+            "--analysis-oracle" => cfg.analysis = true,
+            "--no-analysis-oracle" => cfg.analysis = false,
             "--threads" => {
                 cfg.threads = take("--threads")
                     .split(',')
@@ -49,7 +53,10 @@ fn main() -> ExitCode {
                      --corpus-dir DIR  persist minimized repros as .sql files\n  \
                      --threads a,b     executor thread counts (default 1,4)\n  \
                      --server ADDR     run the Magic strategy over the wire against a\n                    \
-                     running `starmagic-server --scale fuzz` at host:port"
+                     running `starmagic-server --scale fuzz` at host:port\n  \
+                     --analysis-oracle     cross-check executions against the static\n                        \
+                     analysis (default on)\n  \
+                     --no-analysis-oracle  disable that cross-check"
                 );
                 return ExitCode::SUCCESS;
             }

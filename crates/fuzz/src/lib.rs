@@ -14,6 +14,8 @@
 //!    minimal SQL, seed, case, strategy pair, row-level diff — which
 //!    `tests/fuzz_corpus.rs` replays forever after.
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod oracle;
 pub mod schema;
@@ -61,6 +63,10 @@ pub struct FuzzConfig {
     /// `starmagic-server` at this address (`host:port`). The server
     /// must host the fuzz database (`starmagic-server --scale fuzz`).
     pub server: Option<String>,
+    /// Cross-check every in-process execution against the static
+    /// analysis (nullability / multiplicity-bounds agreement plus
+    /// L2xx cleanliness). On by default.
+    pub analysis: bool,
 }
 
 impl Default for FuzzConfig {
@@ -73,6 +79,7 @@ impl Default for FuzzConfig {
             threads: vec![1, 4],
             shrink_checks: 600,
             server: None,
+            analysis: true,
         }
     }
 }
@@ -114,7 +121,7 @@ pub struct FuzzReport {
 /// the wire protocol against that server; a connection failure is a
 /// setup error, not a divergence, so it panics.
 pub fn run_fuzz(engine: &Engine, cfg: &FuzzConfig) -> FuzzReport {
-    let oracle = match &cfg.server {
+    let mut oracle = match &cfg.server {
         Some(addr) => {
             let client = starmagic_server::Client::connect(addr.as_str())
                 .unwrap_or_else(|e| panic!("cannot connect to --server {addr}: {e}"));
@@ -123,6 +130,7 @@ pub fn run_fuzz(engine: &Engine, cfg: &FuzzConfig) -> FuzzReport {
         }
         None => Oracle::new(engine, cfg.threads.clone()),
     };
+    oracle.set_analysis(cfg.analysis);
     run_fuzz_with(&oracle, cfg)
 }
 

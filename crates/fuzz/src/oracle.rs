@@ -11,11 +11,19 @@
 //! [`CheckLevel::PerFire`] during every prepare, so a rule application
 //! that breaks a QGM invariant surfaces as a divergence too (the
 //! secondary oracle).
+//!
+//! A further secondary oracle cross-checks execution against the
+//! static analysis: the chosen plan's L2xx report must be
+//! error-free, no column the nullability domain proves `NotNull` may
+//! hold a NULL in the executed output, and the observed row count
+//! must fall inside the proven multiplicity bounds. A disagreement
+//! means either the executor or the analysis is wrong — both bugs.
 
 use std::cell::RefCell;
 
-use starmagic::{Engine, PipelineOptions};
-use starmagic_common::{Error, Row};
+use starmagic::analysis::Nullability;
+use starmagic::{Engine, Optimized, PipelineOptions};
+use starmagic_common::{Error, Row, Value};
 use starmagic_rewrite::engine::CheckLevel;
 use starmagic_server::{Client, Response};
 
@@ -122,6 +130,11 @@ pub struct Oracle<'a> {
     /// the differential loop. The remote database must be identical
     /// to `engine`'s (`starmagic-server --scale fuzz`).
     remote_magic: Option<RefCell<Client>>,
+    /// Cross-check executed results against the static analysis
+    /// (nullability, multiplicity bounds, L2xx cleanliness). On by
+    /// default; the remote-magic path is exempt (no in-process
+    /// [`Optimized`] record exists for it).
+    analysis: bool,
 }
 
 impl<'a> Oracle<'a> {
@@ -131,7 +144,13 @@ impl<'a> Oracle<'a> {
             engine,
             threads,
             remote_magic: None,
+            analysis: true,
         }
+    }
+
+    /// Enable or disable the analysis secondary oracle.
+    pub fn set_analysis(&mut self, on: bool) {
+        self.analysis = on;
     }
 
     /// An oracle whose Magic strategy executes through `client`. Pins
@@ -147,6 +166,7 @@ impl<'a> Oracle<'a> {
             engine,
             threads,
             remote_magic: Some(RefCell::new(client)),
+            analysis: true,
         })
     }
 
@@ -168,14 +188,15 @@ impl<'a> Oracle<'a> {
                     continue;
                 }
             }
-            match self.engine.prepare_with_options(sql, strategy.options()) {
+            match self.engine.optimize_with_options(sql, strategy.options()) {
                 Err(e) => {
                     // A prepare failure applies to every thread count.
                     for &threads in &self.threads {
                         runs.push((Config { strategy, threads }, Err(e.clone())));
                     }
                 }
-                Ok(mut prepared) => {
+                Ok(optimized) => {
+                    let mut prepared = starmagic::prepared_from(&optimized, 1);
                     for &threads in &self.threads {
                         prepared.threads = threads;
                         let rows = self.engine.execute_prepared(&prepared).map(|r| {
@@ -183,13 +204,68 @@ impl<'a> Oracle<'a> {
                             rows.sort_by(Row::group_cmp);
                             rows
                         });
-                        runs.push((Config { strategy, threads }, rows));
+                        let cfg = Config { strategy, threads };
+                        if self.analysis {
+                            if let Ok(rows) = &rows {
+                                if let Some(detail) = analysis_disagreement(&optimized, rows) {
+                                    return Outcome::Diverged(Divergence {
+                                        left: cfg.to_string(),
+                                        right: "analysis".to_string(),
+                                        detail,
+                                    });
+                                }
+                            }
+                        }
+                        runs.push((cfg, rows));
                     }
                 }
             }
         }
         classify(&runs)
     }
+}
+
+/// The analysis secondary oracle: executed results must respect the
+/// static facts of the chosen graph. Returns the disagreement, if any.
+/// Public so the corpus/suite agreement tests can replay the same
+/// judgement outside a fuzz run.
+pub fn analysis_disagreement(optimized: &Optimized, rows: &[Row]) -> Option<String> {
+    let report = &optimized.analysis.report;
+    if report.has_errors() {
+        return Some(format!("static analysis flags the chosen plan:\n{report}"));
+    }
+    let top = optimized.chosen().top();
+    let f = optimized.analysis.facts_for(top)?;
+    if !f.card.contains(rows.len() as u64) {
+        return Some(format!(
+            "executed {} rows but the multiplicity domain proves {} for the top box",
+            rows.len(),
+            f.card
+        ));
+    }
+    for (i, n) in f.nullability.iter().enumerate() {
+        let nulls = rows
+            .iter()
+            .filter(|r| matches!(r.get(i), Value::Null))
+            .count();
+        match n {
+            Nullability::NotNull if nulls > 0 => {
+                return Some(format!(
+                    "column {i} is proven NotNull but {nulls} of {} executed rows hold NULL",
+                    rows.len()
+                ));
+            }
+            Nullability::Null if nulls < rows.len() => {
+                return Some(format!(
+                    "column {i} is proven Null but {} of {} executed rows are non-NULL",
+                    rows.len() - nulls,
+                    rows.len()
+                ));
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// One wire-protocol execution: pin the session's thread count, run

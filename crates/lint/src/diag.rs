@@ -24,8 +24,11 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. L0xx are errors (invariant violations);
-/// L1xx are warnings (hygiene). Codes are never renumbered so test
-/// suites and docs can reference them.
+/// L1xx are warnings (hygiene). The L2xx block belongs to the
+/// `starmagic-analysis` checks: L20x are errors (statically proven
+/// rewrite unsoundness), L21x are warnings (estimate/heuristic
+/// disagreements). Codes are never renumbered so test suites and docs
+/// can reference them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Code {
     /// A box lists a quantifier id that is dead.
@@ -96,6 +99,27 @@ pub enum Code {
     /// refuses to parallelize loops touching such quantifiers; a join
     /// order that names one pins the box to the serial path.
     L110ParallelUnsafeJoinOrder,
+    /// A predicate references a magic Foreach quantifier but is not
+    /// null-strict in it: a NULL binding could satisfy the predicate,
+    /// so the magic restriction may drop rows the original query
+    /// returned (the EMST decorrelation gate, re-proven statically on
+    /// the rewritten graph by `starmagic-analysis`).
+    L200NullStrictnessViolation,
+    /// A duplicate-freedom claim (`DistinctMode::Preserve`) is refuted
+    /// by the multiplicity domain: the box provably emits two or more
+    /// identical rows.
+    L201DuplicateClaimRefuted,
+    /// Binding-flow violation: a magic binding column is never
+    /// consumed by the box joining it, or a declared Bound adornment
+    /// column cannot be traced to a magic binding.
+    L202BindingFlowUnsound,
+    /// The planner's row estimate for a box falls outside the
+    /// multiplicity bounds the analysis proved.
+    L210CardinalityOutsideBounds,
+    /// A join loop above the executor's parallel threshold is pinned
+    /// to the serial path by an impure expression (the purity-analysis
+    /// upgrade of the L110 heuristic).
+    L211ImpureSerialPinned,
 }
 
 impl Code {
@@ -124,6 +148,11 @@ impl Code {
         Code::L103JoinOrderForeignQuant,
         Code::L104StaleStratum,
         Code::L110ParallelUnsafeJoinOrder,
+        Code::L200NullStrictnessViolation,
+        Code::L201DuplicateClaimRefuted,
+        Code::L202BindingFlowUnsound,
+        Code::L210CardinalityOutsideBounds,
+        Code::L211ImpureSerialPinned,
     ];
 
     /// The stable "Lnnn" tag.
@@ -152,10 +181,16 @@ impl Code {
             Code::L103JoinOrderForeignQuant => "L103",
             Code::L104StaleStratum => "L104",
             Code::L110ParallelUnsafeJoinOrder => "L110",
+            Code::L200NullStrictnessViolation => "L200",
+            Code::L201DuplicateClaimRefuted => "L201",
+            Code::L202BindingFlowUnsound => "L202",
+            Code::L210CardinalityOutsideBounds => "L210",
+            Code::L211ImpureSerialPinned => "L211",
         }
     }
 
-    /// L0xx codes are errors; L1xx codes are warnings.
+    /// L0xx and L20x codes are errors; L1xx and L21x codes are
+    /// warnings.
     pub fn severity(self) -> Severity {
         match self {
             Code::L100UnreachableBox
@@ -163,7 +198,9 @@ impl Code {
             | Code::L102UnusedOutputColumn
             | Code::L103JoinOrderForeignQuant
             | Code::L104StaleStratum
-            | Code::L110ParallelUnsafeJoinOrder => Severity::Warn,
+            | Code::L110ParallelUnsafeJoinOrder
+            | Code::L210CardinalityOutsideBounds
+            | Code::L211ImpureSerialPinned => Severity::Warn,
             _ => Severity::Error,
         }
     }
@@ -194,6 +231,11 @@ impl Code {
             Code::L103JoinOrderForeignQuant => "join order entry foreign or non-Foreach",
             Code::L104StaleStratum => "stored stratum differs from recomputed",
             Code::L110ParallelUnsafeJoinOrder => "join order names a correlated subquery quant",
+            Code::L200NullStrictnessViolation => "magic predicate not null-strict",
+            Code::L201DuplicateClaimRefuted => "Preserve claim refuted by multiplicity bounds",
+            Code::L202BindingFlowUnsound => "magic binding unconsumed or Bound column untraced",
+            Code::L210CardinalityOutsideBounds => "planner estimate outside proven bounds",
+            Code::L211ImpureSerialPinned => "large join pinned serial by impure expression",
         }
     }
 }
@@ -282,6 +324,12 @@ impl LintReport {
     /// First finding with the given code, for tests.
     pub fn find(&self, code: Code) -> Option<&Diagnostic> {
         self.diagnostics.iter().find(|d| d.code == code)
+    }
+
+    /// Append every finding of another report (used to merge the
+    /// analysis checks into a lint run).
+    pub fn extend(&mut self, other: LintReport) {
+        self.diagnostics.extend(other.diagnostics);
     }
 }
 

@@ -18,6 +18,8 @@
 //! keep the cheaper plan) is orchestrated by the `starmagic` engine
 //! crate on top of these pieces.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod feedback;
 pub mod joinorder;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 pub mod boxes;
 pub mod builder;
 pub mod expr;

@@ -154,7 +154,10 @@ impl RewriteEngine {
                         *stats.fires.entry(rule.name().to_string()).or_insert(0) += 1;
                         fired = true;
                         if let Some(snapshot) = &pre {
-                            let report = starmagic_lint::lint(qgm, catalog);
+                            let mut report = starmagic_lint::lint(qgm, catalog);
+                            if !report.has_errors() {
+                                report.extend(starmagic_analysis::checks(qgm, catalog));
+                            }
                             if report.has_errors() {
                                 return Err(fire_violation(
                                     rule.name(),
@@ -177,7 +180,10 @@ impl RewriteEngine {
             }
             stats.pass_durations.push(pass_start.elapsed());
             if self.check == CheckLevel::PerPass {
-                let report = starmagic_lint::lint(qgm, catalog);
+                let mut report = starmagic_lint::lint(qgm, catalog);
+                if !report.has_errors() {
+                    report.extend(starmagic_analysis::checks(qgm, catalog));
+                }
                 if report.has_errors() {
                     return Err(pass_violation(pass + 1, qgm, &report));
                 }

@@ -15,6 +15,8 @@
 //!   — the extensibility interface of §5 that EMST consults instead of
 //!   hard-coding per-operation behavior.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod props;
 pub mod rules;

@@ -18,6 +18,8 @@
 //! connections and measures throughput, tail latency, and cache hit
 //! rate.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod loadgen;
 pub mod protocol;

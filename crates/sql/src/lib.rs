@@ -5,6 +5,8 @@
 //! subqueries (`EXISTS`, `IN`, quantified and scalar, correlated),
 //! aggregates, `BETWEEN`, `LIKE`, `IS NULL`, and NULL literals.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod params;

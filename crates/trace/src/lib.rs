@@ -15,6 +15,8 @@
 //! what keeps benchmark runs with tracing off byte-identical in work
 //! to the untraced engine.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};

@@ -154,6 +154,7 @@ fn pipeline_spans_cover_all_phases() {
             "rewrite.phase3",
             "plan.2",
             "lint",
+            "analysis",
             "execute",
         ]
     );
