@@ -71,6 +71,7 @@ fn run(
         ExecOptions {
             timing: false,
             threads,
+            ..ExecOptions::default()
         },
     )
     .expect("execution")

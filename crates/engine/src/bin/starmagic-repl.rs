@@ -44,7 +44,8 @@ meta-commands:
   \\timing [on|off]             toggle the per-query timing footer
   \\trace on|off                print phase spans after each query
   \\threads [n]                 executor worker threads (1 = serial)
-  \\cache [clear]               plan-cache counters (clear to flush)
+  \\cache [clear]               plan-cache counters by strategy (clear to flush)
+  \\metrics [json]              live metrics snapshot (json: one parseable line)
   \\tables                      list tables with row counts
   \\views                       list views
   \\? | \\help                   this list
@@ -57,6 +58,9 @@ fn main() {
         Scale::small()
     };
     let mut engine = Engine::new(benchmark_catalog(scale).expect("catalog"));
+    // The REPL is an observability surface, so it runs with a live
+    // registry: \metrics always has counters to show.
+    engine.set_metrics(starmagic::MetricsRegistry::enabled());
     let mut session = Session {
         strategy: Strategy::CostBased,
         timing: true,
@@ -177,13 +181,22 @@ fn meta_command(engine: &mut Engine, session: &mut Session, cmd: &str) -> bool {
         "\\cache" => match rest.trim() {
             "" => print!(
                 "{}",
-                starmagic::explain::render_cache(engine.cache_stats(), engine.cache_len())
+                starmagic::explain::render_cache_by_strategy(
+                    engine.cache_stats(),
+                    &engine.cache_stats_by_strategy(),
+                    engine.cache_len()
+                )
             ),
             "clear" => {
                 engine.cache_clear();
                 println!("plan cache cleared");
             }
             _ => println!("usage: \\cache [clear]"),
+        },
+        "\\metrics" => match rest.trim() {
+            "" => print!("{}", engine.metrics_text()),
+            "json" => println!("{}", engine.metrics_report()),
+            _ => println!("usage: \\metrics [json]"),
         },
         "\\explain" => match engine.explain(rest.trim().trim_end_matches(';')) {
             Ok(text) => println!("{text}"),
@@ -232,9 +245,10 @@ fn run_statement(engine: &mut Engine, session: &Session, sql: &str) {
     } else {
         // The plain path goes through the shared plan cache (so
         // repeated statements skip rewrite/planning and `\cache`
-        // reports real traffic).
-        match engine.query_cached(sql, session.strategy) {
-            Ok(r) => (r, starmagic::trace::TraceSink::disabled()),
+        // reports real traffic) with request spans on, feeding the
+        // `phase.*_us` histograms behind `\metrics`.
+        match engine.query_cached_traced(sql, session.strategy) {
+            Ok(c) => (c.result, starmagic::trace::TraceSink::disabled()),
             Err(e) => {
                 println!("error: {e}");
                 return;

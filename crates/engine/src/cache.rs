@@ -14,7 +14,7 @@
 //! views, tables, and inserts all change what a plan would look like
 //! or return, and correctness beats cleverness here.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::Prepared;
@@ -69,12 +69,24 @@ struct Entry {
     last_used: u64,
 }
 
+/// The strategy component of a normalized cache key
+/// (`strategy|user params|parameterized SQL`).
+fn key_strategy(key: &str) -> &str {
+    key.split('|').next().unwrap_or(key)
+}
+
 /// Bounded LRU map of normalized key → plan.
 pub struct PlanCache {
     map: HashMap<String, Entry>,
     cap: usize,
     tick: u64,
     stats: CacheStats,
+    /// The same counters split by the strategy component of the key
+    /// (`CostBased` / `Original` / `Magic`). Per-strategy
+    /// `invalidations` counts flushes that dropped at least one entry
+    /// of that strategy — a flush of a cache holding only `Magic`
+    /// plans is invisible to `Original`'s row.
+    by_strategy: BTreeMap<String, CacheStats>,
 }
 
 impl PlanCache {
@@ -84,7 +96,14 @@ impl PlanCache {
             cap: cap.max(1),
             tick: 0,
             stats: CacheStats::default(),
+            by_strategy: BTreeMap::new(),
         }
+    }
+
+    fn strategy_stats(&mut self, key: &str) -> &mut CacheStats {
+        self.by_strategy
+            .entry(key_strategy(key).to_string())
+            .or_default()
     }
 
     pub fn len(&self) -> usize {
@@ -103,18 +122,30 @@ impl PlanCache {
         self.stats
     }
 
+    /// The counters split by strategy, sorted by strategy name. Every
+    /// strategy that has performed at least one lookup (or lost an
+    /// entry to eviction/flush) has a row; the rows sum to
+    /// [`PlanCache::stats`].
+    pub fn stats_by_strategy(&self) -> BTreeMap<String, CacheStats> {
+        self.by_strategy.clone()
+    }
+
     /// Look up a plan, counting the hit or miss and refreshing its
     /// recency on a hit.
     pub fn get(&mut self, key: &str) -> Option<Arc<CachedPlan>> {
         self.tick += 1;
+        let tick = self.tick;
         match self.map.get_mut(key) {
             Some(e) => {
-                e.last_used = self.tick;
+                e.last_used = tick;
+                let plan = Arc::clone(&e.plan);
                 self.stats.hits += 1;
-                Some(Arc::clone(&e.plan))
+                self.strategy_stats(key).hits += 1;
+                Some(plan)
             }
             None => {
                 self.stats.misses += 1;
+                self.strategy_stats(key).misses += 1;
                 None
             }
         }
@@ -133,6 +164,7 @@ impl PlanCache {
             {
                 self.map.remove(&victim);
                 self.stats.evictions += 1;
+                self.strategy_stats(&victim).evictions += 1;
             }
         }
         let key = plan.key.clone();
@@ -151,8 +183,19 @@ impl PlanCache {
     /// `stats.invalidations`; skipped entirely when already empty.
     pub fn invalidate(&mut self) {
         if !self.map.is_empty() {
+            // One flush event per strategy that loses at least one
+            // entry, however many it loses — mirroring the global
+            // counter's event semantics.
+            let dropped: std::collections::BTreeSet<String> = self
+                .map
+                .keys()
+                .map(|k| key_strategy(k).to_string())
+                .collect();
             self.map.clear();
             self.stats.invalidations += 1;
+            for strategy in dropped {
+                self.by_strategy.entry(strategy).or_default().invalidations += 1;
+            }
         }
     }
 
@@ -235,6 +278,59 @@ mod tests {
         c.invalidate();
         assert_eq!(c.stats().invalidations, 1);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_split_by_strategy() {
+        let mut c = PlanCache::new(4);
+        assert!(c.get("Magic|0|SELECT 1").is_none());
+        c.insert(plan("Magic|0|SELECT 1"));
+        assert!(c.get("Magic|0|SELECT 1").is_some());
+        assert!(c.get("Original|0|SELECT 1").is_none());
+        let by = c.stats_by_strategy();
+        let magic = by.get("Magic").copied().unwrap();
+        let orig = by.get("Original").copied().unwrap();
+        assert_eq!((magic.hits, magic.misses), (1, 1));
+        assert_eq!((orig.hits, orig.misses), (0, 1));
+        // The per-strategy rows sum to the global counters.
+        let total = c.stats();
+        assert_eq!(magic.hits + orig.hits, total.hits);
+        assert_eq!(magic.misses + orig.misses, total.misses);
+    }
+
+    #[test]
+    fn evictions_charge_the_victims_strategy() {
+        let mut c = PlanCache::new(1);
+        c.insert(plan("Magic|0|SELECT 1"));
+        c.insert(plan("Original|0|SELECT 1")); // evicts the Magic plan
+        let by = c.stats_by_strategy();
+        assert_eq!(by.get("Magic").copied().unwrap_or_default().evictions, 1);
+        assert_eq!(by.get("Original").copied().unwrap_or_default().evictions, 0);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_counts_once_per_affected_strategy() {
+        let mut c = PlanCache::new(4);
+        c.insert(plan("Magic|0|SELECT 1"));
+        c.insert(plan("Magic|0|SELECT 2"));
+        c.invalidate(); // only Magic entries present
+        c.insert(plan("Original|0|SELECT 1"));
+        c.invalidate(); // only Original entries present
+        let by = c.stats_by_strategy();
+        assert_eq!(
+            by.get("Magic").copied().unwrap_or_default().invalidations,
+            1,
+            "two Magic entries in one flush = one event"
+        );
+        assert_eq!(
+            by.get("Original")
+                .copied()
+                .unwrap_or_default()
+                .invalidations,
+            1
+        );
+        assert_eq!(c.stats().invalidations, 2);
     }
 
     #[test]

@@ -99,6 +99,30 @@ pub fn render_cache(stats: CacheStats, entries: usize) -> String {
     out
 }
 
+/// [`render_cache`] plus one line per strategy (REPL `\cache` and the
+/// server's `CACHE` frame show the split; strategies that have never
+/// looked up are omitted).
+pub fn render_cache_by_strategy(
+    stats: CacheStats,
+    by_strategy: &std::collections::BTreeMap<String, CacheStats>,
+    entries: usize,
+) -> String {
+    let mut out = render_cache(stats, entries);
+    for (strategy, s) in by_strategy {
+        let _ = writeln!(
+            out,
+            "  {:<13} hits {} misses {} evictions {} invalidations {} ({:.1}%)",
+            strategy,
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.invalidations,
+            s.hit_rate() * 100.0
+        );
+    }
+    out
+}
+
 /// The `== cache` section EXPLAIN appends: the query's normalized
 /// cache key plus the engine's counters.
 pub fn render_cache_section(stats: CacheStats, entries: usize, key: &str) -> String {

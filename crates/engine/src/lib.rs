@@ -31,6 +31,7 @@
 
 pub mod cache;
 pub mod explain;
+pub mod metrics;
 pub mod pipeline;
 
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -44,7 +45,9 @@ use starmagic_sql::{parse_statement, Statement};
 use starmagic_trace::TraceSink;
 
 pub use cache::{CacheStats, CachedPlan, PlanCache, DEFAULT_PLAN_CACHE_CAP};
+pub use metrics::{strategy_token, EngineMetrics, METRICS_SCHEMA_VERSION};
 pub use pipeline::{optimize, Optimized, PipelineOptions};
+pub use starmagic_metrics::Registry as MetricsRegistry;
 
 // Re-export the building blocks so downstream users need only this
 // crate.
@@ -145,6 +148,9 @@ pub struct Engine {
     /// mutability so the read-mostly server path (`&Engine` behind an
     /// `RwLock` read guard) can still record hits and insert plans.
     plans: Mutex<PlanCache>,
+    /// Pre-registered metric handles. Noop (free) unless
+    /// [`Engine::set_metrics`] installed a live registry.
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -156,6 +162,7 @@ impl Engine {
             indexes: starmagic_exec::IndexCache::default(),
             threads: 1,
             plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAP)),
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -169,6 +176,7 @@ impl Engine {
             indexes: starmagic_exec::IndexCache::default(),
             threads: 1,
             plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAP)),
+            metrics: EngineMetrics::default(),
         }
     }
 
@@ -189,6 +197,48 @@ impl Engine {
     /// The configured executor worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Install a metrics registry: every subsequent query records
+    /// counters, cache verdicts, phase latencies, and misestimation
+    /// buckets into it. The default (noop) registry records nothing
+    /// and costs nothing — the same contract as a disabled
+    /// [`TraceSink`].
+    pub fn set_metrics(&mut self, registry: starmagic_metrics::Registry) {
+        self.metrics = EngineMetrics::new(registry);
+    }
+
+    /// The registry queries record into (noop unless
+    /// [`Engine::set_metrics`] installed one).
+    pub fn metrics_registry(&self) -> &starmagic_metrics::Registry {
+        &self.metrics.registry
+    }
+
+    /// The full metrics document as `trace::json` — the payload of
+    /// the server's `METRICS JSON` command. Always well-formed; when
+    /// metrics are disabled `enabled` is `false` and the instrument
+    /// sections are empty (the plan-cache section is always live).
+    pub fn metrics_report(&self) -> starmagic_trace::json::Value {
+        let plans = self.plans();
+        metrics::report_json(
+            &self.metrics.registry.snapshot(),
+            !self.metrics.registry.is_noop(),
+            plans.stats(),
+            &plans.stats_by_strategy(),
+            plans.len(),
+        )
+    }
+
+    /// Human-readable metrics report (REPL `\metrics`, server
+    /// `METRICS`).
+    pub fn metrics_text(&self) -> String {
+        let plans = self.plans();
+        metrics::report_text(
+            &self.metrics.registry.snapshot(),
+            plans.stats(),
+            &plans.stats_by_strategy(),
+            plans.len(),
+        )
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -324,8 +374,10 @@ impl Engine {
             starmagic_exec::ExecOptions {
                 timing: false,
                 threads: prepared.threads,
+                metrics: self.metrics.registry.clone(),
             },
         )?;
+        self.note_execution(&prepared.qgm, &profile);
         Ok(QueryResult {
             rows,
             columns: prepared.columns.clone(),
@@ -334,6 +386,31 @@ impl Engine {
             cost_without_magic: prepared.cost_without_magic,
             cost_with_magic: prepared.cost_with_magic,
         })
+    }
+
+    /// Record one plan execution into the registry: the query count,
+    /// the executor's flat work counters, and the cardinality-feedback
+    /// misestimation buckets (estimated vs observed per live box).
+    /// Free when metrics are off — no report is computed.
+    fn note_execution(&self, qgm: &starmagic_qgm::Qgm, profile: &ExecProfile) {
+        if self.metrics.is_noop() {
+            return;
+        }
+        self.metrics.queries.inc();
+        let m = profile.aggregate();
+        self.metrics.rows_scanned.add(m.rows_scanned);
+        self.metrics.rows_produced.add(m.rows_produced);
+        self.metrics.box_evals.add(m.box_evals);
+        let live: std::collections::BTreeSet<_> = qgm.box_ids().into_iter().collect();
+        let actuals: std::collections::BTreeMap<_, _> = profile
+            .boxes
+            .iter()
+            .filter(|(b, bp)| bp.evals > 0 && live.contains(b))
+            .map(|(b, bp)| (*b, (bp.rows_out, bp.evals)))
+            .collect();
+        for row in starmagic_planner::feedback::cardinality_report(qgm, &self.catalog, &actuals) {
+            self.metrics.note_misestimate(row.bucket);
+        }
     }
 
     // ---- Plan-cache path -------------------------------------------
@@ -350,6 +427,12 @@ impl Engine {
     /// Current cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.plans().stats()
+    }
+
+    /// Cache counters split by strategy (`CostBased` / `Original` /
+    /// `Magic` — the key's strategy component).
+    pub fn cache_stats_by_strategy(&self) -> std::collections::BTreeMap<String, CacheStats> {
+        self.plans().stats_by_strategy()
     }
 
     /// Number of plans currently cached.
@@ -379,8 +462,10 @@ impl Engine {
         let p = starmagic_sql::parameterize(&query);
         let key = Engine::cache_key(strategy, p.first_index, &p.key);
         if let Some(plan) = self.plans().get(&key) {
+            self.metrics.note_cache_lookup(strategy, true);
             return Ok((plan, p.args, true));
         }
+        self.metrics.note_cache_lookup(strategy, false);
         let optimized = optimize(
             &self.catalog,
             &self.registry,
@@ -465,6 +550,7 @@ impl Engine {
                     self.options_for(strategy),
                 )?;
                 sink.extend(&optimized.trace);
+                self.note_rewrite_stats(&optimized.stats);
                 let plan = CachedPlan {
                     key: key.clone(),
                     prepared: prepared_from(&optimized, self.threads),
@@ -474,6 +560,7 @@ impl Engine {
                 (self.plans().insert(plan), false)
             }
         };
+        self.metrics.note_cache_lookup(strategy, hit);
 
         let t = sink.start("bind");
         let bound = self.bind_cached(&plan, &[], &p.args)?;
@@ -481,12 +568,44 @@ impl Engine {
         let t = sink.start("execute");
         let result = self.run_bound(&plan, &bound, threads)?;
         sink.finish(t);
+        self.note_spans(&sink);
         Ok(CachedQuery {
             result,
             trace: sink,
             hit,
             key,
         })
+    }
+
+    /// Feed a request's spans into the per-phase latency histograms
+    /// (`phase.<span>_us`). Free when metrics are off.
+    fn note_spans(&self, sink: &TraceSink) {
+        if self.metrics.is_noop() {
+            return;
+        }
+        for span in sink.spans() {
+            self.metrics
+                .registry
+                .histogram(&format!("phase.{}_us", span.name))
+                .record_duration(span.elapsed);
+        }
+    }
+
+    /// Feed a cache miss's per-phase rewrite stats into the per-rule
+    /// fire counters (`rewrite.fires.<rule>`). Free when metrics are
+    /// off.
+    fn note_rewrite_stats(&self, stats: &[starmagic_rewrite::RewriteStats; 3]) {
+        if self.metrics.is_noop() {
+            return;
+        }
+        for phase in stats {
+            for (rule, fires) in &phase.fires {
+                self.metrics
+                    .registry
+                    .counter(&format!("rewrite.fires.{rule}"))
+                    .add(*fires as u64);
+            }
+        }
     }
 
     /// Check arities and NULL-freedom, then substitute the constants
@@ -542,8 +661,10 @@ impl Engine {
             starmagic_exec::ExecOptions {
                 timing: false,
                 threads: threads.max(1),
+                metrics: self.metrics.registry.clone(),
             },
         )?;
+        self.note_execution(bound, &profile);
         Ok(QueryResult {
             rows,
             columns: plan.prepared.columns.clone(),
@@ -608,9 +729,11 @@ impl Engine {
             starmagic_exec::ExecOptions {
                 timing: true,
                 threads: self.threads,
+                metrics: self.metrics.registry.clone(),
             },
         )?;
         optimized.trace.record("execute", exec_start.elapsed());
+        self.note_execution(optimized.chosen(), &profile);
 
         let result = QueryResult {
             rows,

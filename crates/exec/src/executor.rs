@@ -6,6 +6,7 @@ use std::time::Instant;
 
 use starmagic_catalog::Catalog;
 use starmagic_common::{Error, Result, Row, Truth, Value};
+use starmagic_metrics::Registry;
 use starmagic_planner::cost::is_correlated_subtree;
 use starmagic_qgm::expr::QuantMode;
 use starmagic_qgm::{BoxId, BoxKind, Qgm, QuantId, QuantKind, ScalarExpr, SetOpKind};
@@ -18,17 +19,24 @@ use crate::parallel::{run_morsels, PARALLEL_THRESHOLD};
 use crate::profile::ExecProfile;
 
 /// Execution knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Collect per-box wall time in the profile. Off by default so the
     /// counters stay free of clock reads.
     pub timing: bool,
-    /// Worker threads for the data-parallel loops. `1` (the default)
-    /// never spawns a thread, keeping the classic serial executor;
-    /// higher counts split hot loops into morsels whose results are
-    /// concatenated in input order, so rows and counters stay
-    /// byte-identical to serial at any setting.
+    /// Worker threads for the data-parallel loops. `0` or `1` (the
+    /// default) never spawns a thread, keeping the classic serial
+    /// executor; higher counts split hot loops into morsels whose
+    /// results are concatenated in input order, so rows and counters
+    /// stay byte-identical to serial at any setting.
     pub threads: usize,
+    /// Metrics registry for morsel-scheduling telemetry (batch counts
+    /// and queue depth). These live **outside** [`ExecProfile`] on
+    /// purpose: the profile is pinned byte-identical across thread
+    /// counts by the determinism suite, while morsel scheduling is a
+    /// property of the thread count. The default (noop) registry
+    /// records nothing and costs a branch.
+    pub metrics: Registry,
 }
 
 impl Default for ExecOptions {
@@ -36,6 +44,7 @@ impl Default for ExecOptions {
         ExecOptions {
             timing: false,
             threads: 1,
+            metrics: Registry::noop(),
         }
     }
 }
@@ -73,7 +82,15 @@ pub fn execute_profiled(
     indexes: &IndexCache,
     timing: bool,
 ) -> Result<(Vec<Row>, ExecProfile)> {
-    execute_with_options(qgm, catalog, indexes, ExecOptions { timing, threads: 1 })
+    execute_with_options(
+        qgm,
+        catalog,
+        indexes,
+        ExecOptions {
+            timing,
+            ..ExecOptions::default()
+        },
+    )
 }
 
 /// Evaluate with explicit execution options (timing, worker threads).
@@ -91,6 +108,10 @@ pub fn execute_with_options(
     }
     exec.threads = opts.threads.max(1);
     exec.shared_indexes = Some(indexes);
+    if !opts.metrics.is_noop() {
+        exec.morsel_runs = opts.metrics.counter("exec.morsel.runs");
+        exec.morsel_depth = opts.metrics.histogram("exec.morsel.queue_depth");
+    }
     let rows = exec.eval_box(qgm.top(), &Frame::root())?;
     let rows = rows.as_ref().clone();
     Ok((rows, exec.profile))
@@ -175,6 +196,12 @@ pub struct Executor<'a> {
     /// key columns) → (hash of non-NULL-key rows, rows with a NULL in
     /// the key — those need Unknown accounting).
     quantified_indexes: HashMap<(QuantId, Vec<usize>), SemiJoinIndex>,
+    /// Parallel-loop dispatches through [`run_morsels`]. Noop by
+    /// default; see [`ExecOptions::metrics`] for why these stay out
+    /// of the profile.
+    morsel_runs: starmagic_metrics::Counter,
+    /// Morsel-queue depth (morsels per parallel dispatch).
+    morsel_depth: starmagic_metrics::Histogram,
 }
 
 impl<'a> Executor<'a> {
@@ -194,6 +221,8 @@ impl<'a> Executor<'a> {
             indexes: HashMap::new(),
             shared_indexes: None,
             quantified_indexes: HashMap::new(),
+            morsel_runs: starmagic_metrics::Counter::default(),
+            morsel_depth: starmagic_metrics::Histogram::default(),
         }
     }
 
@@ -201,6 +230,17 @@ impl<'a> Executor<'a> {
     /// profile, kept for the deterministic benchmark numbers.
     pub fn metrics(&self) -> Metrics {
         self.profile.aggregate()
+    }
+
+    /// Record one parallel dispatch of `items` rows: counts the run
+    /// and the morsel-queue depth it enqueued. Free when metrics are
+    /// off (noop handles).
+    fn note_morsel_run(&self, items: usize) {
+        if !self.morsel_runs.is_noop() {
+            self.morsel_runs.inc();
+            self.morsel_depth
+                .record(items.div_ceil(crate::parallel::MORSEL_ROWS) as u64);
+        }
     }
 
     /// Hash fast path for `EXISTS`-mode quantified tests.
@@ -674,6 +714,7 @@ impl<'a> Executor<'a> {
                 if self.threads > 1 && combos.len() >= PARALLEL_THRESHOLD && pure {
                     let probe_expr = &hash_preds[pred_idx].0;
                     let bound_q: &[QuantId] = &bound;
+                    self.note_morsel_run(combos.len());
                     let (par, scratch) = run_morsels(self.threads, &combos, |morsel, profile| {
                         let mut out: Vec<Vec<Row>> = Vec::new();
                         for combo in morsel {
@@ -761,6 +802,7 @@ impl<'a> Executor<'a> {
                     let table = &table;
                     let hash_preds = &hash_preds;
                     let bound_q: &[QuantId] = &bound;
+                    self.note_morsel_run(combos.len());
                     let (par, scratch) = run_morsels(self.threads, &combos, |morsel, _| {
                         let mut out: Vec<Vec<Row>> = Vec::new();
                         // Scratch probe key, reused across the morsel's rows.
@@ -862,6 +904,7 @@ impl<'a> Executor<'a> {
                     let preds = &preds;
                     let ready = &ready;
                     let bound_q: &[QuantId] = &bound;
+                    self.note_morsel_run(next.len());
                     let (kept, scratch) = run_morsels(self.threads, &next, |morsel, _| {
                         let mut out: Vec<Vec<Row>> = Vec::new();
                         'row: for combo in morsel {
@@ -909,6 +952,7 @@ impl<'a> Executor<'a> {
             let residual = &residual;
             let columns = &qb.columns;
             let bound_q: &[QuantId] = &bound;
+            self.note_morsel_run(combos.len());
             let (rows, scratch) = run_morsels(self.threads, &combos, |morsel, _| {
                 let mut out: Vec<Row> = Vec::new();
                 'combo: for combo in morsel {

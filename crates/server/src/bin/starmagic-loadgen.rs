@@ -6,19 +6,28 @@
 //!     [--connections 8] [--budget-ms 500] [--threads 1]
 //!     [--scale small|benchmark] # self-hosted server's database
 //!     [--json BENCH_server.json]
+//!     [--metrics-json PATH]     # save METRICS JSON; exit 1 unless it
+//!                               # parses with sessions_opened > 0 and
+//!                               # the latency cross-check agrees
 //!     [--require-hits]          # exit 1 unless the cache hit rate > 0
 //! ```
 //!
 //! Replays the Table-1 suite per strategy from 1 and N connections,
 //! prints a throughput/latency table, and writes the versioned
-//! `BENCH_server.json`. Exits nonzero on any query error (and, with
+//! `BENCH_server.json`. After the run it replays the suite once more
+//! on a single idle connection and cross-checks its client-side
+//! timing against the delta of the server's `server.query_us`
+//! histogram over exactly that pass (the self-hosted server runs
+//! with a live registry), then fetches the final `METRICS JSON`
+//! snapshot. Exits nonzero on any query error (and, with
 //! `--require-hits`, on a zero cache hit rate) so CI can gate on it.
 
 use std::time::Duration;
 
 use starmagic_catalog::generator::Scale;
-use starmagic_server::loadgen::{self, LoadgenConfig};
-use starmagic_server::{serve_engine, ServerConfig};
+use starmagic_metrics::Registry;
+use starmagic_server::loadgen::{self, LoadgenConfig, ServerSideMetrics};
+use starmagic_server::{serve_engine, Client, ServerConfig};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -46,9 +55,12 @@ fn main() {
             .unwrap_or(1),
     };
     let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_server.json".to_string());
+    let metrics_path = flag_value(&args, "--metrics-json");
     let require_hits = args.iter().any(|a| a == "--require-hits");
 
-    // Self-host unless a target address was given.
+    // Self-host unless a target address was given. The self-hosted
+    // server runs with a live registry so the metrics cross-check has
+    // something to read.
     let (addr, local) = match flag_value(&args, "--addr") {
         Some(a) => (a.parse().expect("bad --addr"), None),
         None => {
@@ -62,6 +74,8 @@ fn main() {
                 "127.0.0.1:0",
                 ServerConfig {
                     max_sessions: cfg.connections + 4,
+                    metrics: Registry::enabled(),
+                    ..ServerConfig::default()
                 },
             )
             .expect("bind self-hosted server");
@@ -98,8 +112,75 @@ fn main() {
         println!("{:<10} speedup {:>5.2}x", s.strategy, s.speedup());
     }
 
+    // Calibration cross-check: replay the suite from one idle
+    // connection and compare client timing against the delta of the
+    // server's query histogram over exactly that pass. (The loaded
+    // windows above are incomparable — client latency there includes
+    // queue wait the server never sees per query.) Missing histograms
+    // (a metrics-off external target) degrade to "no cross-check",
+    // but --metrics-json demands a live snapshot.
+    let mut cross_check_failed = false;
+    let mut checks = Vec::new();
+    match Client::connect(addr)
+        .map_err(|e| starmagic_common::Error::execution(format!("connect: {e}")))
+        .and_then(|mut c| loadgen::cross_check(&mut c, &loadgen::suite(), 25))
+    {
+        Ok(cs) => {
+            for c in &cs {
+                println!(
+                    "cross-check {}: client {}us vs server {}us -> {}",
+                    c.quantile,
+                    c.client_us,
+                    c.server_us,
+                    if c.agree { "agree" } else { "DISAGREE" }
+                );
+                cross_check_failed |= !c.agree;
+            }
+            checks = cs;
+        }
+        Err(e) => {
+            eprintln!("loadgen: cross-check skipped: {e}");
+            if metrics_path.is_some() {
+                cross_check_failed = true;
+            }
+        }
+    }
+
+    // Fetch the server's final view of the run (load windows plus the
+    // calibration pass) for the report and the --metrics-json gate.
+    let server_metrics = Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.metrics_json().ok())
+        .map(|doc| {
+            if let Some(path) = &metrics_path {
+                std::fs::write(path, format!("{doc}\n")).expect("write metrics snapshot");
+                eprintln!("wrote {path}");
+            }
+            doc
+        })
+        .as_ref()
+        .and_then(ServerSideMetrics::from_doc);
+    match &server_metrics {
+        Some(s) => {
+            println!(
+                "server:    sessions_opened={} queries={} p50={}us p95={}us p99={}us",
+                s.sessions_opened, s.queries, s.p50_us, s.p95_us, s.p99_us
+            );
+            if metrics_path.is_some() && s.sessions_opened == 0 {
+                eprintln!("loadgen: METRICS JSON reports sessions_opened=0");
+                cross_check_failed = true;
+            }
+        }
+        None => {
+            eprintln!("loadgen: target exposed no server-side query metrics");
+            if metrics_path.is_some() {
+                cross_check_failed = true;
+            }
+        }
+    }
+
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let doc = loadgen::bench_server_report(&report, host_cpus);
+    let doc = loadgen::bench_server_report(&report, host_cpus, server_metrics.as_ref(), &checks);
     std::fs::write(&json_path, format!("{doc}\n")).expect("write BENCH_server.json");
     eprintln!("wrote {json_path}");
 
@@ -113,6 +194,10 @@ fn main() {
     }
     if require_hits && report.concurrent_hit_rate() <= 0.0 {
         eprintln!("loadgen: cache hit rate was zero");
+        std::process::exit(1);
+    }
+    if cross_check_failed {
+        eprintln!("loadgen: server/client metrics cross-check failed");
         std::process::exit(1);
     }
 }

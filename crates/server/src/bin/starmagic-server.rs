@@ -3,16 +3,27 @@
 //! ```text
 //! cargo run -p starmagic-server --bin starmagic-server -- \
 //!     [--addr 127.0.0.1:7878] [--scale small|benchmark|fuzz] [--max-sessions 64]
+//!     [--no-metrics]            # drop the live registry (METRICS reports empty)
+//!     [--slowlog-path PATH]     # enable the slow-query log (JSONL)
+//!     [--slowlog-ms N]          # initial threshold; omit to start disarmed
 //! ```
 //!
 //! Serves the generated benchmark database (with the Table-1 views
 //! pre-created) until a client sends `SHUTDOWN`. `--scale fuzz` hosts
 //! the differential fuzzer's NULL-rich database so `starmagic-fuzz
-//! --server` compares against identical data. Prints the bound
-//! address on the first line of stdout so scripts can use `--addr
-//! 127.0.0.1:0` and read the ephemeral port back.
+//! --server` compares against identical data. Metrics are live by
+//! default — `METRICS [JSON]` reports every layer; `--no-metrics`
+//! restores the zero-overhead noop registry. With `--slowlog-path`
+//! the server writes a structured slow-query log, armed either at
+//! startup (`--slowlog-ms`) or later over the wire (`SET SLOWLOG`).
+//! Prints the bound address on the first line of stdout so scripts
+//! can use `--addr 127.0.0.1:0` and read the ephemeral port back.
+
+use std::sync::Arc;
 
 use starmagic_catalog::generator::Scale;
+use starmagic_metrics::Registry;
+use starmagic_server::slowlog::{SlowLog, DEFAULT_MAX_BYTES};
 use starmagic_server::{serve_engine, ServerConfig};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -31,6 +42,19 @@ fn main() {
     let max_sessions = flag_value(&args, "--max-sessions")
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
+    let metrics = if args.iter().any(|a| a == "--no-metrics") {
+        Registry::noop()
+    } else {
+        Registry::enabled()
+    };
+    let slowlog_ms =
+        flag_value(&args, "--slowlog-ms").map(|v| v.parse().expect("bad --slowlog-ms"));
+    let slowlog = flag_value(&args, "--slowlog-path")
+        .map(|path| Arc::new(SlowLog::new(path, slowlog_ms, DEFAULT_MAX_BYTES)));
+    if slowlog.is_none() && slowlog_ms.is_some() {
+        eprintln!("starmagic-server: --slowlog-ms needs --slowlog-path");
+        std::process::exit(2);
+    }
 
     let engine = match flag_value(&args, "--scale").as_deref() {
         Some("benchmark") => starmagic_bench::bench_engine(Scale::benchmark()),
@@ -38,7 +62,12 @@ fn main() {
         _ => starmagic_bench::bench_engine(Scale::small()),
     }
     .expect("build benchmark engine");
-    let handle = serve_engine(engine, &addr, ServerConfig { max_sessions }).expect("bind");
+    let cfg = ServerConfig {
+        max_sessions,
+        metrics,
+        slowlog,
+    };
+    let handle = serve_engine(engine, &addr, cfg).expect("bind");
     println!("{}", handle.addr());
     eprintln!(
         "starmagic-server listening on {} (max {max_sessions} sessions); send SHUTDOWN to stop",

@@ -167,6 +167,33 @@ impl Client {
         }
     }
 
+    /// The server's human-readable metrics report.
+    pub fn metrics(&mut self) -> Result<String> {
+        match self.request("METRICS")? {
+            Response::Text(t) => Ok(t),
+            other => Err(Error::internal(format!("expected TEXT, got {other:?}"))),
+        }
+    }
+
+    /// The `METRICS JSON` document, parsed strictly.
+    pub fn metrics_json(&mut self) -> Result<starmagic_trace::json::Value> {
+        match self.request("METRICS JSON")? {
+            Response::Text(t) => starmagic_trace::json::parse(t.trim())
+                .map_err(|e| Error::internal(format!("METRICS JSON did not parse: {e}"))),
+            other => Err(Error::internal(format!("expected TEXT, got {other:?}"))),
+        }
+    }
+
+    /// Arm (`Some(ms)`) or disarm (`None`) the server's slow-query
+    /// log threshold.
+    pub fn set_slowlog(&mut self, threshold_ms: Option<u64>) -> Result<()> {
+        let line = match threshold_ms {
+            Some(ms) => format!("SET SLOWLOG {ms}"),
+            None => "SET SLOWLOG OFF".to_string(),
+        };
+        self.request(&line).map(|_| ())
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> Result<()> {
         self.request("PING").map(|_| ())

@@ -17,6 +17,15 @@
 //! blocking client; [`loadgen`] replays the Table-1 suite from many
 //! connections and measures throughput, tail latency, and cache hit
 //! rate.
+//!
+//! Observability: hand the config a live [`starmagic_metrics`]
+//! registry and every layer records into it — wire counters and
+//! latency histograms here, cache/pipeline/executor/planner counters
+//! in the engine — surfaced by the `METRICS [JSON]` wire command.
+//! [`slowlog`] adds a structured slow-query log (JSONL, size-rotated)
+//! armed with `SET SLOWLOG <ms>`. Both are strictly pay-for-play: the
+//! default noop registry and absent slow log cost no allocations or
+//! clock reads.
 
 #![forbid(unsafe_code)]
 
@@ -25,8 +34,10 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 pub mod shared;
+pub mod slowlog;
 
 pub use client::Client;
 pub use protocol::Response;
 pub use server::{serve, serve_engine, ServerConfig, ServerHandle};
 pub use shared::SharedEngine;
+pub use slowlog::{SlowLog, SlowRecord};

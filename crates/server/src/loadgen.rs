@@ -13,7 +13,16 @@
 //!
 //! [`bench_server_report`] serializes a run into the versioned
 //! `BENCH_server.json` document (schema pinned by a test, like
-//! `BENCH_table1.json`).
+//! `BENCH_table1.json`). When the target server has live metrics,
+//! [`ServerSideMetrics::from_doc`] lifts its `METRICS JSON` snapshot
+//! into the report, and [`cross_check`] audits the server's
+//! `server.query_us` histogram against client-side timing: it
+//! snapshots the histogram, replays the suite once over a single
+//! connection, snapshots again, and compares the percentiles of the
+//! *delta* histogram (bucket-wise subtraction — the merge operation
+//! run backwards) against the client-measured samples of exactly
+//! those queries. Identical populations, measured from opposite ends
+//! of the socket, must land within one log2 bucket of each other.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -21,11 +30,14 @@ use std::time::{Duration, Instant};
 use starmagic::trace::json::Value;
 use starmagic_bench::Experiment;
 use starmagic_common::{Error, Result};
+use starmagic_metrics::HistogramSnapshot;
 
 use crate::client::Client;
 
 /// Schema version of `BENCH_server.json`. Bump on shape changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: added the `server_metrics` section (server-side percentiles
+/// from `METRICS JSON` plus the client/server cross-check).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Load-generator knobs.
 #[derive(Debug, Clone, Copy)]
@@ -153,13 +165,18 @@ impl LoadReport {
 /// The strategies a run measures, as protocol tokens.
 pub const STRATEGIES: [&str; 3] = ["original", "cost", "magic"];
 
+/// The Table-1 suite the generator replays.
+pub fn suite() -> Vec<String> {
+    starmagic_bench::experiments()
+        .iter()
+        .map(|e: &Experiment| e.original_sql.to_string())
+        .collect()
+}
+
 /// Run the full matrix against a server: per strategy, a one-
 /// connection window then a `connections`-wide window.
 pub fn run(addr: SocketAddr, cfg: LoadgenConfig) -> Result<LoadReport> {
-    let suite: Vec<String> = starmagic_bench::experiments()
-        .iter()
-        .map(|e: &Experiment| e.original_sql.to_string())
-        .collect();
+    let suite = suite();
     let mut strategies = Vec::new();
     for strategy in STRATEGIES {
         let serial = window(addr, strategy, &suite, 1, cfg)?;
@@ -266,6 +283,176 @@ fn worker(
     Ok(stats)
 }
 
+/// The server's own view of the run, lifted from a `METRICS JSON`
+/// document.
+#[derive(Debug, Clone)]
+pub struct ServerSideMetrics {
+    /// `server.sessions_opened` counter.
+    pub sessions_opened: u64,
+    /// Samples in the `server.query_us` histogram.
+    pub queries: u64,
+    /// Server-side query-latency percentiles (bucket ceilings).
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+impl ServerSideMetrics {
+    /// Lift the fields this module needs out of a parsed `METRICS
+    /// JSON` document. `None` when the server ran with metrics off
+    /// (no `server.query_us` histogram).
+    pub fn from_doc(doc: &Value) -> Option<ServerSideMetrics> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        fn num(v: Option<&Value>) -> u64 {
+            v.and_then(Value::as_f64).unwrap_or(0.0) as u64
+        }
+        let h = doc.get("histograms")?.get("server.query_us")?;
+        Some(ServerSideMetrics {
+            sessions_opened: num(doc
+                .get("counters")
+                .and_then(|c| c.get("server.sessions_opened"))),
+            queries: num(h.get("count")),
+            p50_us: num(h.get("p50_us")),
+            p95_us: num(h.get("p95_us")),
+            p99_us: num(h.get("p99_us")),
+        })
+    }
+}
+
+/// One quantile's client/server comparison.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// `p50` / `p95` / `p99`.
+    pub quantile: &'static str,
+    /// Nearest-rank percentile over the calibration pass's
+    /// client-side samples.
+    pub client_us: u64,
+    /// The server delta-histogram's percentile (bucket ceiling).
+    pub server_us: u64,
+    /// Whether the two land within one log2 bucket of each other.
+    pub agree: bool,
+}
+
+/// Values below this floor are clamped before bucketing: at
+/// single-digit microseconds one bucket is only a few µs wide and
+/// scheduler noise dominates, so the comparison would be meaningless.
+const CROSS_CHECK_FLOOR_US: u64 = 64;
+
+/// Whether two latency measurements of the same population land
+/// within one log2 bucket of each other (after the floor clamp) —
+/// tight enough to catch real drift (a unit mix-up is ten buckets),
+/// loose enough to absorb the client's round-trip overhead.
+fn buckets_agree(client_us: u64, server_us: u64) -> bool {
+    let c = starmagic_metrics::bucket_index(client_us.max(CROSS_CHECK_FLOOR_US));
+    let s = starmagic_metrics::bucket_index(server_us.max(CROSS_CHECK_FLOOR_US));
+    c.abs_diff(s) <= 1
+}
+
+/// Lift the `server.query_us` histogram out of a `METRICS JSON`
+/// document.
+fn query_histogram(doc: &Value) -> Option<HistogramSnapshot> {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn num(v: Option<&Value>) -> u64 {
+        v.and_then(Value::as_f64).unwrap_or(0.0) as u64
+    }
+    let h = doc.get("histograms")?.get("server.query_us")?;
+    let Some(Value::Arr(arr)) = h.get("buckets") else {
+        return None;
+    };
+    let mut buckets = [0u64; starmagic_metrics::BUCKETS];
+    for (slot, v) in buckets.iter_mut().zip(arr) {
+        *slot = num(Some(v));
+    }
+    Some(HistogramSnapshot {
+        buckets,
+        sum: num(h.get("sum")),
+        max: num(h.get("max")),
+    })
+}
+
+/// The histogram of events recorded between two snapshots: merge run
+/// backwards. Sound because the bucket grid is fixed and counters
+/// only grow; `max` is carried from `after` (an upper bound — it only
+/// matters for the saturated top bucket).
+fn histogram_delta(before: &HistogramSnapshot, after: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut delta = after.clone();
+    for (d, b) in delta.buckets.iter_mut().zip(before.buckets) {
+        *d = d.saturating_sub(b);
+    }
+    delta.sum = after.sum.saturating_sub(before.sum);
+    delta
+}
+
+/// Nearest-rank percentile over sorted client samples (same
+/// convention as [`Window::percentile_us`]).
+fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Build the per-quantile verdicts from a calibration pass: the
+/// client's sorted samples vs the server's delta histogram covering
+/// exactly those queries.
+fn cross_check_verdicts(sorted_client_us: &[u64], delta: &HistogramSnapshot) -> Vec<CrossCheck> {
+    [("p50", 50u64), ("p95", 95), ("p99", 99)]
+        .into_iter()
+        .map(|(quantile, p)| {
+            #[allow(clippy::cast_precision_loss)]
+            let client_us = nearest_rank(sorted_client_us, p as f64);
+            let server_us = delta.percentile_us(p).unwrap_or(0);
+            CrossCheck {
+                quantile,
+                client_us,
+                server_us,
+                agree: buckets_agree(client_us, server_us),
+            }
+        })
+        .collect()
+}
+
+/// Audit the server's latency telemetry against client-side timing.
+///
+/// The loaded windows can't be compared directly — under concurrency
+/// a client-observed latency includes queue wait the server never
+/// sees per query. So this runs a dedicated calibration pass on one
+/// idle connection: snapshot `server.query_us`, replay the suite
+/// `rounds` times timing each query client-side, snapshot again, and
+/// compare percentiles of the two views of *exactly those queries*
+/// (server side via [`histogram_delta`]). The only systematic
+/// difference left is the socket round-trip, which one log2 bucket
+/// absorbs. Errors if the server exposes no query histogram.
+pub fn cross_check(
+    client: &mut Client,
+    suite: &[String],
+    rounds: usize,
+) -> Result<Vec<CrossCheck>> {
+    let no_histogram =
+        || Error::unsupported("target server exposes no server.query_us histogram (metrics off?)");
+    let before = query_histogram(&client.metrics_json()?).ok_or_else(no_histogram)?;
+    let mut samples = Vec::with_capacity(rounds * suite.len());
+    for _ in 0..rounds.max(1) {
+        for sql in suite {
+            let t = Instant::now();
+            client.query(sql)?;
+            samples.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+    }
+    let after = query_histogram(&client.metrics_json()?).ok_or_else(no_histogram)?;
+    samples.sort_unstable();
+    Ok(cross_check_verdicts(
+        &samples,
+        &histogram_delta(&before, &after),
+    ))
+}
+
 fn window_obj(w: &Window) -> Value {
     Value::Obj(vec![
         ("connections".to_string(), Value::from(w.connections)),
@@ -283,8 +470,43 @@ fn window_obj(w: &Window) -> Value {
     ])
 }
 
-/// Build the `BENCH_server.json` document.
-pub fn bench_server_report(report: &LoadReport, host_cpus: usize) -> Value {
+/// Build the `BENCH_server.json` document. `server` carries the
+/// target's own `METRICS JSON` view when available, and `checks` the
+/// calibration verdicts from [`cross_check`]; the document then
+/// records both sides plus the per-quantile cross-check verdicts
+/// (`server_metrics` is JSON `null` when the server ran metrics-off).
+pub fn bench_server_report(
+    report: &LoadReport,
+    host_cpus: usize,
+    server: Option<&ServerSideMetrics>,
+    checks: &[CrossCheck],
+) -> Value {
+    let server_metrics = server.map_or(Value::Null, |s| {
+        let checks: Vec<(String, Value)> = checks
+            .iter()
+            .map(|c| {
+                (
+                    c.quantile.to_string(),
+                    Value::Obj(vec![
+                        ("client_us".to_string(), Value::from(c.client_us)),
+                        ("server_us".to_string(), Value::from(c.server_us)),
+                        ("agree".to_string(), Value::from(c.agree)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Obj(vec![
+            (
+                "sessions_opened".to_string(),
+                Value::from(s.sessions_opened),
+            ),
+            ("queries".to_string(), Value::from(s.queries)),
+            ("p50_us".to_string(), Value::from(s.p50_us)),
+            ("p95_us".to_string(), Value::from(s.p95_us)),
+            ("p99_us".to_string(), Value::from(s.p99_us)),
+            ("cross_check".to_string(), Value::Obj(checks)),
+        ])
+    });
     let strategies: Vec<(String, Value)> = report
         .strategies
         .iter()
@@ -314,6 +536,7 @@ pub fn bench_server_report(report: &LoadReport, host_cpus: usize) -> Value {
         ("threads".to_string(), Value::from(report.config.threads)),
         ("host_cpus".to_string(), Value::from(host_cpus)),
         ("strategies".to_string(), Value::Obj(strategies)),
+        ("server_metrics".to_string(), server_metrics),
         (
             "concurrent_hit_rate".to_string(),
             Value::from(report.concurrent_hit_rate()),
@@ -348,9 +571,8 @@ mod tests {
         assert_eq!(w.percentile_us(0.0), 1);
     }
 
-    #[test]
-    fn schema_is_stable() {
-        let report = LoadReport {
+    fn dummy_report() -> LoadReport {
+        LoadReport {
             config: LoadgenConfig::default(),
             strategies: STRATEGIES
                 .iter()
@@ -360,9 +582,41 @@ mod tests {
                     concurrent: dummy_window(),
                 })
                 .collect(),
+        }
+    }
+
+    #[test]
+    fn schema_is_stable() {
+        let report = dummy_report();
+        let server = ServerSideMetrics {
+            sessions_opened: 7,
+            queries: 60,
+            p50_us: 6,
+            p95_us: 10,
+            p99_us: 10,
         };
-        let doc = bench_server_report(&report, 4);
-        assert_eq!(doc.get("schema_version").and_then(Value::as_f64), Some(1.0));
+        let checks = vec![
+            CrossCheck {
+                quantile: "p50",
+                client_us: 150,
+                server_us: 127,
+                agree: true,
+            },
+            CrossCheck {
+                quantile: "p95",
+                client_us: 300,
+                server_us: 255,
+                agree: true,
+            },
+            CrossCheck {
+                quantile: "p99",
+                client_us: 600,
+                server_us: 511,
+                agree: true,
+            },
+        ];
+        let doc = bench_server_report(&report, 4, Some(&server), &checks);
+        assert_eq!(doc.get("schema_version").and_then(Value::as_f64), Some(2.0));
         for key in [
             "generated_by",
             "mode",
@@ -371,6 +625,7 @@ mod tests {
             "threads",
             "host_cpus",
             "strategies",
+            "server_metrics",
             "concurrent_hit_rate",
             "total_errors",
         ] {
@@ -397,5 +652,90 @@ mod tests {
             }
             assert!(obj.get("speedup").is_some());
         }
+        let sm = doc.get("server_metrics").expect("server_metrics section");
+        for key in ["sessions_opened", "queries", "p50_us", "p95_us", "p99_us"] {
+            assert!(sm.get(key).is_some(), "missing server_metrics.{key}");
+        }
+        let checks = sm.get("cross_check").unwrap();
+        for q in ["p50", "p95", "p99"] {
+            let c = checks.get(q).unwrap_or_else(|| panic!("missing {q}"));
+            assert!(c.get("client_us").is_some());
+            assert!(c.get("server_us").is_some());
+            assert!(c.get("agree").is_some());
+        }
+        // Metrics-off target: the section is present but null.
+        let doc = bench_server_report(&report, 4, None, &[]);
+        assert!(matches!(doc.get("server_metrics"), Some(Value::Null)));
+        // The whole document survives the strict parser.
+        starmagic_trace::json::parse(&doc.to_string()).expect("report round-trips");
+    }
+
+    #[test]
+    fn cross_check_agrees_within_one_bucket() {
+        // Below the 64µs floor everything clamps into one bucket.
+        assert!(buckets_agree(1, 60));
+        // One bucket apart (the client's round-trip allowance).
+        assert!(buckets_agree(100, 200));
+        assert!(buckets_agree(200, 100));
+        // A 10x gap is several buckets — must disagree.
+        assert!(!buckets_agree(100, 1_000));
+        assert!(!buckets_agree(565, 7_043));
+
+        // A delta histogram covers exactly the events recorded between
+        // the two snapshots: client samples matching that population
+        // agree, a unit-off server does not.
+        let mut before = HistogramSnapshot::default();
+        before.buckets[starmagic_metrics::bucket_index(100)] = 5;
+        before.sum = 500;
+        let mut after = before.clone();
+        // 40 new events around ~150µs, 2 tail events around ~600µs.
+        after.buckets[starmagic_metrics::bucket_index(150)] += 40;
+        after.buckets[starmagic_metrics::bucket_index(600)] += 2;
+        after.sum += 40 * 150 + 2 * 600;
+        after.max = 640;
+        let delta = histogram_delta(&before, &after);
+        assert_eq!(delta.count(), 42, "delta must exclude the pre-existing 5");
+        assert_eq!(delta.sum, 40 * 150 + 2 * 600);
+
+        let mut client: Vec<u64> = std::iter::repeat_n(160u64, 40).chain([620, 630]).collect();
+        client.sort_unstable();
+        let verdicts = cross_check_verdicts(&client, &delta);
+        assert_eq!(verdicts.len(), 3);
+        assert!(
+            verdicts.iter().all(|c| c.agree),
+            "same population measured twice must agree: {verdicts:?}"
+        );
+
+        // Same client samples against a 10x-off delta must fail.
+        let mut off = HistogramSnapshot::default();
+        off.buckets[starmagic_metrics::bucket_index(1_500)] = 40;
+        off.buckets[starmagic_metrics::bucket_index(6_000)] = 2;
+        off.sum = 40 * 1_500 + 2 * 6_000;
+        off.max = 6_000;
+        let verdicts = cross_check_verdicts(&client, &off);
+        assert!(
+            verdicts.iter().all(|c| !c.agree),
+            "a 10x-off server must fail the cross-check: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn server_side_metrics_lift_from_a_metrics_doc() {
+        let doc = starmagic_trace::json::parse(
+            r#"{"schema_version":1,"enabled":true,
+                "counters":{"server.sessions_opened":9},
+                "gauges":{},
+                "histograms":{"server.query_us":
+                    {"count":42,"sum":4200,"mean":100,"max":900,
+                     "p50_us":127,"p95_us":511,"p99_us":1023,"buckets":[]}},
+                "plan_cache":{}}"#,
+        )
+        .unwrap();
+        let s = ServerSideMetrics::from_doc(&doc).expect("histogram present");
+        assert_eq!(s.sessions_opened, 9);
+        assert_eq!(s.queries, 42);
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us), (127, 511, 1023));
+        let off = starmagic_trace::json::parse(r#"{"enabled":false,"histograms":{}}"#).unwrap();
+        assert!(ServerSideMetrics::from_doc(&off).is_none());
     }
 }

@@ -15,9 +15,11 @@
 //! CLOSE <name>                forget a named statement
 //! SET STRATEGY original|magic|cost
 //! SET THREADS <n>             per-session executor workers
+//! SET SLOWLOG <ms>|OFF        arm/disarm the slow-query log threshold
 //! EXPLAIN <sql>               optimizer report (text frame)
 //! ANALYZE <sql>               EXPLAIN ANALYZE (text frame)
-//! CACHE [CLEAR]               plan-cache counters (text frame)
+//! CACHE [CLEAR]               plan-cache counters, split by strategy (text frame)
+//! METRICS [JSON]              metrics snapshot: human text, or one JSON line
 //! PING                        liveness check
 //! QUIT                        close this session
 //! SHUTDOWN                    begin graceful server shutdown

@@ -14,29 +14,105 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use starmagic::{Engine, Strategy};
 use starmagic_common::{Error, Value};
+use starmagic_metrics::{Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::{decode_value, encode_error, encode_row, escape};
 use crate::shared::SharedEngine;
+use crate::slowlog::{SlowLog, SlowRecord};
 
 /// How long a blocked read waits before the session re-checks the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Server knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Hard cap on concurrent sessions; further connections receive
     /// an error frame and are closed immediately.
     pub max_sessions: usize,
+    /// Metrics registry for the wire layer. [`serve_engine`] also
+    /// installs it into the engine when live, so one `METRICS`
+    /// snapshot covers sessions, commands, cache, executor, and
+    /// planner. The default (noop) registry records nothing and
+    /// leaves every instrumented path free of clock reads and
+    /// allocations.
+    pub metrics: Registry,
+    /// Structured slow-query log; `None` (the default) disables it
+    /// entirely, including the wire `SET SLOWLOG` command.
+    pub slowlog: Option<Arc<SlowLog>>,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { max_sessions: 64 }
+        ServerConfig {
+            max_sessions: 64,
+            metrics: Registry::noop(),
+            slowlog: None,
+        }
+    }
+}
+
+/// Pre-registered wire-level instrument handles (all noop when the
+/// config's registry is). Naming: `server.*`, `_us` histograms in
+/// microseconds.
+#[derive(Debug, Clone)]
+struct ServerMetrics {
+    registry: Registry,
+    /// `server.sessions_opened`: connections admitted.
+    sessions_opened: Counter,
+    /// `server.sessions_refused`: connections turned away (cap or
+    /// shutdown).
+    sessions_refused: Counter,
+    /// `server.sessions_active`: live sessions, with peak.
+    sessions_active: Gauge,
+    /// `server.bytes_in` / `server.bytes_out`: request/response bytes.
+    bytes_in: Counter,
+    bytes_out: Counter,
+    /// `server.errors`: requests answered with an `ERR` frame.
+    errors: Counter,
+    /// `server.command_us`: latency of every dispatched command.
+    command_us: Histogram,
+    /// `server.query_us`: latency of `QUERY`/`EXECUTE` commands only
+    /// (the histogram the loadgen cross-checks its client-side
+    /// percentiles against).
+    query_us: Histogram,
+    /// `server.drain_us`: graceful-shutdown drain time.
+    drain_us: Histogram,
+    /// `server.slowlog.records`: slow-query records written.
+    slowlog_records: Counter,
+}
+
+impl ServerMetrics {
+    fn new(registry: Registry) -> Arc<ServerMetrics> {
+        Arc::new(ServerMetrics {
+            sessions_opened: registry.counter("server.sessions_opened"),
+            sessions_refused: registry.counter("server.sessions_refused"),
+            sessions_active: registry.gauge("server.sessions_active"),
+            bytes_in: registry.counter("server.bytes_in"),
+            bytes_out: registry.counter("server.bytes_out"),
+            errors: registry.counter("server.errors"),
+            command_us: registry.histogram("server.command_us"),
+            query_us: registry.histogram("server.query_us"),
+            drain_us: registry.histogram("server.drain_us"),
+            slowlog_records: registry.counter("server.slowlog.records"),
+            registry,
+        })
+    }
+
+    /// Count one dispatched command under `server.cmd.<verb>`. The
+    /// per-verb counter is fetched from the registry's name map per
+    /// call (a short read-lock) — acceptable at wire-command rate,
+    /// and skipped entirely when metrics are off.
+    fn note_command(&self, verb: &str) {
+        if !self.registry.is_noop() {
+            self.registry
+                .counter(&format!("server.cmd.{}", verb.to_ascii_lowercase()))
+                .inc();
+        }
     }
 }
 
@@ -101,6 +177,7 @@ fn accept_loop(
     shutdown: &Arc<AtomicBool>,
     cfg: ServerConfig,
 ) {
+    let metrics = ServerMetrics::new(cfg.metrics.clone());
     let active = Arc::new(AtomicUsize::new(0));
     let mut sessions: Vec<JoinHandle<()>> = Vec::new();
     loop {
@@ -110,10 +187,12 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 if shutdown.load(Ordering::SeqCst) {
+                    metrics.sessions_refused.inc();
                     refuse(stream, "server is shutting down");
                     break;
                 }
                 if active.load(Ordering::SeqCst) >= cfg.max_sessions {
+                    metrics.sessions_refused.inc();
                     refuse(
                         stream,
                         &format!("server at capacity ({} sessions)", cfg.max_sessions),
@@ -121,19 +200,27 @@ fn accept_loop(
                     continue;
                 }
                 active.fetch_add(1, Ordering::SeqCst);
+                metrics.sessions_opened.inc();
+                metrics.sessions_active.inc();
                 let engine = engine.clone();
                 let flag = Arc::clone(shutdown);
                 let count = Arc::clone(&active);
+                let session_metrics = Arc::clone(&metrics);
+                let slowlog = cfg.slowlog.clone();
                 let spawned = std::thread::Builder::new()
                     .name("starmagic-session".to_string())
                     .spawn(move || {
-                        let _guard = SessionGuard(count);
-                        Session::new(engine, flag).run(stream);
+                        let _guard = SessionGuard {
+                            count,
+                            gauge: session_metrics.sessions_active.clone(),
+                        };
+                        Session::new(engine, flag, session_metrics, slowlog).run(stream);
                     });
                 match spawned {
                     Ok(h) => sessions.push(h),
                     Err(_) => {
                         active.fetch_sub(1, Ordering::SeqCst);
+                        metrics.sessions_active.dec();
                     }
                 }
                 sessions.retain(|h| !h.is_finished());
@@ -147,17 +234,24 @@ fn accept_loop(
     }
     // Drain: sessions observe the flag at their next poll and exit
     // after finishing whatever request is in flight.
+    let drain = metrics.registry.stopwatch();
     for h in sessions {
         let _ = h.join();
     }
+    metrics.drain_us.stop(&drain);
 }
 
-/// Decrements the live-session counter however the session ends.
-struct SessionGuard(Arc<AtomicUsize>);
+/// Decrements the live-session counter (and gauge) however the
+/// session ends.
+struct SessionGuard {
+    count: Arc<AtomicUsize>,
+    gauge: Gauge,
+}
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.count.fetch_sub(1, Ordering::SeqCst);
+        self.gauge.dec();
     }
 }
 
@@ -217,16 +311,27 @@ struct Session {
     /// re-resolves through the shared plan cache, so a DDL flush can
     /// never leave a session holding a stale plan.
     statements: HashMap<String, String>,
+    /// Shared wire-level instruments (noop when metrics are off).
+    metrics: Arc<ServerMetrics>,
+    /// Shared slow-query log, when configured.
+    slowlog: Option<Arc<SlowLog>>,
 }
 
 impl Session {
-    fn new(engine: SharedEngine, shutdown: Arc<AtomicBool>) -> Session {
+    fn new(
+        engine: SharedEngine,
+        shutdown: Arc<AtomicBool>,
+        metrics: Arc<ServerMetrics>,
+        slowlog: Option<Arc<SlowLog>>,
+    ) -> Session {
         Session {
             engine,
             shutdown,
             strategy: Strategy::CostBased,
             threads: 1,
             statements: HashMap::new(),
+            metrics,
+            slowlog,
         }
     }
 
@@ -248,7 +353,14 @@ impl Session {
                     if line.is_empty() {
                         continue;
                     }
+                    self.metrics.bytes_in.add(line.len() as u64 + 1);
+                    let sw = self.metrics.registry.stopwatch();
                     let (reply, quit) = self.dispatch(&line);
+                    self.metrics.command_us.stop(&sw);
+                    self.metrics.bytes_out.add(reply.len() as u64);
+                    if reply.starts_with("ERR ") {
+                        self.metrics.errors.inc();
+                    }
                     if stream.write_all(reply.as_bytes()).is_err() || quit {
                         return;
                     }
@@ -261,7 +373,9 @@ impl Session {
     /// terminated) and whether the session should close.
     fn dispatch(&mut self, line: &str) -> (String, bool) {
         let (verb, rest) = split_word(line);
-        match verb.to_ascii_uppercase().as_str() {
+        let verb_upper = verb.to_ascii_uppercase();
+        self.metrics.note_command(&verb_upper);
+        match verb_upper.as_str() {
             "PING" => ("OK\n".to_string(), false),
             "QUIT" => ("OK\n".to_string(), true),
             "SHUTDOWN" => {
@@ -269,9 +383,20 @@ impl Session {
                 ("OK\n".to_string(), true)
             }
             "SET" => (self.set(rest), false),
-            "QUERY" => (self.query(rest), false),
+            "QUERY" => {
+                let sw = self.metrics.registry.stopwatch();
+                let reply = self.query(rest);
+                self.metrics.query_us.stop(&sw);
+                (reply, false)
+            }
             "PREPARE" => (self.prepare(rest), false),
-            "EXECUTE" => (self.execute(rest), false),
+            "EXECUTE" => {
+                let sw = self.metrics.registry.stopwatch();
+                let reply = self.execute(rest);
+                self.metrics.query_us.stop(&sw);
+                (reply, false)
+            }
+            "METRICS" => (self.metrics_cmd(rest), false),
             "CLOSE" => {
                 let name = rest.trim();
                 if self.statements.remove(name).is_some() {
@@ -321,7 +446,58 @@ impl Session {
                 }
                 _ => err_line(&Error::unsupported("SET THREADS needs an integer >= 1")),
             },
+            "SLOWLOG" => {
+                let Some(log) = &self.slowlog else {
+                    return err_line(&Error::unsupported(
+                        "slow-query log not configured (start the server with --slowlog-path)",
+                    ));
+                };
+                let v = value.trim();
+                if v.eq_ignore_ascii_case("off") {
+                    log.set_threshold_ms(None);
+                    return "OK\n".to_string();
+                }
+                match v.parse::<u64>() {
+                    Ok(ms) => {
+                        log.set_threshold_ms(Some(ms));
+                        "OK\n".to_string()
+                    }
+                    Err(_) => err_line(&Error::unsupported(
+                        "SET SLOWLOG needs a millisecond threshold or OFF",
+                    )),
+                }
+            }
             other => err_line(&Error::unsupported(format!("unknown setting {other}"))),
+        }
+    }
+
+    /// `METRICS` (human text) / `METRICS JSON` (one `trace::json`
+    /// line). Built from the *server's* registry — which
+    /// [`serve_engine`] shares with the engine, so one document
+    /// covers every layer — plus the engine's plan-cache counters.
+    fn metrics_cmd(&self, rest: &str) -> String {
+        let engine = self.engine.read();
+        let total = engine.cache_stats();
+        let by_strategy = engine.cache_stats_by_strategy();
+        let entries = engine.cache_len();
+        drop(engine);
+        let reg = &self.metrics.registry;
+        let arg = rest.trim();
+        if arg.eq_ignore_ascii_case("json") {
+            let doc = starmagic::metrics::report_json(
+                &reg.snapshot(),
+                !reg.is_noop(),
+                total,
+                &by_strategy,
+                entries,
+            );
+            self.text_frame(Ok(doc.to_string()))
+        } else if arg.is_empty() {
+            let report =
+                starmagic::metrics::report_text(&reg.snapshot(), total, &by_strategy, entries);
+            self.text_frame(Ok(report))
+        } else {
+            err_line(&Error::unsupported("usage: METRICS [JSON]"))
         }
     }
 
@@ -339,15 +515,58 @@ impl Session {
                 Err(e) => err_line(&e),
             };
         }
+        // The slow log takes its own clock so it works even with the
+        // metrics registry off; inactive, it costs one atomic load.
+        let slow = self
+            .slowlog
+            .as_ref()
+            .filter(|log| log.active())
+            .map(|log| (Arc::clone(log), Instant::now()));
         let engine = self.engine.read();
         match engine.query_cached_traced_with(sql, self.strategy, self.threads) {
-            Ok(c) => rows_frame(
-                &c.result.columns,
-                &c.result.rows,
-                c.hit,
-                c.result.used_magic,
-            ),
+            Ok(c) => {
+                drop(engine);
+                if let Some((log, started)) = slow {
+                    let duration_us =
+                        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    if log.should_log(duration_us) {
+                        self.note_slow(&log, &c, duration_us);
+                    }
+                }
+                rows_frame(
+                    &c.result.columns,
+                    &c.result.rows,
+                    c.hit,
+                    c.result.used_magic,
+                )
+            }
             Err(e) => err_line(&e),
+        }
+    }
+
+    /// Write one slow-query record; a failed write drops telemetry,
+    /// never the query.
+    fn note_slow(&self, log: &SlowLog, c: &starmagic::CachedQuery, duration_us: u64) {
+        let record = SlowRecord {
+            // The key is `strategy|params|normalized sql` — keep only
+            // the parameterized text.
+            sql: c.key.splitn(3, '|').nth(2).unwrap_or(&c.key).to_string(),
+            strategy: starmagic::strategy_token(self.strategy).to_string(),
+            cache_hit: c.hit,
+            rows: c.result.rows.len() as u64,
+            duration_us,
+            spans: c
+                .trace
+                .spans()
+                .iter()
+                .map(|s| {
+                    let us = u64::try_from(s.elapsed.as_micros()).unwrap_or(u64::MAX);
+                    (s.name.clone(), us)
+                })
+                .collect(),
+        };
+        if log.log(&record).is_ok() {
+            self.metrics.slowlog_records.inc();
         }
     }
 
@@ -383,11 +602,43 @@ impl Session {
                 Err(e) => return err_line(&e),
             }
         }
+        let slow = self
+            .slowlog
+            .as_ref()
+            .filter(|log| log.active())
+            .map(|log| (Arc::clone(log), Instant::now()));
         let engine = self.engine.read();
         match engine.prepare_cached(&sql, self.strategy) {
             Ok((plan, extracted, hit)) => {
                 match engine.execute_cached_with(&plan, &args, &extracted, self.threads) {
-                    Ok(r) => rows_frame(&r.columns, &r.rows, hit, r.used_magic),
+                    Ok(r) => {
+                        drop(engine);
+                        if let Some((log, started)) = slow {
+                            let duration_us =
+                                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            if log.should_log(duration_us) {
+                                // EXECUTE has no trace sink: record
+                                // the cached plan's key without spans.
+                                let record = SlowRecord {
+                                    sql: plan
+                                        .key
+                                        .splitn(3, '|')
+                                        .nth(2)
+                                        .unwrap_or(&plan.key)
+                                        .to_string(),
+                                    strategy: starmagic::strategy_token(self.strategy).to_string(),
+                                    cache_hit: hit,
+                                    rows: r.rows.len() as u64,
+                                    duration_us,
+                                    spans: Vec::new(),
+                                };
+                                if log.log(&record).is_ok() {
+                                    self.metrics.slowlog_records.inc();
+                                }
+                            }
+                        }
+                        rows_frame(&r.columns, &r.rows, hit, r.used_magic)
+                    }
                     Err(e) => err_line(&e),
                 }
             }
@@ -400,7 +651,11 @@ impl Session {
         if rest.trim().eq_ignore_ascii_case("clear") {
             engine.cache_clear();
         }
-        let report = starmagic::explain::render_cache(engine.cache_stats(), engine.cache_len());
+        let report = starmagic::explain::render_cache_by_strategy(
+            engine.cache_stats(),
+            &engine.cache_stats_by_strategy(),
+            engine.cache_len(),
+        );
         drop(engine);
         self.text_frame(Ok(report))
     }
@@ -468,7 +723,13 @@ fn is_ddl(sql: &str) -> bool {
 }
 
 /// Convenience for tests and the binary: build a shared engine and
-/// serve it on `addr` (use port 0 for an ephemeral port).
-pub fn serve_engine(engine: Engine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+/// serve it on `addr` (use port 0 for an ephemeral port). A live
+/// metrics registry in `cfg` is installed into the engine too, so one
+/// `METRICS` snapshot covers the wire layer, cache, pipeline,
+/// executor, and planner.
+pub fn serve_engine(mut engine: Engine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    if !cfg.metrics.is_noop() {
+        engine.set_metrics(cfg.metrics.clone());
+    }
     serve(SharedEngine::new(engine), addr, cfg)
 }

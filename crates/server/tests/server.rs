@@ -13,8 +13,15 @@ fn test_engine() -> Engine {
 }
 
 fn start(max_sessions: usize) -> (starmagic_server::ServerHandle, std::net::SocketAddr) {
-    let handle = serve_engine(test_engine(), "127.0.0.1:0", ServerConfig { max_sessions })
-        .expect("bind ephemeral server");
+    let handle = serve_engine(
+        test_engine(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_sessions,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral server");
     let addr = handle.addr();
     (handle, addr)
 }
@@ -280,7 +287,10 @@ fn graceful_shutdown_drains_in_flight_sessions() {
     let handle = serve(
         shared.clone(),
         "127.0.0.1:0",
-        ServerConfig { max_sessions: 4 },
+        ServerConfig {
+            max_sessions: 4,
+            ..ServerConfig::default()
+        },
     )
     .expect("bind server");
     let addr = handle.addr();

@@ -131,6 +131,51 @@ fn disabled_trace_is_a_noop() {
     assert!(sink.start("anything").is_noop());
 }
 
+/// The metrics twin of the no-overhead contract: a disabled registry
+/// hands out no-op instruments, records nothing, and leaves query
+/// results and the `ExecProfile` aggregation exactly as they were —
+/// while an enabled registry observes the same run without changing
+/// it.
+#[test]
+fn disabled_metrics_registry_is_a_noop() {
+    let noop = starmagic::MetricsRegistry::noop();
+    assert!(noop.is_noop());
+    assert!(noop.counter("x").is_noop());
+    assert!(noop.stopwatch().is_noop());
+
+    // A fresh engine runs with the noop registry by default.
+    let plain_engine = paper_engine();
+    assert!(plain_engine.metrics_registry().is_noop());
+    let plain = plain_engine
+        .query_profiled(QUERY_D, Strategy::Magic)
+        .unwrap();
+    // Nothing was recorded anywhere: the snapshot is empty.
+    assert!(plain_engine.metrics_registry().snapshot().is_empty());
+
+    // The same query under a live registry: identical rows, metrics,
+    // and per-box profile — observation is a view, not a behaviour
+    // change.
+    let mut metered_engine = paper_engine();
+    let registry = starmagic::MetricsRegistry::enabled();
+    metered_engine.set_metrics(registry.clone());
+    let metered = metered_engine
+        .query_profiled(QUERY_D, Strategy::Magic)
+        .unwrap();
+    assert_eq!(plain.result.rows, metered.result.rows);
+    assert_eq!(plain.result.metrics, metered.result.metrics);
+    // Profiled runs time themselves, so compare the deterministic
+    // aggregation rather than per-box wall clocks.
+    assert_eq!(plain.profile.aggregate(), metered.profile.aggregate());
+
+    // And the live registry actually saw the run.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("engine.queries"), 1);
+    assert_eq!(
+        snap.counter("exec.rows_scanned"),
+        metered.result.metrics.rows_scanned
+    );
+}
+
 /// Every phase the pipeline runs shows up as a span, in order.
 #[test]
 fn pipeline_spans_cover_all_phases() {

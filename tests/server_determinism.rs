@@ -73,6 +73,7 @@ fn concurrent_sessions_match_in_process_bags() {
         "127.0.0.1:0",
         ServerConfig {
             max_sessions: SESSIONS + 2,
+            ..ServerConfig::default()
         },
     )
     .expect("bind server");
