@@ -15,11 +15,15 @@
 use starmagic::trace::json::Value;
 use starmagic_catalog::generator::Scale;
 
-use crate::throughput::{StrategyThroughput, ThroughputReport};
+use crate::throughput::{BatchStats, StrategyThroughput, ThroughputReport};
 
 /// Schema version of the emitted document. Bump when the shape
 /// changes; the pinning test tracks this constant.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `batch` section: columnar batch-execution telemetry
+/// (dispatch size, batch counts, gather volume, and the filter
+/// selectivity histogram) from an untimed replay of the suite.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Build the `BENCH_table1.json` document.
 pub fn bench_report(report: &ThroughputReport, scale: Scale) -> Value {
@@ -56,6 +60,40 @@ pub fn bench_report(report: &ThroughputReport, scale: Scale) -> Value {
         ),
         ("strategies".to_string(), Value::Obj(strategies)),
         ("totals".to_string(), strategy_obj(&report.totals())),
+        ("batch".to_string(), batch_obj(&report.batch)),
+    ])
+}
+
+/// The columnar batch telemetry as a JSON object (v2 `batch` section).
+fn batch_obj(b: &BatchStats) -> Value {
+    let avg_selectivity = if b.selectivity_count > 0 {
+        b.selectivity_sum as f64 / b.selectivity_count as f64
+    } else {
+        0.0
+    };
+    Value::Obj(vec![
+        ("batch_size".to_string(), Value::from(b.batch_size)),
+        ("batches".to_string(), Value::from(b.batches)),
+        ("gather_rows".to_string(), Value::from(b.gather_rows)),
+        ("rows_count".to_string(), Value::from(b.rows_count)),
+        ("rows_sum".to_string(), Value::from(b.rows_sum)),
+        (
+            "selectivity_count".to_string(),
+            Value::from(b.selectivity_count),
+        ),
+        (
+            "avg_selectivity_pct".to_string(),
+            Value::Num(avg_selectivity),
+        ),
+        (
+            "selectivity_buckets".to_string(),
+            Value::Arr(
+                b.selectivity_buckets
+                    .iter()
+                    .map(|&n| Value::from(n))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -140,5 +178,35 @@ mod tests {
         assert!(totals.get("serial_qps").unwrap().as_f64().unwrap() > 0.0);
         assert!(totals.get("parallel_qps").unwrap().as_f64().unwrap() > 0.0);
         assert!(totals.get("speedup").unwrap().as_f64().unwrap() > 0.0);
+
+        // v2: the batch section, with a live columnar path behind it.
+        let batch = v.get("batch").unwrap();
+        for field in [
+            "batch_size",
+            "batches",
+            "gather_rows",
+            "rows_count",
+            "rows_sum",
+            "selectivity_count",
+            "avg_selectivity_pct",
+        ] {
+            assert!(
+                batch.get(field).unwrap().as_f64().is_some(),
+                "batch.{field} missing or not numeric"
+            );
+        }
+        assert!(
+            batch.get("batch_size").unwrap().as_f64().unwrap() > 0.0,
+            "batch_size must be the executor's dispatch unit"
+        );
+        assert!(
+            batch.get("batches").unwrap().as_f64().unwrap() > 0.0,
+            "the columnar path never engaged during the replay"
+        );
+        let buckets = batch.get("selectivity_buckets").unwrap();
+        assert!(
+            buckets.as_arr().is_some(),
+            "selectivity histogram must be an array"
+        );
     }
 }

@@ -47,6 +47,32 @@ impl StrategyThroughput {
     }
 }
 
+/// Columnar batch telemetry for one replay of the whole suite,
+/// captured from the `exec.batch.*` instruments with a live registry
+/// installed — outside the timed windows, which run metrics-off like
+/// production.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Rows per batch dispatch unit (the executor's morsel size).
+    pub batch_size: u64,
+    /// Columnar stage dispatches (`exec.batch.batches`).
+    pub batches: u64,
+    /// Rows gathered during late materialization
+    /// (`exec.batch.gather_rows`).
+    pub gather_rows: u64,
+    /// Observations / total rows of the per-stage input-row histogram
+    /// (`exec.batch.rows`).
+    pub rows_count: u64,
+    pub rows_sum: u64,
+    /// Observations / percent-sum of the filter-selectivity histogram
+    /// (`exec.batch.selectivity_pct`); `selectivity_sum /
+    /// selectivity_count` is the mean surviving percentage.
+    pub selectivity_count: u64,
+    pub selectivity_sum: u64,
+    /// Power-of-two buckets of the selectivity histogram, as recorded.
+    pub selectivity_buckets: Vec<u64>,
+}
+
 /// A full throughput run: per-strategy numbers plus the knobs and the
 /// hardware they were measured on.
 #[derive(Debug, Clone)]
@@ -61,6 +87,8 @@ pub struct ThroughputReport {
     /// `(strategy name, numbers)` in Table-1 order:
     /// original, correlated, emst.
     pub strategies: Vec<(&'static str, StrategyThroughput)>,
+    /// Columnar batch telemetry from one untimed replay of the suite.
+    pub batch: BatchStats,
 }
 
 impl ThroughputReport {
@@ -155,12 +183,66 @@ pub fn run_throughput(
             },
         ));
     }
+    let batch = capture_batch_stats(engine, exps, threads)?;
     engine.set_threads(prior);
     Ok(ThroughputReport {
         threads,
         budget,
         host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         strategies,
+        batch,
+    })
+}
+
+/// Replay every formulation once with a live metrics registry and
+/// read back the `exec.batch.*` instruments. Runs outside the timed
+/// windows; the engine's prior registry is restored before returning.
+fn capture_batch_stats(
+    engine: &mut Engine,
+    exps: &[Experiment],
+    threads: usize,
+) -> Result<BatchStats> {
+    let prior = engine.metrics_registry().clone();
+    let registry = starmagic::MetricsRegistry::enabled();
+    engine.set_metrics(registry.clone());
+    engine.set_threads(threads);
+    let replay = || -> Result<()> {
+        for (strat, correlated) in [
+            (Strategy::Original, false),
+            (Strategy::Original, true),
+            (Strategy::Magic, false),
+        ] {
+            for e in exps {
+                let sql = if correlated {
+                    e.correlated_sql
+                } else {
+                    e.original_sql
+                };
+                let prepared = engine.prepare(sql, strat)?;
+                engine.execute_prepared(&prepared)?;
+            }
+        }
+        Ok(())
+    };
+    let replayed = replay();
+    engine.set_metrics(prior);
+    replayed?;
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let rows = snap.histograms.get("exec.batch.rows");
+    let sel = snap.histograms.get("exec.batch.selectivity_pct");
+    let (rows_count, rows_sum) = rows.map_or((0, 0), |h| (h.count(), h.sum));
+    let (selectivity_count, selectivity_sum) = sel.map_or((0, 0), |h| (h.count(), h.sum));
+    Ok(BatchStats {
+        batch_size: starmagic::exec::parallel::MORSEL_ROWS as u64,
+        batches: counter("exec.batch.batches"),
+        gather_rows: counter("exec.batch.gather_rows"),
+        rows_count,
+        rows_sum,
+        selectivity_count,
+        selectivity_sum,
+        selectivity_buckets: sel.map_or_else(Vec::new, |h| h.buckets.to_vec()),
     })
 }
 

@@ -12,6 +12,14 @@
 //!   the executor's flat work counters
 //! * `exec.morsel.runs` / `exec.morsel.queue_depth` — parallel-loop
 //!   dispatches (registered by the executor itself)
+//! * `exec.batch.batches` / `exec.batch.gather_rows` /
+//!   `exec.batch.rows` / `exec.batch.selectivity_pct` — columnar
+//!   batch-executor telemetry: stage dispatches in morsel units, rows
+//!   gathered during late materialization, per-stage input rows, and
+//!   filter selectivity (also registered by the executor; kept out of
+//!   the deterministic `ExecProfile` on purpose — batch counts are a
+//!   property of which path ran, and the profile is pinned
+//!   byte-identical between the columnar and row executors)
 //! * `planner.misestimate.<bucket>` — cardinality feedback buckets
 //!   (`within2x` … `beyond100x`)
 //! * `phase.<span>_us` — request-span latencies (`phase.parse_us`,

@@ -1,0 +1,362 @@
+//! Columnar batches: typed column vectors with validity bitmaps.
+//!
+//! A [`Batch`] is the columnar mirror of a `Vec<Row>`: one typed
+//! vector per column ([`Column`]), each with an optional validity
+//! bitmap marking NULL slots. The executor's vectorized select path
+//! (`columnar`) flows batches through scans, filters, and hash joins,
+//! touching values column-at-a-time for cache locality; row-oriented
+//! operators (aggregation, set ops) consume the same data through the
+//! [`Batch::row`] / [`Batch::rows`] adapters, so the two
+//! representations interconvert losslessly.
+//!
+//! Hand-rolled on purpose: the build environment is offline, so no
+//! arrow — a `Vec<i64>` plus a `u64`-word bitmap is all the layout the
+//! executor needs. Conversion preserves the exact [`Value`] variants
+//! (a column holding `Int` stays `Int64`, never silently widened to
+//! `Float64`), which keeps round-tripped rows byte-identical to the
+//! originals — load-bearing for the determinism contract.
+
+use std::sync::Arc;
+
+use starmagic_common::{Row, Value};
+
+/// A packed validity (or selection) bitmap over `len` slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` slots, all set to `bit`.
+    pub fn filled(len: usize, bit: bool) -> Bitmap {
+        let fill = if bit { u64::MAX } else { 0 };
+        let mut words = vec![fill; len.div_ceil(64)];
+        if bit && len % 64 != 0 {
+            // Keep bits past `len` clear so count_ones stays honest.
+            *words.last_mut().expect("len > 0") = u64::MAX >> (64 - len % 64);
+        }
+        Bitmap { words, len }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read slot `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Write slot `i`.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if bit {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set slots (bits past `len` in the last word are never
+    /// set by construction).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// One typed column vector. The typed variants hold raw slices (the
+/// vectorized kernels' input); `Mixed` is the escape hatch for columns
+/// whose non-NULL values span more than one [`Value`] type.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// `INTEGER` column; `validity` absent means no NULLs.
+    Int64 {
+        values: Vec<i64>,
+        validity: Option<Bitmap>,
+    },
+    /// `DOUBLE` column.
+    Float64 {
+        values: Vec<f64>,
+        validity: Option<Bitmap>,
+    },
+    /// `VARCHAR` column (shared `Arc<str>` payloads, like [`Value::Str`]).
+    Str {
+        values: Vec<Arc<str>>,
+        validity: Option<Bitmap>,
+    },
+    /// `BOOLEAN` column — also the output type of vectorized
+    /// predicates, where an invalid slot means SQL `Unknown`.
+    Bool {
+        values: Vec<bool>,
+        validity: Option<Bitmap>,
+    },
+    /// Mixed-type or all-NULL column: plain values, no vectorized
+    /// kernels apply.
+    Mixed(Vec<Value>),
+}
+
+impl Column {
+    /// Build a column from one slot of each row, detecting the type
+    /// from the non-NULL values (two passes, both cheap).
+    pub fn from_rows(rows: &[Row], col: usize) -> Column {
+        let mut ty: Option<u8> = None; // 0=Int 1=Double 2=Str 3=Bool
+        let mut nulls = false;
+        for r in rows {
+            match r.get(col) {
+                Value::Null => nulls = true,
+                v => {
+                    let t = match v {
+                        Value::Int(_) => 0,
+                        Value::Double(_) => 1,
+                        Value::Str(_) => 2,
+                        Value::Bool(_) => 3,
+                        Value::Null => unreachable!(),
+                    };
+                    match ty {
+                        None => ty = Some(t),
+                        Some(seen) if seen == t => {}
+                        Some(_) => return Column::mixed_from(rows, col),
+                    }
+                }
+            }
+        }
+        let Some(ty) = ty else {
+            // All NULL: no typed representation is better than another.
+            return Column::mixed_from(rows, col);
+        };
+        let n = rows.len();
+        let mut validity = nulls.then(|| Bitmap::filled(n, true));
+        macro_rules! build {
+            ($variant:ident, $default:expr, $pat:pat => $val:expr) => {{
+                let mut values = Vec::with_capacity(n);
+                for (i, r) in rows.iter().enumerate() {
+                    match r.get(col) {
+                        $pat => values.push($val),
+                        Value::Null => {
+                            values.push($default);
+                            validity.as_mut().expect("nulls seen").set(i, false);
+                        }
+                        _ => unreachable!("type detected in first pass"),
+                    }
+                }
+                Column::$variant { values, validity }
+            }};
+        }
+        match ty {
+            0 => build!(Int64, 0, Value::Int(v) => *v),
+            1 => build!(Float64, 0.0, Value::Double(v) => *v),
+            2 => build!(Str, Arc::from(""), Value::Str(v) => v.clone()),
+            _ => build!(Bool, false, Value::Bool(v) => *v),
+        }
+    }
+
+    fn mixed_from(rows: &[Row], col: usize) -> Column {
+        Column::Mixed(rows.iter().map(|r| r.get(col).clone()).collect())
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { values, .. } => values.len(),
+            Column::Float64 { values, .. } => values.len(),
+            Column::Str { values, .. } => values.len(),
+            Column::Bool { values, .. } => values.len(),
+            Column::Mixed(values) => values.len(),
+        }
+    }
+
+    /// Whether the column covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether slot `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Str { validity, .. }
+            | Column::Bool { validity, .. } => validity.as_ref().is_some_and(|v| !v.get(i)),
+            Column::Mixed(values) => values[i].is_null(),
+        }
+    }
+
+    /// The [`Value`] at slot `i`, exactly as it went in.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64 { values, .. } => Value::Int(values[i]),
+            Column::Float64 { values, .. } => Value::Double(values[i]),
+            Column::Str { values, .. } => Value::Str(values[i].clone()),
+            Column::Bool { values, .. } => Value::Bool(values[i]),
+            Column::Mixed(values) => values[i].clone(),
+        }
+    }
+
+    /// Gather `ids` slots into a new column (late materialization:
+    /// only surviving rows are ever copied).
+    pub fn take(&self, ids: &[u32]) -> Column {
+        fn take_validity(validity: &Option<Bitmap>, ids: &[u32]) -> Option<Bitmap> {
+            validity.as_ref().map(|v| {
+                let mut out = Bitmap::filled(ids.len(), true);
+                for (k, &i) in ids.iter().enumerate() {
+                    if !v.get(i as usize) {
+                        out.set(k, false);
+                    }
+                }
+                out
+            })
+        }
+        match self {
+            Column::Int64 { values, validity } => Column::Int64 {
+                values: ids.iter().map(|&i| values[i as usize]).collect(),
+                validity: take_validity(validity, ids),
+            },
+            Column::Float64 { values, validity } => Column::Float64 {
+                values: ids.iter().map(|&i| values[i as usize]).collect(),
+                validity: take_validity(validity, ids),
+            },
+            Column::Str { values, validity } => Column::Str {
+                values: ids.iter().map(|&i| values[i as usize].clone()).collect(),
+                validity: take_validity(validity, ids),
+            },
+            Column::Bool { values, validity } => Column::Bool {
+                values: ids.iter().map(|&i| values[i as usize]).collect(),
+                validity: take_validity(validity, ids),
+            },
+            Column::Mixed(values) => {
+                Column::Mixed(ids.iter().map(|&i| values[i as usize].clone()).collect())
+            }
+        }
+    }
+}
+
+/// A columnar batch: typed column vectors of equal length.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    columns: Vec<Column>,
+    len: usize,
+}
+
+impl Batch {
+    /// Convert rows to columns. All rows must share the arity of the
+    /// first (true for every operator output in this executor).
+    pub fn from_rows(rows: &[Row]) -> Batch {
+        let arity = rows.first().map_or(0, Row::arity);
+        Batch {
+            columns: (0..arity).map(|c| Column::from_rows(rows, c)).collect(),
+            len: rows.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `c`.
+    pub fn column(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// Materialize row `i` — the row-at-a-time adapter for operators
+    /// that have not been vectorized (aggregation, set ops).
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.value(i)).collect::<Vec<_>>())
+    }
+
+    /// Materialize every row, in order.
+    pub fn rows(&self) -> Vec<Row> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![Value::Int(1), Value::str("a"), Value::Double(1.5)]),
+            Row::new(vec![Value::Null, Value::str("b"), Value::Null]),
+            Row::new(vec![Value::Int(3), Value::Null, Value::Double(-2.0)]),
+        ]
+    }
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut b = Bitmap::filled(70, false);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0, true);
+        b.set(69, true);
+        assert!(b.get(0) && b.get(69) && !b.get(1));
+        assert_eq!(b.count_ones(), 2);
+        b.set(69, false);
+        assert_eq!(b.count_ones(), 1);
+        assert_eq!(Bitmap::filled(70, true).count_ones(), 70);
+    }
+
+    #[test]
+    fn round_trip_preserves_values_exactly() {
+        let rows = rows();
+        let batch = Batch::from_rows(&rows);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.arity(), 3);
+        assert_eq!(batch.rows(), rows);
+        assert!(matches!(batch.column(0), Column::Int64 { .. }));
+        assert!(matches!(batch.column(1), Column::Str { .. }));
+        assert!(matches!(batch.column(2), Column::Float64 { .. }));
+    }
+
+    #[test]
+    fn mixed_and_all_null_columns() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Null]),
+            Row::new(vec![Value::str("x"), Value::Null]),
+        ];
+        let batch = Batch::from_rows(&rows);
+        assert!(matches!(batch.column(0), Column::Mixed(_)));
+        assert!(matches!(batch.column(1), Column::Mixed(_)));
+        assert_eq!(batch.rows(), rows);
+    }
+
+    #[test]
+    fn take_gathers_values_and_validity() {
+        let batch = Batch::from_rows(&rows());
+        let col = batch.column(0).take(&[2, 1, 0, 2]);
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.value(0), Value::Int(3));
+        assert!(col.is_null(1));
+        assert_eq!(col.value(2), Value::Int(1));
+        assert_eq!(col.value(3), Value::Int(3));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let batch = Batch::from_rows(&[]);
+        assert_eq!(batch.len(), 0);
+        assert_eq!(batch.arity(), 0);
+        assert!(batch.rows().is_empty());
+    }
+}

@@ -1,0 +1,595 @@
+//! The vectorized select path: batch-at-a-time join/filter/project
+//! with late materialization.
+//!
+//! [`try_eval_select`] is a *fast path*, not a second semantics. It
+//! mirrors the row executor's `eval_select` stage for stage — the same
+//! hash-predicate classification, the same index-nested-loop decision,
+//! the same profile counters charged at the same points — but carries
+//! the intermediate join state as id vectors into shared [`Batch`]es
+//! instead of materialized `Vec<Row>` combinations. Values are only
+//! gathered when a kernel touches them, and rows only exist again at
+//! the box boundary.
+//!
+//! **Fallback-first.** A select box qualifies only when every
+//! predicate is join-time (no subquery references) and compiles to a
+//! [`VExpr`], every projection column compiles, and every input
+//! quantifier is uncorrelated. Anything else — and any error inside a
+//! vectorized kernel — returns `None`/falls back, and the row path
+//! evaluates the box from scratch. Two properties make the fallback
+//! free of observable drift:
+//!
+//! * Stage counters accumulate in a **scratch profile** merged into
+//!   the executor's only on success, so an abandoned columnar attempt
+//!   charges nothing. Child boxes evaluated before the abort were
+//!   charged through `eval_box` exactly once — they are uncorrelated,
+//!   so the row path's retry hits the materialization cache and
+//!   charges nothing again.
+//! * The kernels error on a **superset** of the rows the row path
+//!   evaluates (they do not short-circuit), and on exactly the same
+//!   per-value conditions. So if the row path would fail the query,
+//!   some kernel fails first and the row path gets to report its own
+//!   error; if the row path would succeed, the fallback result is the
+//!   row path's own.
+//!
+//! The net contract, pinned by the determinism suite and the fuzzer's
+//! columnar oracle: rows, order, profile, and errors are byte-for-byte
+//! those of the row executor, at any thread count.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use starmagic_common::{Error, Result, Row, Value};
+use starmagic_qgm::{BoxId, BoxKind, QuantId, ScalarExpr};
+
+use crate::batch::{Batch, Column};
+use crate::executor::{dedupe, Executor, Frame};
+use crate::parallel::{run_batches, MORSEL_ROWS, PARALLEL_THRESHOLD};
+use crate::profile::ExecProfile;
+use crate::vector::{compile, eval, SlotView, VExpr, Vector};
+
+/// Why a columnar attempt stopped: fall back silently, or propagate a
+/// real executor error (one the row path would hit identically).
+enum Abort {
+    Fallback,
+    Fatal(Error),
+}
+
+type StageResult<T> = std::result::Result<T, Abort>;
+
+/// Unwrap a vectorized-kernel result; any error means "use the row
+/// path" (see the module docs for why that is always sound).
+macro_rules! vk {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(_) => return Err(Abort::Fallback),
+        }
+    };
+}
+
+/// Unwrap an executor call (child evaluation, catalog access): errors
+/// here are real and deterministic — the row path would hit the same
+/// one at the same point.
+macro_rules! ex {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(e) => return Err(Abort::Fatal(e)),
+        }
+    };
+}
+
+/// Evaluate a select box columnar if it qualifies. `Ok(None)` means
+/// "not eligible (or a kernel bailed) — run the row path".
+pub(crate) fn try_eval_select(
+    exec: &mut Executor<'_>,
+    b: BoxId,
+    frame: &Frame<'_>,
+) -> Result<Option<Vec<Row>>> {
+    match run(exec, b, frame) {
+        Ok(rows) => Ok(Some(rows)),
+        Err(Abort::Fallback) => Ok(None),
+        Err(Abort::Fatal(e)) => Err(e),
+    }
+}
+
+/// Join state: one shared batch + one id vector per bound quantifier.
+/// All id vectors have length `len` — position `k` across them is one
+/// join combination, never materialized as a row until projection.
+struct State {
+    batches: Vec<Arc<Batch>>,
+    ids: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl State {
+    fn views(&self) -> Vec<SlotView<'_>> {
+        self.batches
+            .iter()
+            .zip(&self.ids)
+            .map(|(batch, ids)| SlotView {
+                batch: batch.as_ref(),
+                ids,
+            })
+            .collect()
+    }
+
+    /// Gather every id vector through `parent` positions, then append
+    /// a new slot. One join stage's late materialization: only id
+    /// vectors move, never values.
+    fn advance(&mut self, parent: &[u32], batch: Arc<Batch>, new_ids: Vec<u32>) {
+        for ids in &mut self.ids {
+            *ids = parent.iter().map(|&p| ids[p as usize]).collect();
+        }
+        self.len = new_ids.len();
+        self.batches.push(batch);
+        self.ids.push(new_ids);
+    }
+
+    /// Keep only `keep` positions (a filter stage).
+    fn retain(&mut self, keep: &[u32]) {
+        for ids in &mut self.ids {
+            *ids = keep.iter().map(|&p| ids[p as usize]).collect();
+        }
+        self.len = keep.len();
+    }
+}
+
+/// Batch-stage telemetry accumulated locally and flushed only on
+/// success, so a fallback leaves the registry untouched.
+#[derive(Default)]
+struct Stats {
+    batches: u64,
+    gather: u64,
+    rows: Vec<u64>,
+    selectivity: Vec<u64>,
+}
+
+impl Stats {
+    fn stage(&mut self, n: usize) {
+        self.batches += n.div_ceil(MORSEL_ROWS).max(1) as u64;
+        self.rows.push(n as u64);
+    }
+}
+
+/// Run one stage's per-position work serially or over position chunks
+/// on the worker pool; chunk outputs come back in position order and
+/// chunk counters merge into `scratch` (commutative sums), so the
+/// result is byte-identical either way.
+fn dispatch<R: Send>(
+    exec: &Executor<'_>,
+    n: usize,
+    scratch: &mut ExecProfile,
+    f: impl Fn(&[u32], &mut ExecProfile) -> Result<R> + Sync,
+) -> Result<Vec<R>> {
+    if exec.threads > 1 && n >= PARALLEL_THRESHOLD {
+        exec.note_morsel_run(n);
+        let (parts, profile) = run_batches(exec.threads, n, f)?;
+        scratch.merge(&profile);
+        Ok(parts)
+    } else {
+        let positions: Vec<u32> = (0..n as u32).collect();
+        Ok(vec![f(&positions, scratch)?])
+    }
+}
+
+fn run(exec: &mut Executor<'_>, b: BoxId, frame: &Frame<'_>) -> StageResult<Vec<Row>> {
+    let qgm = exec.qgm;
+    let qb = qgm.boxed(b);
+    let order = qgm.join_order(b);
+    if order.is_empty() {
+        return Err(Abort::Fallback);
+    }
+    let local_f: BTreeSet<QuantId> = order.iter().copied().collect();
+    let local_sub: BTreeSet<QuantId> = qb
+        .quants
+        .iter()
+        .copied()
+        .filter(|&q| !qgm.quant(q).kind.is_foreach())
+        .collect();
+    let preds = qb.predicates.clone();
+
+    // ---- eligibility (no side effects yet) ---------------------------
+    let full_slot = |x: QuantId| order.iter().position(|&y| y == x);
+    if preds.iter().any(|p| {
+        p.quantifiers().iter().any(|x| local_sub.contains(x))
+            || compile(p, &full_slot, frame).is_none()
+    }) {
+        return Err(Abort::Fallback);
+    }
+    if qb
+        .columns
+        .iter()
+        .any(|c| compile(&c.expr, &full_slot, frame).is_none())
+    {
+        return Err(Abort::Fallback);
+    }
+    for &q in &order {
+        if exec.is_correlated(qgm.quant(q).input) {
+            return Err(Abort::Fallback);
+        }
+    }
+
+    // ---- stage loop (mirrors eval_select) ----------------------------
+    let mut scratch = ExecProfile::default();
+    let mut stats = Stats::default();
+    let mut applied = vec![false; preds.len()];
+    let mut bound: Vec<QuantId> = Vec::new();
+    let mut state = State {
+        batches: Vec::new(),
+        ids: Vec::new(),
+        len: 1, // the single empty combination
+    };
+
+    for &q in &order {
+        let child = qgm.quant(q).input;
+
+        // Equality predicates usable for a hash join with q — the
+        // same classification the row path makes (children here are
+        // uncorrelated by eligibility).
+        let mut hash_preds: Vec<(ScalarExpr, ScalarExpr)> = Vec::new();
+        for (i, p) in preds.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            if let Some((l, r)) = p.as_equality() {
+                let lq: Vec<QuantId> = l
+                    .quantifiers()
+                    .into_iter()
+                    .filter(|x| local_f.contains(x))
+                    .collect();
+                let rq: Vec<QuantId> = r
+                    .quantifiers()
+                    .into_iter()
+                    .filter(|x| local_f.contains(x))
+                    .collect();
+                let (probe, build) = if lq.iter().all(|x| bound.contains(x)) && rq == vec![q] {
+                    (l.clone(), r.clone())
+                } else if rq.iter().all(|x| bound.contains(x)) && lq == vec![q] {
+                    (r.clone(), l.clone())
+                } else {
+                    continue;
+                };
+                hash_preds.push((probe, build));
+                applied[i] = true;
+            }
+        }
+
+        // Same index-nested-loop decision as the row path: combination
+        // count vs table cardinality, never data-dependent.
+        let index_plan: Option<(String, usize, usize)> = if hash_preds.is_empty() {
+            None
+        } else if let BoxKind::BaseTable { table } = &qgm.boxed(child).kind {
+            let trows = exec
+                .catalog
+                .table(table)
+                .map_or(0, starmagic_catalog::Table::row_count);
+            if state.len.saturating_mul(4) < trows.max(1) {
+                hash_preds
+                    .iter()
+                    .position(|(_, build)| {
+                        matches!(build, ScalarExpr::ColRef { quant, .. } if *quant == q)
+                    })
+                    .map(|i| {
+                        let ScalarExpr::ColRef { col, .. } = &hash_preds[i].1 else {
+                            unreachable!("position matched ColRef")
+                        };
+                        (table.clone(), *col, i)
+                    })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        let slot_of = |x: QuantId| bound.iter().position(|&y| y == x);
+        let build_slot = |x: QuantId| (x == q).then_some(0);
+        stats.stage(state.len);
+
+        let (parent, new_ids, stage_batch): (Vec<u32>, Vec<u32>, Arc<Batch>) =
+            if let Some((table, col, pred_idx)) = index_plan {
+                // Index nested loop: probe the id index per
+                // combination; charge the probed rows to the base
+                // table, exactly like the row path.
+                let index = ex!(exec.table_id_index(&table, col));
+                let tbatch = ex!(exec.table_batch(&table));
+                let probe_key =
+                    compile(&hash_preds[pred_idx].0, &slot_of, frame).ok_or(Abort::Fallback)?;
+                let rest: Vec<(VExpr, VExpr)> = hash_preds
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != pred_idx)
+                    .map(|(_, (p, bld))| {
+                        let pv = compile(p, &slot_of, frame).ok_or(Abort::Fallback)?;
+                        let bv = compile(bld, &build_slot, frame).ok_or(Abort::Fallback)?;
+                        Ok((pv, bv))
+                    })
+                    .collect::<StageResult<_>>()?;
+                let slots = state.views();
+                let positions: Vec<u32> = (0..state.len as u32).collect();
+                let keys = vk!(eval(&probe_key, &slots, &positions));
+                let tbatch_ref = tbatch.as_ref();
+                let parts = vk!(dispatch(exec, state.len, &mut scratch, |chunk, prof| {
+                    let mut parent: Vec<u32> = Vec::new();
+                    let mut mids: Vec<u32> = Vec::new();
+                    for &pos in chunk {
+                        let key = keys.value_at(pos as usize);
+                        if key.is_null() {
+                            continue;
+                        }
+                        let Some(matches) = index.get(&key) else {
+                            continue;
+                        };
+                        prof.entry(child).rows_scanned += matches.len() as u64;
+                        prof.entry(b).rows_in += matches.len() as u64;
+                        for &m in matches {
+                            parent.push(pos);
+                            mids.push(m);
+                        }
+                    }
+                    // Remaining equality predicates filter the
+                    // expanded candidates, in classification order.
+                    for (pv, bv) in &rest {
+                        if parent.is_empty() {
+                            break;
+                        }
+                        let probe = eval(pv, &slots, &parent)?;
+                        let bids: Vec<u32> = (0..mids.len() as u32).collect();
+                        let bslots = [SlotView {
+                            batch: tbatch_ref,
+                            ids: &mids,
+                        }];
+                        let build = eval(bv, &bslots, &bids)?;
+                        let mut kept_parent = Vec::new();
+                        let mut kept_mids = Vec::new();
+                        for k in 0..parent.len() {
+                            if probe.value_at(k).sql_eq(&build.value_at(k)).passes() {
+                                kept_parent.push(parent[k]);
+                                kept_mids.push(mids[k]);
+                            }
+                        }
+                        parent = kept_parent;
+                        mids = kept_mids;
+                    }
+                    Ok((parent, mids))
+                }));
+                let mut parent = Vec::new();
+                let mut mids = Vec::new();
+                for (p, m) in parts {
+                    parent.extend(p);
+                    mids.extend(m);
+                }
+                (parent, mids, tbatch)
+            } else if !hash_preds.is_empty() {
+                // Hash join: build on the child once, probe per
+                // combination position.
+                let child_rows = ex!(exec.eval_box(child, frame));
+                scratch.entry(b).rows_in += child_rows.len() as u64;
+                let cbatch = exec.child_batch(child, &child_rows);
+                let m = child_rows.len();
+                let cids: Vec<u32> = (0..m as u32).collect();
+                let bslots = [SlotView {
+                    batch: cbatch.as_ref(),
+                    ids: &cids,
+                }];
+                let mut build_cols: Vec<Vector> = Vec::with_capacity(hash_preds.len());
+                let mut probe_cols: Vec<Vector> = Vec::with_capacity(hash_preds.len());
+                let slots = state.views();
+                let positions: Vec<u32> = (0..state.len as u32).collect();
+                for (probe, build) in &hash_preds {
+                    let bv = compile(build, &build_slot, frame).ok_or(Abort::Fallback)?;
+                    build_cols.push(vk!(eval(&bv, &bslots, &cids)));
+                    let pv = compile(probe, &slot_of, frame).ok_or(Abort::Fallback)?;
+                    probe_cols.push(vk!(eval(&pv, &slots, &positions)));
+                }
+                // Single-Int64 keys join through a raw i64 table (no
+                // per-row key vector); Int-Int equality is exact under
+                // both SQL and grouping semantics, so the bucket
+                // contents match the generic map's.
+                let int_keyed = |v: &Vector| {
+                    matches!(
+                        v,
+                        Vector::Col(Column::Int64 { .. })
+                            | Vector::Const {
+                                value: Value::Int(_) | Value::Null,
+                                ..
+                            }
+                    )
+                };
+                enum JoinMap {
+                    I64(HashMap<i64, Vec<u32>>),
+                    Generic(HashMap<Vec<Value>, Vec<u32>>),
+                }
+                let join_map = if hash_preds.len() == 1
+                    && int_keyed(&build_cols[0])
+                    && int_keyed(&probe_cols[0])
+                {
+                    let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+                    for j in 0..m {
+                        if let Value::Int(x) = build_cols[0].value_at(j) {
+                            map.entry(x).or_default().push(j as u32);
+                        }
+                    }
+                    JoinMap::I64(map)
+                } else {
+                    let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+                    'build: for j in 0..m {
+                        let mut key = Vec::with_capacity(build_cols.len());
+                        for bc in &build_cols {
+                            let v = bc.value_at(j);
+                            if v.is_null() {
+                                continue 'build; // NULL keys never join
+                            }
+                            key.push(v);
+                        }
+                        map.entry(key).or_default().push(j as u32);
+                    }
+                    JoinMap::Generic(map)
+                };
+                let probe_cols = &probe_cols;
+                let join_map = &join_map;
+                let parts = vk!(dispatch(exec, state.len, &mut scratch, |chunk, _| {
+                    let mut parent: Vec<u32> = Vec::new();
+                    let mut cid: Vec<u32> = Vec::new();
+                    match join_map {
+                        JoinMap::I64(map) => {
+                            for &pos in chunk {
+                                let Value::Int(key) = probe_cols[0].value_at(pos as usize) else {
+                                    continue; // NULL probe keys never match
+                                };
+                                if let Some(bucket) = map.get(&key) {
+                                    for &j in bucket {
+                                        parent.push(pos);
+                                        cid.push(j);
+                                    }
+                                }
+                            }
+                        }
+                        JoinMap::Generic(map) => {
+                            let mut key: Vec<Value> = Vec::with_capacity(probe_cols.len());
+                            'pos: for &pos in chunk {
+                                key.clear();
+                                for pc in probe_cols {
+                                    let v = pc.value_at(pos as usize);
+                                    if v.is_null() {
+                                        continue 'pos;
+                                    }
+                                    key.push(v);
+                                }
+                                if let Some(bucket) = map.get(&key) {
+                                    for &j in bucket {
+                                        parent.push(pos);
+                                        cid.push(j);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Ok((parent, cid))
+                }));
+                let mut parent = Vec::new();
+                let mut cid = Vec::new();
+                for (p, c) in parts {
+                    parent.extend(p);
+                    cid.extend(c);
+                }
+                (parent, cid, cbatch)
+            } else {
+                // Nested loop over an uncorrelated child: prefetch
+                // once, cross product as id arithmetic.
+                let child_rows = ex!(exec.eval_box(child, frame));
+                scratch.entry(b).rows_in += child_rows.len() as u64;
+                let cbatch = exec.child_batch(child, &child_rows);
+                let m = child_rows.len();
+                let mut parent = Vec::with_capacity(state.len * m);
+                let mut cid = Vec::with_capacity(state.len * m);
+                for pos in 0..state.len as u32 {
+                    for j in 0..m as u32 {
+                        parent.push(pos);
+                        cid.push(j);
+                    }
+                }
+                (parent, cid, cbatch)
+            };
+
+        stats.gather += (parent.len() * (state.ids.len() + 1)) as u64;
+        state.advance(&parent, stage_batch, new_ids);
+        bound.push(q);
+
+        // Apply every predicate that just became available, in
+        // declaration order with a shrinking selection — the same
+        // (predicate, row) coverage as the row path's short-circuit.
+        let ready: Vec<usize> = preds
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                !applied[*i]
+                    && p.quantifiers()
+                        .iter()
+                        .all(|x| !local_f.contains(x) || bound.contains(x))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !ready.is_empty() {
+            let stage_slot = |x: QuantId| bound.iter().position(|&y| y == x);
+            let ready_vs: Vec<VExpr> = ready
+                .iter()
+                .map(|&i| compile(&preds[i], &stage_slot, frame).ok_or(Abort::Fallback))
+                .collect::<StageResult<_>>()?;
+            let n = state.len;
+            stats.stage(n);
+            let slots = state.views();
+            let ready_vs = &ready_vs;
+            let parts = vk!(dispatch(exec, n, &mut scratch, |chunk, _| {
+                let mut pos: Vec<u32> = chunk.to_vec();
+                for v in ready_vs {
+                    if pos.is_empty() {
+                        break;
+                    }
+                    let tv = eval(v, &slots, &pos)?;
+                    pos = pos
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| tv.passes_at(k))
+                        .map(|(_, &p)| p)
+                        .collect();
+                }
+                Ok(pos)
+            }));
+            drop(slots);
+            let keep: Vec<u32> = parts.into_iter().flatten().collect();
+            if let Some(pct) = (keep.len() * 100).checked_div(n) {
+                stats.selectivity.push(pct as u64);
+            }
+            stats.gather += (keep.len() * state.ids.len()) as u64;
+            state.retain(&keep);
+            for &i in &ready {
+                applied[i] = true;
+            }
+        }
+        scratch.entry(b).rows_produced += state.len as u64;
+    }
+
+    // Every predicate is join-time by eligibility, so by now all are
+    // applied; anything else is a logic drift — let the row path rule.
+    if applied.iter().any(|a| !a) {
+        return Err(Abort::Fallback);
+    }
+
+    // ---- projection: gather only the surviving rows ------------------
+    let stage_slot = |x: QuantId| bound.iter().position(|&y| y == x);
+    let col_vs: Vec<VExpr> = qb
+        .columns
+        .iter()
+        .map(|c| compile(&c.expr, &stage_slot, frame).ok_or(Abort::Fallback))
+        .collect::<StageResult<_>>()?;
+    stats.stage(state.len);
+    stats.gather += (state.len * col_vs.len()) as u64;
+    let slots = state.views();
+    let col_vs = &col_vs;
+    let parts = vk!(dispatch(exec, state.len, &mut scratch, |chunk, _| {
+        let cols: Vec<Vector> = col_vs
+            .iter()
+            .map(|v| eval(v, &slots, chunk))
+            .collect::<Result<_>>()?;
+        let mut rows = Vec::with_capacity(chunk.len());
+        for k in 0..chunk.len() {
+            rows.push(Row::new(
+                cols.iter().map(|c| c.value_at(k)).collect::<Vec<_>>(),
+            ));
+        }
+        Ok(rows)
+    }));
+    drop(slots);
+    let mut result: Vec<Row> = parts.into_iter().flatten().collect();
+    scratch.entry(b).rows_produced += result.len() as u64;
+    if qb.distinct.needs_dedup() {
+        result = dedupe(result);
+    }
+
+    // Success: commit the counters and the batch telemetry.
+    exec.profile.merge(&scratch);
+    exec.note_batch_stats(stats.batches, stats.gather, &stats.rows, &stats.selectivity);
+    Ok(result)
+}

@@ -13,6 +13,7 @@ use starmagic_qgm::{BoxId, BoxKind, Qgm, QuantId, QuantKind, ScalarExpr, SetOpKi
 use starmagic_sql::BinOp;
 
 use crate::agg::Accumulator;
+use crate::batch::Batch;
 use crate::like::like_match;
 use crate::metrics::Metrics;
 use crate::parallel::{run_morsels, PARALLEL_THRESHOLD};
@@ -30,6 +31,13 @@ pub struct ExecOptions {
     /// results are concatenated in input order, so rows and counters
     /// stay byte-identical to serial at any setting.
     pub threads: usize,
+    /// Evaluate eligible select boxes through the columnar batch path
+    /// (vectorized filters and hash joins with late materialization).
+    /// On by default; rows, order, profile counters, and errors are
+    /// byte-identical either way — the fuzzer's columnar oracle and
+    /// the determinism suite pin that contract — so this knob exists
+    /// for differential testing and benchmarking, not correctness.
+    pub columnar: bool,
     /// Metrics registry for morsel-scheduling telemetry (batch counts
     /// and queue depth). These live **outside** [`ExecProfile`] on
     /// purpose: the profile is pinned byte-identical across thread
@@ -44,6 +52,7 @@ impl Default for ExecOptions {
         ExecOptions {
             timing: false,
             threads: 1,
+            columnar: true,
             metrics: Registry::noop(),
         }
     }
@@ -107,10 +116,15 @@ pub fn execute_with_options(
         exec.profile = ExecProfile::with_timing();
     }
     exec.threads = opts.threads.max(1);
+    exec.columnar = opts.columnar;
     exec.shared_indexes = Some(indexes);
     if !opts.metrics.is_noop() {
         exec.morsel_runs = opts.metrics.counter("exec.morsel.runs");
         exec.morsel_depth = opts.metrics.histogram("exec.morsel.queue_depth");
+        exec.batch_runs = opts.metrics.counter("exec.batch.batches");
+        exec.batch_gather = opts.metrics.counter("exec.batch.gather_rows");
+        exec.batch_rows = opts.metrics.histogram("exec.batch.rows");
+        exec.batch_selectivity = opts.metrics.histogram("exec.batch.selectivity_pct");
     }
     let rows = exec.eval_box(qgm.top(), &Frame::root())?;
     let rows = rows.as_ref().clone();
@@ -125,12 +139,23 @@ pub type ColumnIndex = Arc<HashMap<Value, Vec<Row>>>;
 /// the NULL-keyed remainder (needed for Unknown accounting).
 pub type SemiJoinIndex = Arc<(HashMap<Vec<Value>, Vec<Row>>, Vec<Row>)>;
 
-/// A shareable cache of base-table column indexes. Interior mutability
-/// is a `Mutex` (taken only on lookup/insert of whole indexes, never
-/// per row) so the cache can be shared across engine threads.
+/// A hash index mapping a base-table column value to the table row
+/// ids holding it — the columnar executor's counterpart of
+/// [`ColumnIndex`], probing into a shared [`Batch`] instead of cloning
+/// rows.
+pub type IdIndex = Arc<HashMap<Value, Vec<u32>>>;
+
+/// A shareable cache of base-table access structures: row-keyed column
+/// indexes for the row executor, plus columnar batches and id-keyed
+/// indexes for the vectorized path. Interior mutability is a `Mutex`
+/// (taken only on lookup/insert of whole entries, never per row) so
+/// the cache can be shared across engine threads. The engine replaces
+/// the whole cache on DDL, invalidating all three maps together.
 #[derive(Default)]
 pub struct IndexCache {
     map: Mutex<HashMap<(String, usize), ColumnIndex>>,
+    batches: Mutex<HashMap<String, Arc<Batch>>>,
+    ids: Mutex<HashMap<(String, usize), IdIndex>>,
 }
 
 /// Evaluation environment: quantifier → current row bindings, chained
@@ -158,7 +183,7 @@ impl<'f> Frame<'f> {
         }
     }
 
-    fn lookup(&self, q: QuantId) -> Option<&Row> {
+    pub(crate) fn lookup(&self, q: QuantId) -> Option<&Row> {
         if let Some(i) = self.quants.iter().position(|&x| x == q) {
             return self.rows.get(i);
         }
@@ -169,13 +194,15 @@ impl<'f> Frame<'f> {
 /// The interpreter. Holds the materialization cache and the work
 /// counters for one execution.
 pub struct Executor<'a> {
-    qgm: &'a Qgm,
-    catalog: &'a Catalog,
+    pub(crate) qgm: &'a Qgm,
+    pub(crate) catalog: &'a Catalog,
     /// Per-box work counters (and, when enabled, timings). The legacy
     /// flat [`Metrics`] is this profile's aggregate: [`Executor::metrics`].
     pub profile: ExecProfile,
     /// Worker threads for data-parallel loops; 1 = serial.
-    threads: usize,
+    pub(crate) threads: usize,
+    /// Whether eligible select boxes go through the columnar path.
+    pub(crate) columnar: bool,
     cache: HashMap<BoxId, Arc<Vec<Row>>>,
     correlated: HashMap<BoxId, bool>,
     /// Boxes that participate in a cycle (recursive queries).
@@ -196,12 +223,32 @@ pub struct Executor<'a> {
     /// key columns) → (hash of non-NULL-key rows, rows with a NULL in
     /// the key — those need Unknown accounting).
     quantified_indexes: HashMap<(QuantId, Vec<usize>), SemiJoinIndex>,
+    /// Columnar batches of uncorrelated child results, keyed by box
+    /// and validated against the cached row `Arc` (fixpoint rounds
+    /// swap the accumulator, which invalidates the batch too).
+    batch_cache: HashMap<BoxId, (Arc<Vec<Row>>, Arc<Batch>)>,
+    /// Lazily built columnar views of base tables (cf. [`Executor::indexes`]).
+    table_batches: HashMap<String, Arc<Batch>>,
+    /// Lazily built id-keyed column indexes for columnar INL probes.
+    id_indexes: HashMap<(String, usize), IdIndex>,
     /// Parallel-loop dispatches through [`run_morsels`]. Noop by
     /// default; see [`ExecOptions::metrics`] for why these stay out
     /// of the profile.
     morsel_runs: starmagic_metrics::Counter,
     /// Morsel-queue depth (morsels per parallel dispatch).
     morsel_depth: starmagic_metrics::Histogram,
+    /// Columnar stage dispatches (in [`crate::parallel::MORSEL_ROWS`]
+    /// units). Like the morsel metrics, batch telemetry lives outside
+    /// [`ExecProfile`]: the profile is pinned byte-identical between
+    /// the columnar and row paths, while batch counts are a property
+    /// of which path ran.
+    pub(crate) batch_runs: starmagic_metrics::Counter,
+    /// Rows gathered during late materialization.
+    pub(crate) batch_gather: starmagic_metrics::Counter,
+    /// Input rows per columnar stage.
+    pub(crate) batch_rows: starmagic_metrics::Histogram,
+    /// Filter-stage selectivity (surviving rows per hundred input).
+    pub(crate) batch_selectivity: starmagic_metrics::Histogram,
 }
 
 impl<'a> Executor<'a> {
@@ -212,6 +259,7 @@ impl<'a> Executor<'a> {
             catalog,
             profile: ExecProfile::default(),
             threads: 1,
+            columnar: true,
             cache: HashMap::new(),
             correlated: HashMap::new(),
             recursive,
@@ -221,8 +269,15 @@ impl<'a> Executor<'a> {
             indexes: HashMap::new(),
             shared_indexes: None,
             quantified_indexes: HashMap::new(),
+            batch_cache: HashMap::new(),
+            table_batches: HashMap::new(),
+            id_indexes: HashMap::new(),
             morsel_runs: starmagic_metrics::Counter::default(),
             morsel_depth: starmagic_metrics::Histogram::default(),
+            batch_runs: starmagic_metrics::Counter::default(),
+            batch_gather: starmagic_metrics::Counter::default(),
+            batch_rows: starmagic_metrics::Histogram::default(),
+            batch_selectivity: starmagic_metrics::Histogram::default(),
         }
     }
 
@@ -235,7 +290,7 @@ impl<'a> Executor<'a> {
     /// Record one parallel dispatch of `items` rows: counts the run
     /// and the morsel-queue depth it enqueued. Free when metrics are
     /// off (noop handles).
-    fn note_morsel_run(&self, items: usize) {
+    pub(crate) fn note_morsel_run(&self, items: usize) {
         if !self.morsel_runs.is_noop() {
             self.morsel_runs.inc();
             self.morsel_depth
@@ -430,7 +485,112 @@ impl<'a> Executor<'a> {
         Ok(idx)
     }
 
-    fn is_correlated(&mut self, b: BoxId) -> bool {
+    /// Fetch (building lazily) the columnar view of a base table,
+    /// shared across executions via [`IndexCache`] like [`Executor::table_index`].
+    pub(crate) fn table_batch(&mut self, table: &str) -> Result<Arc<Batch>> {
+        if let Some(batch) = self.table_batches.get(table) {
+            return Ok(batch.clone());
+        }
+        if let Some(shared) = self.shared_indexes {
+            if let Some(batch) = shared
+                .batches
+                .lock()
+                .expect("index cache poisoned")
+                .get(table)
+            {
+                let batch = batch.clone();
+                self.table_batches.insert(table.to_string(), batch.clone());
+                return Ok(batch);
+            }
+        }
+        let t = self.catalog.table(table)?;
+        let batch = Arc::new(Batch::from_rows(t.rows()));
+        if let Some(shared) = self.shared_indexes {
+            shared
+                .batches
+                .lock()
+                .expect("index cache poisoned")
+                .insert(table.to_string(), batch.clone());
+        }
+        self.table_batches.insert(table.to_string(), batch.clone());
+        Ok(batch)
+    }
+
+    /// Fetch (building lazily) the row-id index on one base-table
+    /// column — the columnar mirror of [`Executor::table_index`],
+    /// mapping key values to row positions instead of row clones.
+    pub(crate) fn table_id_index(&mut self, table: &str, col: usize) -> Result<IdIndex> {
+        let key = (table.to_string(), col);
+        if let Some(idx) = self.id_indexes.get(&key) {
+            return Ok(idx.clone());
+        }
+        if let Some(shared) = self.shared_indexes {
+            if let Some(idx) = shared.ids.lock().expect("index cache poisoned").get(&key) {
+                let idx = idx.clone();
+                self.id_indexes.insert(key, idx.clone());
+                return Ok(idx);
+            }
+        }
+        let t = self.catalog.table(table)?;
+        let mut map: HashMap<Value, Vec<u32>> = HashMap::new();
+        for (i, r) in t.rows().iter().enumerate() {
+            let v = r.get(col);
+            if v.is_null() {
+                continue; // NULL keys never match an equality probe
+            }
+            map.entry(v.clone()).or_default().push(i as u32);
+        }
+        let idx = Arc::new(map);
+        if let Some(shared) = self.shared_indexes {
+            shared
+                .ids
+                .lock()
+                .expect("index cache poisoned")
+                .insert(key.clone(), idx.clone());
+        }
+        self.id_indexes.insert(key, idx.clone());
+        Ok(idx)
+    }
+
+    /// Columnar view of an already-evaluated child box. The cached
+    /// batch is keyed by box and validated against the row `Arc` it
+    /// was built from, so a fixpoint round that swaps the accumulator
+    /// rebuilds the batch instead of serving stale columns.
+    pub(crate) fn child_batch(&mut self, bx: BoxId, rows: &Arc<Vec<Row>>) -> Arc<Batch> {
+        if let Some((cached_rows, batch)) = self.batch_cache.get(&bx) {
+            if Arc::ptr_eq(cached_rows, rows) {
+                return batch.clone();
+            }
+        }
+        let batch = Arc::new(Batch::from_rows(rows));
+        self.batch_cache.insert(bx, (rows.clone(), batch.clone()));
+        batch
+    }
+
+    /// Flush one columnar select's batch telemetry. Called only after
+    /// the columnar path succeeds (a fallback run contributes nothing),
+    /// and free when metrics are off.
+    pub(crate) fn note_batch_stats(
+        &self,
+        batches: u64,
+        gather: u64,
+        rows: &[u64],
+        selectivity: &[u64],
+    ) {
+        if self.batch_runs.is_noop() {
+            return;
+        }
+        self.batch_runs.add(batches);
+        self.batch_gather.add(gather);
+        for &r in rows {
+            self.batch_rows.record(r);
+        }
+        for &s in selectivity {
+            self.batch_selectivity.record(s);
+        }
+    }
+
+    pub(crate) fn is_correlated(&mut self, b: BoxId) -> bool {
         if let Some(&c) = self.correlated.get(&b) {
             return c;
         }
@@ -541,7 +701,14 @@ impl<'a> Executor<'a> {
                 self.profile.entry(b).rows_scanned += t.row_count() as u64;
                 Ok(t.rows().to_vec())
             }
-            BoxKind::Select => self.eval_select(b, frame),
+            BoxKind::Select => {
+                if self.columnar {
+                    if let Some(rows) = crate::columnar::try_eval_select(self, b, frame)? {
+                        return Ok(rows);
+                    }
+                }
+                self.eval_select(b, frame)
+            }
             BoxKind::GroupBy(_) => self.eval_groupby(b, frame),
             BoxKind::SetOp(_) => self.eval_setop(b, frame),
             BoxKind::OuterJoin(_) => self.eval_outerjoin(b, frame),
@@ -1384,7 +1551,7 @@ pub fn truth_of(v: &Value) -> Truth {
     }
 }
 
-fn truth_to_value(t: Truth) -> Value {
+pub(crate) fn truth_to_value(t: Truth) -> Value {
     match t {
         Truth::True => Value::Bool(true),
         Truth::False => Value::Bool(false),
@@ -1523,7 +1690,7 @@ fn eval_bin_pure(
 
 /// Order-preserving duplicate elimination (grouping semantics: NULLs
 /// equal).
-fn dedupe(rows: Vec<Row>) -> Vec<Row> {
+pub(crate) fn dedupe(rows: Vec<Row>) -> Vec<Row> {
     let mut seen = HashSet::with_capacity(rows.len());
     let mut out = Vec::with_capacity(rows.len());
     for r in rows {

@@ -30,15 +30,19 @@
 #![forbid(unsafe_code)]
 
 pub mod agg;
+pub mod batch;
+mod columnar;
 pub mod executor;
 pub mod like;
 pub mod metrics;
 pub mod parallel;
 pub mod profile;
+mod vector;
 
+pub use batch::{Batch, Bitmap, Column};
 pub use executor::{
     execute, execute_profiled, execute_with_indexes, execute_with_metrics, execute_with_options,
-    ExecOptions, Executor, IndexCache,
+    ExecOptions, Executor, IdIndex, IndexCache,
 };
 pub use metrics::Metrics;
 pub use profile::{BoxProfile, ExecProfile};

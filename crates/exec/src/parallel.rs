@@ -26,10 +26,19 @@
 //! have hit first).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use starmagic_common::{Error, Result};
 
 use crate::profile::ExecProfile;
+
+/// Logical CPUs of this host, cached once. Worker pools are clamped
+/// here: spawning more workers than cores buys only context-switch
+/// overhead, never throughput.
+fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
 
 /// Rows per morsel. Small enough to load-balance skewed predicates,
 /// large enough to amortize the per-morsel bookkeeping.
@@ -51,10 +60,16 @@ where
     F: Fn(&[T], &mut ExecProfile) -> Result<Vec<R>> + Sync,
 {
     let morsels: Vec<&[T]> = items.chunks(MORSEL_ROWS).collect();
-    let workers = threads.min(morsels.len()).max(1);
+    let workers = threads.min(morsels.len()).min(host_parallelism()).max(1);
     if workers == 1 {
+        // Serial, but still morsel-at-a-time: `f` sees the same chunk
+        // boundaries (and charges the same per-chunk counters) as a
+        // parallel run, so clamping is invisible to callers.
         let mut profile = ExecProfile::default();
-        let rows = f(items, &mut profile)?;
+        let mut rows = Vec::with_capacity(items.len());
+        for m in &morsels {
+            rows.extend(f(m, &mut profile)?);
+        }
         return Ok((rows, profile));
     }
 
@@ -117,10 +132,41 @@ where
     Ok((rows, profile))
 }
 
+/// Batch dispatch for the columnar executor: split positions `0..n`
+/// into [`MORSEL_ROWS`]-sized chunks and map `f` over each on the
+/// worker pool, returning one output per chunk **in chunk order**.
+/// The chunk boundaries depend only on `n`, never on the thread
+/// count, so the concatenated outputs (and the merged scratch
+/// profiles) are byte-identical to a serial run.
+pub fn run_batches<R, F>(threads: usize, n: usize, f: F) -> Result<(Vec<R>, ExecProfile)>
+where
+    R: Send,
+    F: Fn(&[u32], &mut ExecProfile) -> Result<R> + Sync,
+{
+    let positions: Vec<u32> = (0..n as u32).collect();
+    run_morsels(threads, &positions, |chunk, profile| {
+        f(chunk, profile).map(|r| vec![r])
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use starmagic_qgm::BoxId;
+
+    #[test]
+    fn run_batches_chunks_are_ordered_and_sized() {
+        for threads in [1, 4] {
+            let (chunks, _) =
+                run_batches(threads, 1000, |chunk, _| Ok((chunk[0], chunk.len()))).unwrap();
+            assert_eq!(chunks.len(), 4, "threads={threads}");
+            assert_eq!(
+                chunks,
+                vec![(0, 256), (256, 256), (512, 256), (768, 232)],
+                "threads={threads}"
+            );
+        }
+    }
 
     #[test]
     fn output_preserves_input_order_at_any_thread_count() {

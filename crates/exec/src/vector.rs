@@ -1,0 +1,646 @@
+//! Vectorized scalar expressions over columnar batches.
+//!
+//! [`compile`] lowers a [`ScalarExpr`] to a [`VExpr`]: column
+//! references to *local* foreach quantifiers become slot/column pairs,
+//! references bound in the enclosing frame (outer correlation) are
+//! frozen to literals — the frame is fixed for the duration of one
+//! select evaluation — and anything that would need the executor
+//! (aggregates, quantified tests, scalar subqueries, parameters)
+//! refuses to compile, which makes the whole select box fall back to
+//! the row-at-a-time path.
+//!
+//! [`eval`] evaluates a [`VExpr`] for a set of row positions,
+//! producing a [`Vector`] column-at-a-time. Every kernel mirrors the
+//! executor's `eval_expr` *on values*: typed fast paths exist only
+//! where they are bit-exact (`i64`/`i64` comparison and arithmetic,
+//! string comparison), everything else goes through the same
+//! [`Value`] operations the row path uses. Errors need no such care:
+//! the columnar path treats any kernel error as "fall back to the row
+//! path", and the kernels evaluate a superset of the (row, expression)
+//! pairs the row path would, so a query the row path fails is never
+//! silently answered and a query the row path answers is never failed.
+
+use std::sync::Arc;
+
+use starmagic_common::{Error, Result, Truth, Value};
+use starmagic_qgm::{QuantId, ScalarExpr};
+use starmagic_sql::BinOp;
+
+use crate::batch::{Batch, Bitmap, Column};
+use crate::executor::{truth_of, truth_to_value, Frame};
+use crate::like::like_match;
+
+/// A compiled vectorized expression.
+#[derive(Debug, Clone)]
+pub(crate) enum VExpr {
+    /// Column `col` of the batch bound to `slot`.
+    Col {
+        slot: usize,
+        col: usize,
+    },
+    /// A literal (or an outer-frame value frozen at compile time).
+    Lit(Value),
+    Bin {
+        op: BinOp,
+        left: Box<VExpr>,
+        right: Box<VExpr>,
+    },
+    Neg(Box<VExpr>),
+    Not(Box<VExpr>),
+    IsNull {
+        expr: Box<VExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<VExpr>,
+        pattern: String,
+        negated: bool,
+    },
+}
+
+/// Lower `e` for vectorized evaluation, or `None` when it needs the
+/// executor. `slot_of` maps the select box's bound foreach quantifiers
+/// to batch slots; anything else resolvable must be found in `frame`.
+pub(crate) fn compile(
+    e: &ScalarExpr,
+    slot_of: &dyn Fn(QuantId) -> Option<usize>,
+    frame: &Frame<'_>,
+) -> Option<VExpr> {
+    match e {
+        ScalarExpr::ColRef { quant, col } => {
+            if let Some(slot) = slot_of(*quant) {
+                return Some(VExpr::Col { slot, col: *col });
+            }
+            frame
+                .lookup(*quant)
+                .map(|row| VExpr::Lit(row.get(*col).clone()))
+        }
+        ScalarExpr::Literal(v) => Some(VExpr::Lit(v.clone())),
+        ScalarExpr::Param(_) => None,
+        ScalarExpr::Bin { op, left, right } => Some(VExpr::Bin {
+            op: *op,
+            left: Box::new(compile(left, slot_of, frame)?),
+            right: Box::new(compile(right, slot_of, frame)?),
+        }),
+        ScalarExpr::Neg(x) => Some(VExpr::Neg(Box::new(compile(x, slot_of, frame)?))),
+        ScalarExpr::Not(x) => Some(VExpr::Not(Box::new(compile(x, slot_of, frame)?))),
+        ScalarExpr::IsNull { expr, negated } => Some(VExpr::IsNull {
+            expr: Box::new(compile(expr, slot_of, frame)?),
+            negated: *negated,
+        }),
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Some(VExpr::Like {
+            expr: Box::new(compile(expr, slot_of, frame)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }),
+        ScalarExpr::Agg { .. } | ScalarExpr::Quantified { .. } => None,
+    }
+}
+
+/// One bound quantifier during columnar evaluation: the source batch
+/// plus the id vector selecting (late materialization) which batch row
+/// each combination holds.
+pub(crate) struct SlotView<'a> {
+    pub batch: &'a Batch,
+    pub ids: &'a [u32],
+}
+
+/// The result of evaluating a [`VExpr`] over `positions`: a gathered
+/// column, or an unexpanded constant (literals stay O(1)).
+pub(crate) enum Vector {
+    Col(Column),
+    Const { value: Value, len: usize },
+}
+
+impl Vector {
+    pub fn len(&self) -> usize {
+        match self {
+            Vector::Col(c) => c.len(),
+            Vector::Const { len, .. } => *len,
+        }
+    }
+
+    /// The value at slot `k` (cheap clone).
+    pub fn value_at(&self, k: usize) -> Value {
+        match self {
+            Vector::Col(c) => c.value(k),
+            Vector::Const { value, .. } => value.clone(),
+        }
+    }
+
+    pub fn is_null_at(&self, k: usize) -> bool {
+        match self {
+            Vector::Col(c) => c.is_null(k),
+            Vector::Const { value, .. } => value.is_null(),
+        }
+    }
+
+    /// SQL truth of slot `k` (invalid boolean slots are Unknown).
+    pub fn truth_at(&self, k: usize) -> Truth {
+        match self {
+            Vector::Col(Column::Bool { values, validity }) => {
+                if validity.as_ref().is_some_and(|v| !v.get(k)) {
+                    Truth::Unknown
+                } else {
+                    values[k].into()
+                }
+            }
+            v => truth_of(&v.value_at(k)),
+        }
+    }
+
+    /// Whether slot `k` passes as a predicate (True only).
+    pub fn passes_at(&self, k: usize) -> bool {
+        self.truth_at(k) == Truth::True
+    }
+}
+
+/// Evaluate `e` at each of `positions` (indexes into the slots' id
+/// vectors), producing a vector of `positions.len()` slots.
+pub(crate) fn eval(e: &VExpr, slots: &[SlotView<'_>], positions: &[u32]) -> Result<Vector> {
+    match e {
+        VExpr::Col { slot, col } => {
+            let sv = &slots[*slot];
+            if sv.batch.is_empty() {
+                // An empty batch has no typed columns (arity unknowable
+                // from zero rows), but its id list is empty too, so the
+                // gather is vacuously an empty column.
+                debug_assert!(positions.is_empty());
+                return Ok(Vector::Col(Column::Mixed(Vec::new())));
+            }
+            let resolved: Vec<u32> = positions.iter().map(|&p| sv.ids[p as usize]).collect();
+            Ok(Vector::Col(sv.batch.column(*col).take(&resolved)))
+        }
+        VExpr::Lit(v) => Ok(Vector::Const {
+            value: v.clone(),
+            len: positions.len(),
+        }),
+        VExpr::Bin { op, left, right } => {
+            let l = eval(left, slots, positions)?;
+            let r = eval(right, slots, positions)?;
+            eval_bin(*op, &l, &r)
+        }
+        VExpr::Neg(x) => {
+            let v = eval(x, slots, positions)?;
+            map_values(&v, |val| {
+                if val.is_null() {
+                    Ok(Value::Null)
+                } else {
+                    Value::Int(0).arith('-', &val)
+                }
+            })
+        }
+        VExpr::Not(x) => {
+            let v = eval(x, slots, positions)?;
+            if let Vector::Const { value, len } = &v {
+                return Ok(Vector::Const {
+                    value: truth_to_value(truth_of(value).not()),
+                    len: *len,
+                });
+            }
+            let n = v.len();
+            let mut out = TruthBuilder::new(n);
+            for k in 0..n {
+                out.push(k, v.truth_at(k).not());
+            }
+            Ok(out.finish())
+        }
+        VExpr::IsNull { expr, negated } => {
+            let v = eval(expr, slots, positions)?;
+            if let Vector::Const { value, len } = &v {
+                return Ok(Vector::Const {
+                    value: Value::Bool(value.is_null() != *negated),
+                    len: *len,
+                });
+            }
+            let n = v.len();
+            let values = (0..n).map(|k| v.is_null_at(k) != *negated).collect();
+            Ok(Vector::Col(Column::Bool {
+                values,
+                validity: None,
+            }))
+        }
+        VExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, slots, positions)?;
+            map_values(&v, |val| match val {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Err(Error::execution(format!("LIKE on non-string {other}"))),
+            })
+        }
+    }
+}
+
+/// Elementwise map through a value-level function, collapsing constant
+/// inputs to constant outputs.
+fn map_values(v: &Vector, f: impl Fn(Value) -> Result<Value>) -> Result<Vector> {
+    if let Vector::Const { value, len } = v {
+        return Ok(Vector::Const {
+            value: f(value.clone())?,
+            len: *len,
+        });
+    }
+    let n = v.len();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        out.push(f(v.value_at(k))?);
+    }
+    Ok(Vector::Col(Column::Mixed(out)))
+}
+
+/// Accumulates a three-valued result column (Unknown = invalid slot).
+struct TruthBuilder {
+    values: Vec<bool>,
+    validity: Option<Bitmap>,
+    len: usize,
+}
+
+impl TruthBuilder {
+    fn new(len: usize) -> TruthBuilder {
+        TruthBuilder {
+            values: vec![false; len],
+            validity: None,
+            len,
+        }
+    }
+
+    fn push(&mut self, k: usize, t: Truth) {
+        match t {
+            Truth::True => self.values[k] = true,
+            Truth::False => {}
+            Truth::Unknown => self
+                .validity
+                .get_or_insert_with(|| Bitmap::filled(self.len, true))
+                .set(k, false),
+        }
+    }
+
+    fn finish(self) -> Vector {
+        Vector::Col(Column::Bool {
+            values: self.values,
+            validity: self.validity,
+        })
+    }
+}
+
+/// A unified view of an `i64` operand: typed column slice or constant.
+enum I64View<'a> {
+    Slice(&'a [i64], Option<&'a Bitmap>),
+    Scalar(i64),
+}
+
+impl I64View<'_> {
+    fn get(&self, k: usize) -> i64 {
+        match self {
+            I64View::Slice(v, _) => v[k],
+            I64View::Scalar(c) => *c,
+        }
+    }
+
+    fn valid(&self, k: usize) -> bool {
+        match self {
+            I64View::Slice(_, validity) => validity.map_or(true, |v| v.get(k)),
+            I64View::Scalar(_) => true,
+        }
+    }
+}
+
+fn i64_view(v: &Vector) -> Option<I64View<'_>> {
+    match v {
+        Vector::Col(Column::Int64 { values, validity }) => {
+            Some(I64View::Slice(values, validity.as_ref()))
+        }
+        Vector::Const {
+            value: Value::Int(c),
+            ..
+        } => Some(I64View::Scalar(*c)),
+        _ => None,
+    }
+}
+
+/// A unified view of a string operand.
+enum StrView<'a> {
+    Slice(&'a [Arc<str>], Option<&'a Bitmap>),
+    Scalar(&'a str),
+}
+
+impl StrView<'_> {
+    fn get(&self, k: usize) -> &str {
+        match self {
+            StrView::Slice(v, _) => &v[k],
+            StrView::Scalar(c) => c,
+        }
+    }
+
+    fn valid(&self, k: usize) -> bool {
+        match self {
+            StrView::Slice(_, validity) => validity.map_or(true, |v| v.get(k)),
+            StrView::Scalar(_) => true,
+        }
+    }
+}
+
+fn str_view(v: &Vector) -> Option<StrView<'_>> {
+    match v {
+        Vector::Col(Column::Str { values, validity }) => {
+            Some(StrView::Slice(values, validity.as_ref()))
+        }
+        Vector::Const {
+            value: Value::Str(c),
+            ..
+        } => Some(StrView::Scalar(c)),
+        _ => None,
+    }
+}
+
+/// Truth of an already-decided ordering under a comparison operator.
+fn cmp_passes(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::{Equal, Greater, Less};
+    match op {
+        BinOp::Eq => ord == Equal,
+        BinOp::Neq => ord != Equal,
+        BinOp::Lt => ord == Less,
+        BinOp::Le => ord != Greater,
+        BinOp::Gt => ord == Greater,
+        BinOp::Ge => ord != Less,
+        _ => unreachable!("cmp_passes on non-comparison"),
+    }
+}
+
+/// Value-level mirror of the executor's binary evaluation on two
+/// already-computed operands. The row path's AND/OR short-circuits are
+/// pure evaluation-avoidance: the produced value is identical.
+fn bin_values(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    match op {
+        BinOp::And => Ok(truth_to_value(truth_of(l).and(truth_of(r)))),
+        BinOp::Or => Ok(truth_to_value(truth_of(l).or(truth_of(r)))),
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let t = match op {
+                BinOp::Eq => l.sql_eq(r),
+                BinOp::Neq => l.sql_eq(r).not(),
+                _ => match l.sql_cmp(r) {
+                    None => Truth::Unknown,
+                    Some(ord) => cmp_passes(op, ord).into(),
+                },
+            };
+            Ok(truth_to_value(t))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let ch = match op {
+                BinOp::Add => '+',
+                BinOp::Sub => '-',
+                BinOp::Mul => '*',
+                BinOp::Div => '/',
+                _ => unreachable!(),
+            };
+            l.arith(ch, r)
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: &Vector, r: &Vector) -> Result<Vector> {
+    let n = l.len();
+    debug_assert_eq!(n, r.len());
+    if let (Vector::Const { value: lv, .. }, Vector::Const { value: rv, .. }) = (l, r) {
+        return Ok(Vector::Const {
+            value: bin_values(op, lv, rv)?,
+            len: n,
+        });
+    }
+    match op {
+        BinOp::And | BinOp::Or => {
+            let mut out = TruthBuilder::new(n);
+            for k in 0..n {
+                let (lt, rt) = (l.truth_at(k), r.truth_at(k));
+                out.push(
+                    k,
+                    if op == BinOp::And {
+                        lt.and(rt)
+                    } else {
+                        lt.or(rt)
+                    },
+                );
+            }
+            Ok(out.finish())
+        }
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            // i64/i64 and str/str orderings agree exactly with
+            // `sql_cmp`/`sql_eq` on those types, so the typed loops are
+            // bit-exact.
+            if let (Some(a), Some(b)) = (i64_view(l), i64_view(r)) {
+                let mut out = TruthBuilder::new(n);
+                for k in 0..n {
+                    if a.valid(k) && b.valid(k) {
+                        out.push(k, cmp_passes(op, a.get(k).cmp(&b.get(k))).into());
+                    } else {
+                        out.push(k, Truth::Unknown);
+                    }
+                }
+                return Ok(out.finish());
+            }
+            if let (Some(a), Some(b)) = (str_view(l), str_view(r)) {
+                let mut out = TruthBuilder::new(n);
+                for k in 0..n {
+                    if a.valid(k) && b.valid(k) {
+                        out.push(k, cmp_passes(op, a.get(k).cmp(b.get(k))).into());
+                    } else {
+                        out.push(k, Truth::Unknown);
+                    }
+                }
+                return Ok(out.finish());
+            }
+            let mut out = TruthBuilder::new(n);
+            for k in 0..n {
+                let (lv, rv) = (l.value_at(k), r.value_at(k));
+                let t = match op {
+                    BinOp::Eq => lv.sql_eq(&rv),
+                    BinOp::Neq => lv.sql_eq(&rv).not(),
+                    _ => match lv.sql_cmp(&rv) {
+                        None => Truth::Unknown,
+                        Some(ord) => cmp_passes(op, ord).into(),
+                    },
+                };
+                out.push(k, t);
+            }
+            Ok(out.finish())
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if let (Some(a), Some(b)) = (i64_view(l), i64_view(r)) {
+                let mut values = vec![0i64; n];
+                let mut validity: Option<Bitmap> = None;
+                for (k, slot) in values.iter_mut().enumerate() {
+                    // NULL propagates before the zero check, exactly
+                    // like `Value::arith`.
+                    if !(a.valid(k) && b.valid(k)) {
+                        validity
+                            .get_or_insert_with(|| Bitmap::filled(n, true))
+                            .set(k, false);
+                        continue;
+                    }
+                    let (x, y) = (a.get(k), b.get(k));
+                    *slot = match op {
+                        BinOp::Add => x.wrapping_add(y),
+                        BinOp::Sub => x.wrapping_sub(y),
+                        BinOp::Mul => x.wrapping_mul(y),
+                        BinOp::Div => {
+                            if y == 0 {
+                                return Err(Error::execution("division by zero"));
+                            }
+                            x.wrapping_div(y)
+                        }
+                        _ => unreachable!(),
+                    };
+                }
+                return Ok(Vector::Col(Column::Int64 { values, validity }));
+            }
+            let mut out = Vec::with_capacity(n);
+            for k in 0..n {
+                out.push(bin_values(op, &l.value_at(k), &r.value_at(k))?);
+            }
+            Ok(Vector::Col(Column::Mixed(out)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starmagic_common::Row;
+
+    fn batch() -> Batch {
+        Batch::from_rows(&[
+            Row::new(vec![Value::Int(1), Value::str("aa"), Value::Double(0.5)]),
+            Row::new(vec![Value::Int(2), Value::Null, Value::Double(1.5)]),
+            Row::new(vec![Value::Null, Value::str("bb"), Value::Null]),
+            Row::new(vec![Value::Int(4), Value::str("aa"), Value::Double(4.0)]),
+        ])
+    }
+
+    fn col(c: usize) -> VExpr {
+        VExpr::Col { slot: 0, col: c }
+    }
+
+    fn lit(v: Value) -> VExpr {
+        VExpr::Lit(v)
+    }
+
+    fn bin(op: BinOp, l: VExpr, r: VExpr) -> VExpr {
+        VExpr::Bin {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn run(e: &VExpr) -> Vector {
+        let b = batch();
+        let ids: Vec<u32> = (0..b.len() as u32).collect();
+        let slots = [SlotView {
+            batch: &b,
+            ids: &ids,
+        }];
+        let positions: Vec<u32> = (0..b.len() as u32).collect();
+        eval(e, &slots, &positions).expect("eval")
+    }
+
+    #[test]
+    fn typed_int_comparison_with_nulls() {
+        let v = run(&bin(BinOp::Gt, col(0), lit(Value::Int(1))));
+        assert_eq!(v.truth_at(0), Truth::False);
+        assert_eq!(v.truth_at(1), Truth::True);
+        assert_eq!(v.truth_at(2), Truth::Unknown);
+        assert_eq!(v.truth_at(3), Truth::True);
+    }
+
+    #[test]
+    fn string_equality_and_like() {
+        let v = run(&bin(BinOp::Eq, col(1), lit(Value::str("aa"))));
+        assert!(v.passes_at(0));
+        assert_eq!(v.truth_at(1), Truth::Unknown);
+        assert!(!v.passes_at(2));
+        let l = run(&VExpr::Like {
+            expr: Box::new(col(1)),
+            pattern: "a%".into(),
+            negated: false,
+        });
+        assert!(l.passes_at(0));
+        assert_eq!(l.truth_at(1), Truth::Unknown);
+        assert!(!l.passes_at(2));
+    }
+
+    #[test]
+    fn typed_arithmetic_matches_value_arith() {
+        let v = run(&bin(BinOp::Add, col(0), lit(Value::Int(10))));
+        assert_eq!(v.value_at(0), Value::Int(11));
+        assert!(v.is_null_at(2));
+        // Division by zero errors (the columnar caller falls back).
+        let b = batch();
+        let ids: Vec<u32> = (0..b.len() as u32).collect();
+        let slots = [SlotView {
+            batch: &b,
+            ids: &ids,
+        }];
+        let positions: Vec<u32> = (0..b.len() as u32).collect();
+        assert!(eval(
+            &bin(BinOp::Div, col(0), lit(Value::Int(0))),
+            &slots,
+            &positions
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn kleene_and_or_not() {
+        // (col0 > 1) AND (col2 < 2.0): mixes True/False/Unknown.
+        let e = bin(
+            BinOp::And,
+            bin(BinOp::Gt, col(0), lit(Value::Int(1))),
+            bin(BinOp::Lt, col(2), lit(Value::Double(2.0))),
+        );
+        let v = run(&e);
+        assert_eq!(v.truth_at(0), Truth::False);
+        assert_eq!(v.truth_at(1), Truth::True);
+        assert_eq!(v.truth_at(2), Truth::Unknown);
+        assert_eq!(v.truth_at(3), Truth::False);
+        let not = run(&VExpr::Not(Box::new(bin(
+            BinOp::Gt,
+            col(0),
+            lit(Value::Int(1)),
+        ))));
+        assert_eq!(not.truth_at(0), Truth::True);
+        assert_eq!(not.truth_at(1), Truth::False);
+        assert_eq!(not.truth_at(2), Truth::Unknown);
+    }
+
+    #[test]
+    fn is_null_never_unknown() {
+        let v = run(&VExpr::IsNull {
+            expr: Box::new(col(0)),
+            negated: false,
+        });
+        assert!(!v.passes_at(0));
+        assert!(v.passes_at(2));
+        assert!(!v.is_null_at(2));
+    }
+
+    #[test]
+    fn constants_stay_constant() {
+        let v = run(&bin(BinOp::Add, lit(Value::Int(2)), lit(Value::Int(3))));
+        assert!(matches!(
+            v,
+            Vector::Const {
+                value: Value::Int(5),
+                ..
+            }
+        ));
+        assert_eq!(v.len(), 4);
+    }
+}
