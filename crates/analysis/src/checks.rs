@@ -139,6 +139,15 @@ fn duplicate_claims(qgm: &Qgm, b: BoxId, f: &BoxFacts, report: &mut LintReport) 
 /// box's declared Bound adornment columns must be provably restricted
 /// by the binding flow. Once phase-3 merges dissolve the magic box the
 /// quantifier disappears and both obligations become vacuous.
+///
+/// Obligation (a) is waived when the consuming box's output is
+/// duplicate-free anyway — either because it enforces DISTINCT itself
+/// or because the multiplicity domain proves it. A derived magic box
+/// built from a wider binding set (an adornment with fewer bound
+/// columns downstream, e.g. `M_X_GB` projecting `mc0` out of `M_X`'s
+/// `(mc0, mc1)`) legitimately drops binding columns: any row
+/// multiplication that introduces is removed again by the box's own
+/// dedup (or provably never arises) before it can escape.
 fn binding_flow(qgm: &Qgm, b: BoxId, f: &BoxFacts, report: &mut LintReport) {
     let qb = qgm.boxed(b);
     let magic_quants: Vec<QuantId> = qb
@@ -151,8 +160,19 @@ fn binding_flow(qgm: &Qgm, b: BoxId, f: &BoxFacts, report: &mut LintReport) {
         return;
     }
 
-    // (a) Every magic binding column is referenced somewhere in the box.
+    // (a) Every magic binding column is referenced somewhere in the
+    // box — unless the box's output is duplicate-free regardless
+    // (enforced or proven), which makes a projected-away binding
+    // column harmless.
+    let dedupes = qb.distinct == DistinctMode::Enforce
+        || matches!(
+            f.dup_free,
+            DupVerdict::ProvenKeys | DupVerdict::ProvenBounds
+        );
     for &mq in &magic_quants {
+        if dedupes {
+            break;
+        }
         let arity = qgm.boxed(qgm.quant(mq).input).arity();
         let mut used = vec![false; arity];
         let mut mark = |e: &ScalarExpr| {

@@ -10,17 +10,35 @@
 //!
 //! Eviction is LRU over a bounded map (the capacity is small enough
 //! that an O(n) scan for the oldest tick beats the bookkeeping of a
-//! linked map). The engine invalidates the whole cache on any DDL —
-//! views, tables, and inserts all change what a plan would look like
-//! or return, and correctness beats cleverness here.
+//! linked map).
+//!
+//! Invalidation is epoch-based. Every entry is pinned to the catalog
+//! epoch that built it; a DDL bumps the engine's epoch and the cache
+//! purges everything older ([`ShardedPlanCache::note_epoch`]). The
+//! pin also closes the in-flight race: a session that planned against
+//! epoch E but inserts after a concurrent DDL bumped to E+1 can never
+//! have its stale plan served — the entry either is refused at insert
+//! or fails the epoch check on lookup. Views, tables, and inserts all
+//! change what a plan would look like or return, and correctness
+//! beats cleverness here.
+//!
+//! [`ShardedPlanCache`] spreads the keys over N independently locked
+//! [`PlanCache`] shards so concurrent sessions rarely contend on the
+//! same mutex; each shard keeps its own LRU order and counters, which
+//! the wrapper sums for reporting.
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::Prepared;
 
-/// Default number of plans an engine retains.
+/// Default number of plans an engine retains (across all shards).
 pub const DEFAULT_PLAN_CACHE_CAP: usize = 128;
+
+/// Number of independently locked shards in a [`ShardedPlanCache`].
+pub const PLAN_CACHE_SHARDS: usize = 8;
 
 /// Monotonically collected cache counters. `invalidations` counts
 /// flush *events* (one per DDL statement), not evicted entries.
@@ -45,13 +63,21 @@ impl CacheStats {
             }
         }
     }
+
+    fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
 }
 
 /// A cached, parameterized plan plus the binding metadata needed to
 /// execute it with fresh constants.
 #[derive(Debug)]
 pub struct CachedPlan {
-    /// The normalized cache key: `strategy|parameterized-sql`.
+    /// The normalized cache key: `strategy|user params|parameterized
+    /// SQL`.
     pub key: String,
     /// The optimized plan, parameter slots intact.
     pub prepared: Prepared,
@@ -62,6 +88,10 @@ pub struct CachedPlan {
     /// user and must be supplied at execute time; slots above that
     /// hold the literals the normalizer extracted.
     pub user_params: usize,
+    /// The catalog epoch this plan was optimized against. A lookup at
+    /// any other epoch is a miss; the cache never serves a plan across
+    /// a DDL boundary.
+    pub epoch: u64,
 }
 
 struct Entry {
@@ -75,7 +105,8 @@ fn key_strategy(key: &str) -> &str {
     key.split('|').next().unwrap_or(key)
 }
 
-/// Bounded LRU map of normalized key → plan.
+/// Bounded LRU map of normalized key → plan. One shard of a
+/// [`ShardedPlanCache`] (or a whole cache on its own in tests).
 pub struct PlanCache {
     map: HashMap<String, Entry>,
     cap: usize,
@@ -130,25 +161,30 @@ impl PlanCache {
         self.by_strategy.clone()
     }
 
-    /// Look up a plan, counting the hit or miss and refreshing its
-    /// recency on a hit.
-    pub fn get(&mut self, key: &str) -> Option<Arc<CachedPlan>> {
+    /// Look up a plan built at `epoch`, counting the hit or miss and
+    /// refreshing its recency on a hit. An entry pinned to an *older*
+    /// epoch is stale for everyone and is dropped on sight; an entry
+    /// pinned to a *newer* epoch is a plain miss — the caller is a
+    /// reader on an old snapshot and must not evict a plan that is
+    /// current for the rest of the engine.
+    pub fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<CachedPlan>> {
         self.tick += 1;
         let tick = self.tick;
-        match self.map.get_mut(key) {
-            Some(e) => {
+        if let Some(e) = self.map.get_mut(key) {
+            if e.plan.epoch == epoch {
                 e.last_used = tick;
                 let plan = Arc::clone(&e.plan);
                 self.stats.hits += 1;
                 self.strategy_stats(key).hits += 1;
-                Some(plan)
+                return Some(plan);
             }
-            None => {
-                self.stats.misses += 1;
-                self.strategy_stats(key).misses += 1;
-                None
+            if e.plan.epoch < epoch {
+                self.map.remove(key);
             }
         }
+        self.stats.misses += 1;
+        self.strategy_stats(key).misses += 1;
+        None
     }
 
     /// Insert a freshly optimized plan, evicting the least recently
@@ -186,7 +222,7 @@ impl PlanCache {
             // One flush event per strategy that loses at least one
             // entry, however many it loses — mirroring the global
             // counter's event semantics.
-            let dropped: std::collections::BTreeSet<String> = self
+            let dropped: BTreeSet<String> = self
                 .map
                 .keys()
                 .map(|k| key_strategy(k).to_string())
@@ -199,10 +235,205 @@ impl PlanCache {
         }
     }
 
+    /// Remove every entry pinned to an epoch older than `epoch`,
+    /// returning the strategies that lost at least one entry. Counters
+    /// are untouched — flush-event accounting belongs to the sharded
+    /// wrapper, which sees all shards of one DDL at once.
+    fn purge_stale(&mut self, epoch: u64) -> BTreeSet<String> {
+        let stale: Vec<String> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.plan.epoch < epoch)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut strategies = BTreeSet::new();
+        for k in stale {
+            self.map.remove(&k);
+            strategies.insert(key_strategy(&k).to_string());
+        }
+        strategies
+    }
+
     /// Drop every entry at the user's request (`\cache clear`) without
     /// touching the counters.
     pub fn clear(&mut self) {
         self.map.clear();
+    }
+}
+
+/// Entry count and counters of one shard, for `cache.shard.*`
+/// reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    pub entries: usize,
+    pub stats: CacheStats,
+}
+
+/// Per-DDL flush-event accounting shared across shards: `events`
+/// counts DDL statements that dropped at least one entry anywhere;
+/// `by_strategy` counts, per strategy, the events that dropped at
+/// least one entry of that strategy.
+#[derive(Default)]
+struct FlushLog {
+    events: u64,
+    by_strategy: BTreeMap<String, u64>,
+}
+
+/// N independently locked [`PlanCache`] shards behind one epoch
+/// counter. Keys spread by hash; concurrent sessions on different
+/// keys lock different mutexes. Shared (`Arc`) between every clone of
+/// an engine, so all snapshots of one database see one cache.
+pub struct ShardedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+    /// The newest epoch any DDL has announced. Inserts pinned to an
+    /// older epoch are refused — the in-flight-query race closed at
+    /// the door rather than on lookup.
+    latest: AtomicU64,
+    flushes: Mutex<FlushLog>,
+}
+
+impl ShardedPlanCache {
+    /// A cache of `cap` total entries spread over `shards` shards.
+    pub fn new(cap: usize, shards: usize) -> ShardedPlanCache {
+        let shards = shards.max(1);
+        let per_shard = (cap / shards).max(1);
+        ShardedPlanCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(PlanCache::new(per_shard)))
+                .collect(),
+            latest: AtomicU64::new(0),
+            flushes: Mutex::new(FlushLog::default()),
+        }
+    }
+
+    /// The default engine cache: [`DEFAULT_PLAN_CACHE_CAP`] entries
+    /// over [`PLAN_CACHE_SHARDS`] shards.
+    pub fn with_defaults() -> ShardedPlanCache {
+        ShardedPlanCache::new(DEFAULT_PLAN_CACHE_CAP, PLAN_CACHE_SHARDS)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key lands in (stable for the cache's lifetime;
+    /// exposed so the engine can attribute `cache.shard.<i>` metrics).
+    pub fn shard_index(&self, key: &str) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (h.finish() as usize) % self.shards.len()
+        }
+    }
+
+    /// A shard's lock, tolerating poisoning: shards hold only plans
+    /// and counters, both valid at every instruction boundary.
+    fn shard(&self, i: usize) -> MutexGuard<'_, PlanCache> {
+        self.shards[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The newest epoch announced via [`ShardedPlanCache::note_epoch`].
+    pub fn latest_epoch(&self) -> u64 {
+        self.latest.load(Ordering::Acquire)
+    }
+
+    /// Look up a plan built at `epoch` (see [`PlanCache::get`] for the
+    /// staleness rules).
+    pub fn get(&self, key: &str, epoch: u64) -> Option<Arc<CachedPlan>> {
+        self.shard(self.shard_index(key)).get(key, epoch)
+    }
+
+    /// Insert a freshly optimized plan. A plan pinned to an epoch
+    /// older than the newest announced one is *not* stored — the
+    /// optimizing session raced a DDL and its plan is already stale —
+    /// but the caller still gets its handle and can execute it against
+    /// the snapshot it was built from.
+    pub fn insert(&self, plan: CachedPlan) -> Arc<CachedPlan> {
+        if plan.epoch < self.latest.load(Ordering::Acquire) {
+            return Arc::new(plan);
+        }
+        self.shard(self.shard_index(&plan.key)).insert(plan)
+    }
+
+    /// Announce a DDL's new epoch: refuse older inserts from now on
+    /// and purge every entry built before `epoch`. One flush event is
+    /// counted when anything was dropped (matching the single-cache
+    /// `invalidate` semantics, however many shards were hit).
+    pub fn note_epoch(&self, epoch: u64) {
+        self.latest.fetch_max(epoch, Ordering::AcqRel);
+        let mut dropped: BTreeSet<String> = BTreeSet::new();
+        for i in 0..self.shards.len() {
+            dropped.extend(self.shard(i).purge_stale(epoch));
+        }
+        if !dropped.is_empty() {
+            let mut log = self.flushes.lock().unwrap_or_else(PoisonError::into_inner);
+            log.events += 1;
+            for strategy in dropped {
+                *log.by_strategy.entry(strategy).or_default() += 1;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.shard(i).len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summed counters across shards, plus the epoch-flush events.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for i in 0..self.shards.len() {
+            total.absorb(self.shard(i).stats());
+        }
+        total.invalidations += self
+            .flushes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .events;
+        total
+    }
+
+    /// Per-strategy counters summed across shards (rows still sum to
+    /// [`ShardedPlanCache::stats`]).
+    pub fn stats_by_strategy(&self) -> BTreeMap<String, CacheStats> {
+        let mut merged: BTreeMap<String, CacheStats> = BTreeMap::new();
+        for i in 0..self.shards.len() {
+            for (k, s) in self.shard(i).stats_by_strategy() {
+                merged.entry(k).or_default().absorb(s);
+            }
+        }
+        let log = self.flushes.lock().unwrap_or_else(PoisonError::into_inner);
+        for (k, &n) in &log.by_strategy {
+            merged.entry(k.clone()).or_default().invalidations += n;
+        }
+        merged
+    }
+
+    /// Entry count and counters per shard, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.shards.len())
+            .map(|i| {
+                let s = self.shard(i);
+                ShardStats {
+                    entries: s.len(),
+                    stats: s.stats(),
+                }
+            })
+            .collect()
+    }
+
+    /// Drop every entry without touching the counters (`\cache
+    /// clear`).
+    pub fn clear(&self) {
+        for i in 0..self.shards.len() {
+            self.shard(i).clear();
+        }
     }
 }
 
@@ -211,6 +442,10 @@ mod tests {
     use super::*;
 
     fn plan(key: &str) -> CachedPlan {
+        plan_at(key, 0)
+    }
+
+    fn plan_at(key: &str, epoch: u64) -> CachedPlan {
         // A structurally minimal Prepared: cache tests never execute it.
         let qgm = starmagic_qgm::build_qgm(
             &starmagic_catalog::generator::benchmark_catalog(
@@ -233,15 +468,16 @@ mod tests {
             },
             param_count: 0,
             user_params: 0,
+            epoch,
         }
     }
 
     #[test]
     fn hit_miss_counting() {
         let mut c = PlanCache::new(4);
-        assert!(c.get("a").is_none());
+        assert!(c.get("a", 0).is_none());
         c.insert(plan("a"));
-        assert!(c.get("a").is_some());
+        assert!(c.get("a", 0).is_some());
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
@@ -252,12 +488,12 @@ mod tests {
         let mut c = PlanCache::new(2);
         c.insert(plan("a"));
         c.insert(plan("b"));
-        assert!(c.get("a").is_some()); // refresh a; b is now LRU
+        assert!(c.get("a", 0).is_some()); // refresh a; b is now LRU
         c.insert(plan("c"));
         assert_eq!(c.stats().evictions, 1);
-        assert!(c.get("b").is_none(), "b should have been evicted");
-        assert!(c.get("a").is_some());
-        assert!(c.get("c").is_some());
+        assert!(c.get("b", 0).is_none(), "b should have been evicted");
+        assert!(c.get("a", 0).is_some());
+        assert!(c.get("c", 0).is_some());
     }
 
     #[test]
@@ -284,10 +520,10 @@ mod tests {
     #[test]
     fn stats_split_by_strategy() {
         let mut c = PlanCache::new(4);
-        assert!(c.get("Magic|0|SELECT 1").is_none());
+        assert!(c.get("Magic|0|SELECT 1", 0).is_none());
         c.insert(plan("Magic|0|SELECT 1"));
-        assert!(c.get("Magic|0|SELECT 1").is_some());
-        assert!(c.get("Original|0|SELECT 1").is_none());
+        assert!(c.get("Magic|0|SELECT 1", 0).is_some());
+        assert!(c.get("Original|0|SELECT 1", 0).is_none());
         let by = c.stats_by_strategy();
         let magic = by.get("Magic").copied().unwrap();
         let orig = by.get("Original").copied().unwrap();
@@ -338,10 +574,89 @@ mod tests {
     fn clear_preserves_counters() {
         let mut c = PlanCache::new(4);
         c.insert(plan("a"));
-        let _ = c.get("a");
+        let _ = c.get("a", 0);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn epoch_mismatch_is_a_miss() {
+        let mut c = PlanCache::new(4);
+        c.insert(plan_at("a", 1));
+        // A newer reader drops the stale entry on sight.
+        assert!(c.get("a", 2).is_none());
+        assert_eq!(c.len(), 0, "stale entry must be dropped");
+        // An older reader misses but must not evict a current entry.
+        c.insert(plan_at("b", 5));
+        assert!(c.get("b", 3).is_none());
+        assert_eq!(c.len(), 1, "current entry must survive an old reader");
+        assert!(c.get("b", 5).is_some());
+    }
+
+    #[test]
+    fn sharded_insert_refuses_stale_epochs() {
+        let c = ShardedPlanCache::new(16, 4);
+        c.note_epoch(2);
+        let handle = c.insert(plan_at("a", 1));
+        assert_eq!(handle.key, "a", "caller still gets its plan");
+        assert_eq!(c.len(), 0, "stale insert must not be stored");
+        assert!(c.get("a", 1).is_none());
+        c.insert(plan_at("a", 2));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("a", 2).is_some());
+    }
+
+    #[test]
+    fn sharded_note_epoch_counts_one_event() {
+        let c = ShardedPlanCache::new(16, 4);
+        // Spread entries over several shards.
+        for i in 0..8 {
+            c.insert(plan_at(&format!("Magic|0|SELECT {i}"), 0));
+        }
+        assert!(c.len() > 1);
+        c.note_epoch(1);
+        assert_eq!(c.len(), 0);
+        assert_eq!(
+            c.stats().invalidations,
+            1,
+            "one DDL = one flush event, however many shards it hit"
+        );
+        let by = c.stats_by_strategy();
+        assert_eq!(
+            by.get("Magic").copied().unwrap_or_default().invalidations,
+            1
+        );
+        // An empty flush counts nothing.
+        c.note_epoch(2);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn sharded_stats_sum_across_shards() {
+        let c = ShardedPlanCache::new(16, 4);
+        for i in 0..8 {
+            let key = format!("Magic|0|SELECT {i}");
+            assert!(c.get(&key, 0).is_none());
+            c.insert(plan_at(&key, 0));
+            assert!(c.get(&key, 0).is_some());
+        }
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (8, 8));
+        let shard_sum: u64 = c.shard_stats().iter().map(|s| s.stats.hits).sum();
+        assert_eq!(shard_sum, 8);
+        let entries: usize = c.shard_stats().iter().map(|s| s.entries).sum();
+        assert_eq!(entries, c.len());
+    }
+
+    #[test]
+    fn sharded_keys_spread_over_shards() {
+        let c = ShardedPlanCache::new(64, 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            seen.insert(c.shard_index(&format!("Magic|0|SELECT {i}")));
+        }
+        assert!(seen.len() > 1, "64 keys must not all hash to one shard");
     }
 }

@@ -34,7 +34,7 @@ pub mod explain;
 pub mod metrics;
 pub mod pipeline;
 
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Instant;
 
 use starmagic_catalog::{Catalog, ViewDef};
@@ -44,7 +44,10 @@ use starmagic_rewrite::OpRegistry;
 use starmagic_sql::{parse_statement, Statement};
 use starmagic_trace::TraceSink;
 
-pub use cache::{CacheStats, CachedPlan, PlanCache, DEFAULT_PLAN_CACHE_CAP};
+pub use cache::{
+    CacheStats, CachedPlan, PlanCache, ShardStats, ShardedPlanCache, DEFAULT_PLAN_CACHE_CAP,
+    PLAN_CACHE_SHARDS,
+};
 pub use metrics::{strategy_token, EngineMetrics, METRICS_SCHEMA_VERSION};
 pub use pipeline::{optimize, Optimized, PipelineOptions};
 pub use starmagic_metrics::Registry as MetricsRegistry;
@@ -139,19 +142,67 @@ pub struct CachedQuery {
     pub key: String,
 }
 
-/// The engine: a catalog plus the optimizer configuration.
-pub struct Engine {
+/// The immutable state a query runs against: catalog (schema + data +
+/// statistics), operation registry, and the cross-query index cache.
+/// Swapped atomically as one `Arc` on every DDL — a query holds one
+/// snapshot for its whole lifetime and can never observe a half-
+/// applied catalog change.
+pub struct EngineSnapshot {
     catalog: Catalog,
     registry: OpRegistry,
     /// Cross-query index cache (the database's persistent indexes).
+    /// Derived data only: a fresh snapshot starts empty and rebuilds
+    /// lazily, which is exactly the old "reset on DDL" behavior.
     indexes: starmagic_exec::IndexCache,
+}
+
+impl EngineSnapshot {
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn registry(&self) -> &OpRegistry {
+        &self.registry
+    }
+}
+
+impl Clone for EngineSnapshot {
+    /// Copy-on-write clone for DDL: the catalog and registry copy,
+    /// the index cache (interior-mutability handles, derived data)
+    /// starts fresh — stale indexes must never survive a catalog
+    /// change.
+    fn clone(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            catalog: self.catalog.clone(),
+            registry: self.registry.clone(),
+            indexes: starmagic_exec::IndexCache::default(),
+        }
+    }
+}
+
+/// The engine: an immutable snapshot behind an `Arc`, an epoch
+/// counter, and the optimizer configuration.
+///
+/// Cloning an engine is cheap and shares the snapshot, the plan
+/// cache, and the metric handles — that is how the server hands every
+/// session a lock-free consistent view. DDL (`run_sql` on `&mut
+/// self`) copies the snapshot (`Arc::make_mut`), mutates the copy,
+/// and bumps the epoch; clones made before the DDL keep reading the
+/// old snapshot at the old epoch.
+#[derive(Clone)]
+pub struct Engine {
+    snapshot: Arc<EngineSnapshot>,
+    /// Catalog version: bumped by every DDL. Plan-cache entries are
+    /// pinned to the epoch that built them.
+    epoch: u64,
     /// Executor worker threads injected into every plan this engine
     /// prepares (REPL `\threads n`, benchmark `--threads n`).
     threads: usize,
-    /// Shared plan cache over normalized (parameterized) SQL. Interior
-    /// mutability so the read-mostly server path (`&Engine` behind an
-    /// `RwLock` read guard) can still record hits and insert plans.
-    plans: Mutex<PlanCache>,
+    /// Shared sharded plan cache over normalized (parameterized) SQL.
+    /// Interior mutability (per-shard mutexes) so the read-mostly
+    /// server path (`&Engine` snapshots) can record hits and insert
+    /// plans.
+    plans: Arc<ShardedPlanCache>,
     /// Pre-registered metric handles. Noop (free) unless
     /// [`Engine::set_metrics`] installed a live registry.
     metrics: EngineMetrics,
@@ -160,14 +211,7 @@ pub struct Engine {
 impl Engine {
     /// Build an engine over a catalog.
     pub fn new(catalog: Catalog) -> Engine {
-        Engine {
-            catalog,
-            registry: OpRegistry::new(),
-            indexes: starmagic_exec::IndexCache::default(),
-            threads: 1,
-            plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAP)),
-            metrics: EngineMetrics::default(),
-        }
+        Engine::with_registry(catalog, OpRegistry::new())
     }
 
     /// Build an engine with a customized operation registry (§5
@@ -175,20 +219,33 @@ impl Engine {
     /// and pushdown knowledge here).
     pub fn with_registry(catalog: Catalog, registry: OpRegistry) -> Engine {
         Engine {
-            catalog,
-            registry,
-            indexes: starmagic_exec::IndexCache::default(),
+            snapshot: Arc::new(EngineSnapshot {
+                catalog,
+                registry,
+                indexes: starmagic_exec::IndexCache::default(),
+            }),
+            epoch: 0,
             threads: 1,
-            plans: Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAP)),
+            plans: Arc::new(ShardedPlanCache::with_defaults()),
             metrics: EngineMetrics::default(),
         }
     }
 
-    /// The plan-cache lock, tolerating poisoning: the cache holds only
-    /// plans and counters, both valid at every instruction boundary,
-    /// so a panic elsewhere never leaves it corrupt.
-    fn plans(&self) -> MutexGuard<'_, PlanCache> {
-        self.plans.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The catalog epoch: 0 at construction, +1 per DDL statement.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The immutable state this engine's queries run against.
+    pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
+        &self.snapshot
+    }
+
+    /// Advance the epoch after a DDL mutated the snapshot: stale plan
+    /// cache entries are purged and older in-flight inserts refused.
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.plans.note_epoch(self.epoch);
     }
 
     /// Set the executor worker-thread count used by every subsequent
@@ -223,38 +280,33 @@ impl Engine {
     /// metrics are disabled `enabled` is `false` and the instrument
     /// sections are empty (the plan-cache section is always live).
     pub fn metrics_report(&self) -> starmagic_trace::json::Value {
-        let plans = self.plans();
         metrics::report_json(
             &self.metrics.registry.snapshot(),
             !self.metrics.registry.is_noop(),
-            plans.stats(),
-            &plans.stats_by_strategy(),
-            plans.len(),
+            self.plans.stats(),
+            &self.plans.stats_by_strategy(),
+            self.plans.len(),
+            &self.plans.shard_stats(),
         )
     }
 
     /// Human-readable metrics report (REPL `\metrics`, server
     /// `METRICS`).
     pub fn metrics_text(&self) -> String {
-        let plans = self.plans();
         metrics::report_text(
             &self.metrics.registry.snapshot(),
-            plans.stats(),
-            &plans.stats_by_strategy(),
-            plans.len(),
+            self.plans.stats(),
+            &self.plans.stats_by_strategy(),
+            self.plans.len(),
         )
     }
 
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        &self.snapshot.catalog
     }
 
     pub fn registry(&self) -> &OpRegistry {
-        &self.registry
+        &self.snapshot.registry
     }
 
     /// Execute a statement: `CREATE VIEW` registers a view; a query
@@ -270,7 +322,8 @@ impl Engine {
                 // Store the original body text: the builder re-parses
                 // on expansion (keeps the catalog plain data).
                 let body_sql = extract_view_body(sql)?;
-                self.catalog.add_view(ViewDef {
+                let snap = Arc::make_mut(&mut self.snapshot);
+                snap.catalog.add_view(ViewDef {
                     name: name.clone(),
                     columns,
                     body_sql,
@@ -280,12 +333,12 @@ impl Engine {
                 // roll back on failure.
                 let probe = format!("SELECT * FROM {name}");
                 let q = starmagic_sql::parse_query(&probe)?;
-                if let Err(e) = starmagic_qgm::build_qgm(&self.catalog, &q) {
-                    let _ = self.catalog.drop_view(&name);
+                if let Err(e) = starmagic_qgm::build_qgm(&snap.catalog, &q) {
+                    let _ = snap.catalog.drop_view(&name);
                     return Err(e);
                 }
                 // A new view changes what any SQL text can mean.
-                self.plans().invalidate();
+                self.bump_epoch();
                 Ok(None)
             }
             Statement::CreateTable { name, columns, key } => {
@@ -298,14 +351,15 @@ impl Engine {
                     let keys: Vec<&str> = key.iter().map(String::as_str).collect();
                     schema = schema.with_key(&keys)?;
                 }
-                self.catalog
+                let snap = Arc::make_mut(&mut self.snapshot);
+                snap.catalog
                     .add_table(starmagic_catalog::Table::new(schema))?;
-                self.indexes = starmagic_exec::IndexCache::default();
-                self.plans().invalidate();
+                snap.indexes = starmagic_exec::IndexCache::default();
+                self.bump_epoch();
                 Ok(None)
             }
             Statement::Insert { table, rows } => {
-                let schema = self.catalog.table(&table)?.schema().clone();
+                let schema = self.snapshot.catalog.table(&table)?.schema().clone();
                 let mut materialized = Vec::with_capacity(rows.len());
                 for row in rows {
                     if row.len() != schema.arity() {
@@ -321,12 +375,13 @@ impl Engine {
                     }
                     materialized.push(Row::new(vals));
                 }
-                self.catalog.table_mut(&table)?.insert(materialized)?;
+                let snap = Arc::make_mut(&mut self.snapshot);
+                snap.catalog.table_mut(&table)?.insert(materialized)?;
                 // Stored data changed: the cached indexes are stale,
                 // and cached plans embed stale statistics-driven
                 // choices (join orders, magic-vs-original).
-                self.indexes = starmagic_exec::IndexCache::default();
-                self.plans().invalidate();
+                snap.indexes = starmagic_exec::IndexCache::default();
+                self.bump_epoch();
                 Ok(None)
             }
             Statement::Query(_) => self.query(sql).map(Some),
@@ -348,7 +403,12 @@ impl Engine {
     /// pruning, forcing magic).
     pub fn prepare_with_options(&self, sql: &str, opts: PipelineOptions) -> Result<Prepared> {
         let query = starmagic_sql::parse_query(sql)?;
-        let optimized = optimize(&self.catalog, &self.registry, &query, opts)?;
+        let optimized = optimize(
+            &self.snapshot.catalog,
+            &self.snapshot.registry,
+            &query,
+            opts,
+        )?;
         Ok(prepared_from(&optimized, opts.threads))
     }
 
@@ -358,7 +418,12 @@ impl Engine {
     /// executable plan, via [`prepared_from`]).
     pub fn optimize_with_options(&self, sql: &str, opts: PipelineOptions) -> Result<Optimized> {
         let query = starmagic_sql::parse_query(sql)?;
-        optimize(&self.catalog, &self.registry, &query, opts)
+        optimize(
+            &self.snapshot.catalog,
+            &self.snapshot.registry,
+            &query,
+            opts,
+        )
     }
 
     /// Optimize a query down to an executable plan without running it.
@@ -373,8 +438,8 @@ impl Engine {
     pub fn execute_prepared(&self, prepared: &Prepared) -> Result<QueryResult> {
         let (rows, profile) = starmagic_exec::execute_with_options(
             &prepared.qgm,
-            &self.catalog,
-            &self.indexes,
+            &self.snapshot.catalog,
+            &self.snapshot.indexes,
             starmagic_exec::ExecOptions {
                 timing: false,
                 threads: prepared.threads,
@@ -413,7 +478,9 @@ impl Engine {
             .filter(|(b, bp)| bp.evals > 0 && live.contains(b))
             .map(|(b, bp)| (*b, (bp.rows_out, bp.evals)))
             .collect();
-        for row in starmagic_planner::feedback::cardinality_report(qgm, &self.catalog, &actuals) {
+        for row in
+            starmagic_planner::feedback::cardinality_report(qgm, &self.snapshot.catalog, &actuals)
+        {
             self.metrics.note_misestimate(row.bucket);
         }
     }
@@ -431,24 +498,30 @@ impl Engine {
 
     /// Current cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.plans().stats()
+        self.plans.stats()
     }
 
     /// Cache counters split by strategy (`CostBased` / `Original` /
     /// `Magic` — the key's strategy component).
     pub fn cache_stats_by_strategy(&self) -> std::collections::BTreeMap<String, CacheStats> {
-        self.plans().stats_by_strategy()
+        self.plans.stats_by_strategy()
     }
 
     /// Number of plans currently cached.
     pub fn cache_len(&self) -> usize {
-        self.plans().len()
+        self.plans.len()
+    }
+
+    /// Per-shard plan-cache counters (entries, hits, misses,
+    /// evictions) — the `cache.shard.*` view of the sharded cache.
+    pub fn cache_shard_stats(&self) -> Vec<ShardStats> {
+        self.plans.shard_stats()
     }
 
     /// Drop every cached plan (REPL `\cache clear`). Counters are
     /// preserved; this is not counted as an invalidation.
     pub fn cache_clear(&self) {
-        self.plans().clear();
+        self.plans.clear();
     }
 
     /// Parameterize a query, fetch or build its cached plan, and hand
@@ -466,14 +539,17 @@ impl Engine {
         let query = starmagic_sql::parse_query(sql)?;
         let p = starmagic_sql::parameterize(&query);
         let key = Engine::cache_key(strategy, p.first_index, &p.key);
-        if let Some(plan) = self.plans().get(&key) {
+        let shard = self.plans.shard_index(&key);
+        if let Some(plan) = self.plans.get(&key, self.epoch) {
             self.metrics.note_cache_lookup(strategy, true);
+            self.metrics.note_shard_lookup(shard, true);
             return Ok((plan, p.args, true));
         }
         self.metrics.note_cache_lookup(strategy, false);
+        self.metrics.note_shard_lookup(shard, false);
         let optimized = optimize(
-            &self.catalog,
-            &self.registry,
+            &self.snapshot.catalog,
+            &self.snapshot.registry,
             &p.query,
             self.options_for(strategy),
         )?;
@@ -482,8 +558,9 @@ impl Engine {
             prepared: prepared_from(&optimized, self.threads),
             param_count: p.first_index + p.args.len(),
             user_params: p.first_index,
+            epoch: self.epoch,
         };
-        Ok((self.plans().insert(plan), p.args, false))
+        Ok((self.plans.insert(plan), p.args, false))
     }
 
     /// Execute a cached plan with `user_args` filling the user-written
@@ -544,13 +621,14 @@ impl Engine {
 
         // Bind the lookup to a statement so the cache guard drops
         // before the miss arm re-locks to insert.
-        let looked_up = self.plans().get(&key);
+        let shard = self.plans.shard_index(&key);
+        let looked_up = self.plans.get(&key, self.epoch);
         let (plan, hit) = match looked_up {
             Some(plan) => (plan, true),
             None => {
                 let optimized = optimize(
-                    &self.catalog,
-                    &self.registry,
+                    &self.snapshot.catalog,
+                    &self.snapshot.registry,
                     &p.query,
                     self.options_for(strategy),
                 )?;
@@ -561,11 +639,13 @@ impl Engine {
                     prepared: prepared_from(&optimized, self.threads),
                     param_count: p.first_index + p.args.len(),
                     user_params: p.first_index,
+                    epoch: self.epoch,
                 };
-                (self.plans().insert(plan), false)
+                (self.plans.insert(plan), false)
             }
         };
         self.metrics.note_cache_lookup(strategy, hit);
+        self.metrics.note_shard_lookup(shard, hit);
 
         let t = sink.start("bind");
         let bound = self.bind_cached(&plan, &[], &p.args)?;
@@ -661,8 +741,8 @@ impl Engine {
     ) -> Result<QueryResult> {
         let (rows, profile) = starmagic_exec::execute_with_options(
             bound,
-            &self.catalog,
-            &self.indexes,
+            &self.snapshot.catalog,
+            &self.snapshot.indexes,
             starmagic_exec::ExecOptions {
                 timing: false,
                 threads: threads.max(1),
@@ -686,8 +766,8 @@ impl Engine {
     pub fn optimize_sql(&self, sql: &str, strategy: Strategy) -> Result<Optimized> {
         let query = starmagic_sql::parse_query(sql)?;
         optimize(
-            &self.catalog,
-            &self.registry,
+            &self.snapshot.catalog,
+            &self.snapshot.registry,
             &query,
             self.options_for(strategy),
         )
@@ -712,8 +792,8 @@ impl Engine {
         let parse_elapsed = parse_start.elapsed();
 
         let mut optimized = optimize(
-            &self.catalog,
-            &self.registry,
+            &self.snapshot.catalog,
+            &self.snapshot.registry,
             &query,
             self.options_for(strategy),
         )?;
@@ -730,8 +810,8 @@ impl Engine {
         let exec_start = Instant::now();
         let (rows, profile) = starmagic_exec::execute_with_options(
             chosen,
-            &self.catalog,
-            &self.indexes,
+            &self.snapshot.catalog,
+            &self.snapshot.indexes,
             starmagic_exec::ExecOptions {
                 timing: true,
                 threads: self.threads,
@@ -773,7 +853,7 @@ impl Engine {
     /// plan-cache section.
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
         let p = self.query_profiled(sql, Strategy::CostBased)?;
-        let mut out = explain::render_analyze(&p, &self.catalog);
+        let mut out = explain::render_analyze(&p, &self.snapshot.catalog);
         out.push_str(&self.cache_section(sql, Strategy::CostBased)?);
         Ok(out)
     }

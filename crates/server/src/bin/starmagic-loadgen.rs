@@ -10,6 +10,10 @@
 //!                               # parses with sessions_opened > 0 and
 //!                               # the latency cross-check agrees
 //!     [--require-hits]          # exit 1 unless the cache hit rate > 0
+//!     [--min-speedup X]         # exit 1 unless every strategy's
+//!                               # N-vs-1-connection qps ratio is >= X;
+//!                               # auto-skipped on hosts with fewer
+//!                               # than 4 cores (no parallelism to show)
 //! ```
 //!
 //! Replays the Table-1 suite per strategy from 1 and N connections,
@@ -57,6 +61,10 @@ fn main() {
     let json_path = flag_value(&args, "--json").unwrap_or_else(|| "BENCH_server.json".to_string());
     let metrics_path = flag_value(&args, "--metrics-json");
     let require_hits = args.iter().any(|a| a == "--require-hits");
+    let min_speedup: Option<f64> = flag_value(&args, "--min-speedup").map(|v| {
+        v.parse()
+            .expect("--min-speedup needs a number (e.g. --min-speedup 2.0)")
+    });
 
     // Self-host unless a target address was given. The self-hosted
     // server runs with a live registry so the metrics cross-check has
@@ -73,7 +81,6 @@ fn main() {
                 engine,
                 "127.0.0.1:0",
                 ServerConfig {
-                    max_sessions: cfg.connections + 4,
                     metrics: Registry::enabled(),
                     ..ServerConfig::default()
                 },
@@ -191,6 +198,27 @@ fn main() {
     if report.total_errors() > 0 {
         eprintln!("loadgen: {} query error(s)", report.total_errors());
         std::process::exit(1);
+    }
+    // The concurrency gate: with epoch-snapshot reads, N connections
+    // must outrun 1 on a multi-core host. Meaningless on near-serial
+    // hardware, so it self-skips below MIN_GATE_CPUS cores.
+    if let Some(min) = min_speedup {
+        if host_cpus < loadgen::MIN_GATE_CPUS {
+            eprintln!(
+                "loadgen: --min-speedup skipped ({host_cpus} core(s) < {} required for the gate)",
+                loadgen::MIN_GATE_CPUS
+            );
+        } else {
+            let got = loadgen::min_speedup(&report);
+            if got < min {
+                eprintln!(
+                    "loadgen: concurrency gate FAILED: weakest strategy speedup \
+                     {got:.2}x < required {min:.2}x"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("loadgen: concurrency gate passed: {got:.2}x >= {min:.2}x");
+        }
     }
     if require_hits && report.concurrent_hit_rate() <= 0.0 {
         eprintln!("loadgen: cache hit rate was zero");

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! cargo run -p starmagic-server --bin starmagic-server -- \
-//!     [--addr 127.0.0.1:7878] [--scale small|benchmark|fuzz] [--max-sessions 64]
+//!     [--addr 127.0.0.1:7878] [--scale small|benchmark|fuzz]
+//!     [--max-inflight 64]       # admission-gate width (concurrent queries)
+//!     [--admission-wait-ms 100] # wait for a permit before answering BUSY
 //!     [--no-metrics]            # drop the live registry (METRICS reports empty)
 //!     [--slowlog-path PATH]     # enable the slow-query log (JSONL)
 //!     [--slowlog-ms N]          # initial threshold; omit to start disarmed
@@ -39,9 +41,14 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let max_sessions = flag_value(&args, "--max-sessions")
+    let max_inflight = flag_value(&args, "--max-inflight")
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
+    let admission_wait = std::time::Duration::from_millis(
+        flag_value(&args, "--admission-wait-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100),
+    );
     let metrics = if args.iter().any(|a| a == "--no-metrics") {
         Registry::noop()
     } else {
@@ -63,14 +70,17 @@ fn main() {
     }
     .expect("build benchmark engine");
     let cfg = ServerConfig {
-        max_sessions,
+        max_inflight,
+        admission_wait,
         metrics,
         slowlog,
+        ..ServerConfig::default()
     };
     let handle = serve_engine(engine, &addr, cfg).expect("bind");
     println!("{}", handle.addr());
     eprintln!(
-        "starmagic-server listening on {} (max {max_sessions} sessions); send SHUTDOWN to stop",
+        "starmagic-server listening on {} (admission gate {max_inflight} in-flight queries); \
+         send SHUTDOWN to stop",
         handle.addr()
     );
     handle.wait();

@@ -3,10 +3,15 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use starmagic_common::{Error, Result, Value};
 
 use crate::protocol::{decode_error, decode_row, encode_value, ok_info, unescape, Response};
+
+/// How long [`Client::request_admitted`] keeps retrying `BUSY`
+/// answers before giving up.
+const BUSY_RETRY_DEADLINE: Duration = Duration::from_secs(30);
 
 /// One protocol connection.
 pub struct Client {
@@ -39,6 +44,12 @@ impl Client {
                 info: ok_info(&first),
             }),
             Some("ERR") => Err(decode_error(&first)),
+            Some("BUSY") => Ok(Response::Busy(
+                parts
+                    .next()
+                    .map(|tok| unescape(tok).unwrap_or_else(|_| tok.to_string()))
+                    .unwrap_or_default(),
+            )),
             Some("TEXT") => {
                 let n: usize = parts
                     .next()
@@ -69,11 +80,17 @@ impl Client {
                                 .find(|(key, _)| key == k)
                                 .is_some_and(|(_, v)| v == "1")
                         };
+                        let epoch = info
+                            .iter()
+                            .find(|(key, _)| key == "epoch")
+                            .and_then(|(_, v)| v.parse().ok())
+                            .unwrap_or(0);
                         return Ok(Response::Rows {
                             columns,
                             rows,
                             cache_hit: flag("hit"),
                             used_magic: flag("magic"),
+                            epoch,
                         });
                     } else if line.starts_with("ERR") {
                         return Err(decode_error(&line));
@@ -105,9 +122,39 @@ impl Client {
         Ok(line)
     }
 
+    /// [`Client::request`], transparently retrying with exponential
+    /// backoff while the server answers `BUSY` (the admission gate's
+    /// retryable overload signal). Errors only if the server is still
+    /// saturated after [`BUSY_RETRY_DEADLINE`].
+    pub fn request_admitted(&mut self, line: &str) -> Result<Response> {
+        let start = Instant::now();
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            match self.request(line)? {
+                Response::Busy(m) => {
+                    if start.elapsed() >= BUSY_RETRY_DEADLINE {
+                        return Err(Error::execution(format!(
+                            "server still busy after {}s: {m}",
+                            BUSY_RETRY_DEADLINE.as_secs()
+                        )));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(50));
+                }
+                r => return Ok(r),
+            }
+        }
+    }
+
     /// Run a query; returns the result-set response.
     pub fn query(&mut self, sql: &str) -> Result<Response> {
         self.request(&format!("QUERY {}", single_line(sql)))
+    }
+
+    /// [`Client::query`] through the admission gate: retries `BUSY`
+    /// answers until admitted (or the retry deadline expires).
+    pub fn query_admitted(&mut self, sql: &str) -> Result<Response> {
+        self.request_admitted(&format!("QUERY {}", single_line(sql)))
     }
 
     /// Prepare a named statement; returns its user-parameter count.

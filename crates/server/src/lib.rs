@@ -1,22 +1,30 @@
 //! starmagic-server — a concurrent SQL service over the starmagic
 //! engine.
 //!
-//! The engine is shared across sessions behind an `RwLock`
-//! ([`shared::SharedEngine`]): queries run concurrently under the
-//! read lock, and every session's plan lookups land in one shared
-//! plan cache (normalized SQL → optimized plan), so a query shape
-//! optimized by any connection is a cache hit for all of them. DDL
-//! takes the write lock and flushes the cache.
+//! The engine is shared across sessions by epoch snapshots
+//! ([`shared::SharedEngine`]): a session clones an `Arc<Engine>` per
+//! command and runs the whole query against that immutable snapshot,
+//! so readers never block each other or DDL. DDL clones the engine,
+//! mutates the copy, and swaps it in atomically, bumping a catalog
+//! epoch. Every session's plan lookups land in one shared
+//! lock-sharded plan cache (normalized SQL → optimized plan, pinned
+//! to the epoch that built it), so a query shape optimized by any
+//! connection is a cache hit for all of them — and a plan built
+//! against a superseded catalog can neither be served nor inserted.
+//! Overload is backpressure, not refusal: query execution passes a
+//! bounded admission gate and saturation answers a retryable `BUSY`
+//! frame instead of dropping the connection.
 //!
 //! The wire format ([`protocol`]) is a newline-delimited text
 //! protocol with a lossless value codec — replayed result bags are
 //! byte-identical to in-process execution, which is what the
 //! concurrency determinism tests and the fuzzer's `--server` oracle
-//! rely on. [`server`] hosts the accept loop, session threads, hard
-//! session cap, and graceful shutdown; [`client`] is the matching
-//! blocking client; [`loadgen`] replays the Table-1 suite from many
-//! connections and measures throughput, tail latency, and cache hit
-//! rate.
+//! rely on. [`server`] hosts the accept loop, session threads,
+//! admission gate, and deadline-bounded graceful shutdown; [`client`]
+//! is the matching blocking client (with `BUSY`-retrying
+//! `*_admitted` variants); [`loadgen`] replays the Table-1 suite from
+//! many connections and measures throughput, tail latency, and cache
+//! hit rate.
 //!
 //! Observability: hand the config a live [`starmagic_metrics`]
 //! registry and every layer records into it — wire counters and

@@ -37,7 +37,15 @@ use crate::client::Client;
 /// Schema version of `BENCH_server.json`. Bump on shape changes.
 /// v2: added the `server_metrics` section (server-side percentiles
 /// from `METRICS JSON` plus the client/server cross-check).
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: epoch-snapshot server — `server_metrics` gains the catalog
+/// `epoch` gauge and the `admission` counters (admitted/busy), and
+/// each window reports `busy_retries` (queries the admission gate
+/// deferred with `BUSY` before serving).
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Cores below which the `--min-speedup` concurrency gate is
+/// meaningless (a serial host cannot show parallel speedup).
+pub const MIN_GATE_CPUS: usize = 4;
 
 /// Load-generator knobs.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +75,9 @@ pub struct Window {
     pub queries: u64,
     pub errors: u64,
     pub cache_hits: u64,
+    /// `BUSY` answers absorbed by retrying (admission backpressure);
+    /// the retried query still completes and counts in `queries`.
+    pub busy_retries: u64,
     pub elapsed: Duration,
     /// Per-query latencies in microseconds, sorted ascending.
     pub latencies_us: Vec<u64>,
@@ -213,6 +224,7 @@ fn window(
     let mut queries = 0u64;
     let mut errors = 0u64;
     let mut cache_hits = 0u64;
+    let mut busy_retries = 0u64;
     let mut latencies_us = Vec::new();
     for h in handles {
         let w = h
@@ -221,6 +233,7 @@ fn window(
         queries += w.queries;
         errors += w.errors;
         cache_hits += w.cache_hits;
+        busy_retries += w.busy_retries;
         latencies_us.extend(w.latencies_us);
     }
     latencies_us.sort_unstable();
@@ -229,6 +242,7 @@ fn window(
         queries,
         errors,
         cache_hits,
+        busy_retries,
         elapsed: start.elapsed(),
         latencies_us,
     })
@@ -238,6 +252,7 @@ struct WorkerStats {
     queries: u64,
     errors: u64,
     cache_hits: u64,
+    busy_retries: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -259,6 +274,7 @@ fn worker(
         queries: 0,
         errors: 0,
         cache_hits: 0,
+        busy_retries: 0,
         latencies_us: Vec::new(),
     };
     let mut i = offset % suite.len().max(1);
@@ -266,7 +282,17 @@ fn worker(
         let sql = &suite[i];
         i = (i + 1) % suite.len();
         let t = Instant::now();
-        match client.query(sql) {
+        // BUSY is backpressure: retry the same query (counted, so the
+        // report shows admission pressure) — the client-observed
+        // latency sample includes the retry wait, as a real client's
+        // would.
+        let mut outcome = client.query(sql);
+        while matches!(outcome, Ok(crate::protocol::Response::Busy(_))) {
+            stats.busy_retries += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            outcome = client.query(sql);
+        }
+        match outcome {
             Ok(crate::protocol::Response::Rows { cache_hit, .. }) => {
                 stats.queries += 1;
                 if cache_hit {
@@ -295,6 +321,12 @@ pub struct ServerSideMetrics {
     pub p50_us: u64,
     pub p95_us: u64,
     pub p99_us: u64,
+    /// `server.epoch` gauge: catalog epoch of the latest snapshot.
+    pub epoch: u64,
+    /// `server.admission.admitted` / `server.admission.busy`
+    /// counters: gated commands that got a permit vs. answered BUSY.
+    pub admission_admitted: u64,
+    pub admission_busy: u64,
 }
 
 impl ServerSideMetrics {
@@ -306,15 +338,20 @@ impl ServerSideMetrics {
         fn num(v: Option<&Value>) -> u64 {
             v.and_then(Value::as_f64).unwrap_or(0.0) as u64
         }
+        let counter = |name: &str| num(doc.get("counters").and_then(|c| c.get(name)));
         let h = doc.get("histograms")?.get("server.query_us")?;
         Some(ServerSideMetrics {
-            sessions_opened: num(doc
-                .get("counters")
-                .and_then(|c| c.get("server.sessions_opened"))),
+            sessions_opened: counter("server.sessions_opened"),
             queries: num(h.get("count")),
             p50_us: num(h.get("p50_us")),
             p95_us: num(h.get("p95_us")),
             p99_us: num(h.get("p99_us")),
+            epoch: num(doc
+                .get("gauges")
+                .and_then(|g| g.get("server.epoch"))
+                .and_then(|g| g.get("value"))),
+            admission_admitted: counter("server.admission.admitted"),
+            admission_busy: counter("server.admission.busy"),
         })
     }
 }
@@ -467,7 +504,19 @@ fn window_obj(w: &Window) -> Value {
         ("p95_us".to_string(), Value::from(w.percentile_us(95.0))),
         ("p99_us".to_string(), Value::from(w.percentile_us(99.0))),
         ("cache_hit_rate".to_string(), Value::from(w.hit_rate())),
+        ("busy_retries".to_string(), Value::from(w.busy_retries)),
     ])
+}
+
+/// The smallest concurrent/serial qps ratio across strategies — the
+/// number the CI `--min-speedup` gate compares against. A regression
+/// in *any* strategy (the RwLock bug hit all three) fails the gate.
+pub fn min_speedup(report: &LoadReport) -> f64 {
+    report
+        .strategies
+        .iter()
+        .map(StrategyLoad::speedup)
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Build the `BENCH_server.json` document. `server` carries the
@@ -504,6 +553,14 @@ pub fn bench_server_report(
             ("p50_us".to_string(), Value::from(s.p50_us)),
             ("p95_us".to_string(), Value::from(s.p95_us)),
             ("p99_us".to_string(), Value::from(s.p99_us)),
+            ("epoch".to_string(), Value::from(s.epoch)),
+            (
+                "admission".to_string(),
+                Value::Obj(vec![
+                    ("admitted".to_string(), Value::from(s.admission_admitted)),
+                    ("busy".to_string(), Value::from(s.admission_busy)),
+                ]),
+            ),
             ("cross_check".to_string(), Value::Obj(checks)),
         ])
     });
@@ -536,6 +593,7 @@ pub fn bench_server_report(
         ("threads".to_string(), Value::from(report.config.threads)),
         ("host_cpus".to_string(), Value::from(host_cpus)),
         ("strategies".to_string(), Value::Obj(strategies)),
+        ("min_speedup".to_string(), Value::from(min_speedup(report))),
         ("server_metrics".to_string(), server_metrics),
         (
             "concurrent_hit_rate".to_string(),
@@ -558,6 +616,7 @@ mod tests {
             queries: 10,
             errors: 0,
             cache_hits: 8,
+            busy_retries: 1,
             elapsed: Duration::from_millis(100),
             latencies_us: (1..=10).collect(),
         }
@@ -594,6 +653,9 @@ mod tests {
             p50_us: 6,
             p95_us: 10,
             p99_us: 10,
+            epoch: 5,
+            admission_admitted: 58,
+            admission_busy: 2,
         };
         let checks = vec![
             CrossCheck {
@@ -616,7 +678,7 @@ mod tests {
             },
         ];
         let doc = bench_server_report(&report, 4, Some(&server), &checks);
-        assert_eq!(doc.get("schema_version").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(doc.get("schema_version").and_then(Value::as_f64), Some(3.0));
         for key in [
             "generated_by",
             "mode",
@@ -625,6 +687,7 @@ mod tests {
             "threads",
             "host_cpus",
             "strategies",
+            "min_speedup",
             "server_metrics",
             "concurrent_hit_rate",
             "total_errors",
@@ -646,6 +709,7 @@ mod tests {
                     "p95_us",
                     "p99_us",
                     "cache_hit_rate",
+                    "busy_retries",
                 ] {
                     assert!(w.get(key).is_some(), "missing {s}.{sect}.{key}");
                 }
@@ -653,9 +717,23 @@ mod tests {
             assert!(obj.get("speedup").is_some());
         }
         let sm = doc.get("server_metrics").expect("server_metrics section");
-        for key in ["sessions_opened", "queries", "p50_us", "p95_us", "p99_us"] {
+        for key in [
+            "sessions_opened",
+            "queries",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "epoch",
+        ] {
             assert!(sm.get(key).is_some(), "missing server_metrics.{key}");
         }
+        let admission = sm.get("admission").expect("admission section");
+        assert_eq!(
+            admission.get("admitted").and_then(Value::as_f64),
+            Some(58.0)
+        );
+        assert_eq!(admission.get("busy").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(sm.get("epoch").and_then(Value::as_f64), Some(5.0));
         let checks = sm.get("cross_check").unwrap();
         for q in ["p50", "p95", "p99"] {
             let c = checks.get(q).unwrap_or_else(|| panic!("missing {q}"));
@@ -723,8 +801,10 @@ mod tests {
     fn server_side_metrics_lift_from_a_metrics_doc() {
         let doc = starmagic_trace::json::parse(
             r#"{"schema_version":1,"enabled":true,
-                "counters":{"server.sessions_opened":9},
-                "gauges":{},
+                "counters":{"server.sessions_opened":9,
+                            "server.admission.admitted":40,
+                            "server.admission.busy":2},
+                "gauges":{"server.epoch":{"value":3,"peak":3}},
                 "histograms":{"server.query_us":
                     {"count":42,"sum":4200,"mean":100,"max":900,
                      "p50_us":127,"p95_us":511,"p99_us":1023,"buckets":[]}},
@@ -735,6 +815,8 @@ mod tests {
         assert_eq!(s.sessions_opened, 9);
         assert_eq!(s.queries, 42);
         assert_eq!((s.p50_us, s.p95_us, s.p99_us), (127, 511, 1023));
+        assert_eq!(s.epoch, 3);
+        assert_eq!((s.admission_admitted, s.admission_busy), (40, 2));
         let off = starmagic_trace::json::parse(r#"{"enabled":false,"histograms":{}}"#).unwrap();
         assert!(ServerSideMetrics::from_doc(&off).is_none());
     }

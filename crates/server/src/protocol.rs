@@ -30,10 +30,17 @@
 //! ```text
 //! COLS <n> <name>...          then <rows> ROW lines, then the OK line
 //! ROW <value>...
-//! OK [k=v]...                 success terminator (rows=, hit=, magic=, params=)
+//! OK [k=v]...                 success terminator (rows=, hit=, magic=, epoch=, params=)
 //! TEXT <n>                    exactly n raw lines follow
+//! BUSY <escaped message>      admission gate saturated — retry; the session stays open
 //! ERR <kind> [<offset>] <escaped message>
 //! ```
+//!
+//! Result frames carry `epoch=` on the OK line: the catalog epoch of
+//! the snapshot the query executed against (bumped by every DDL).
+//! `BUSY` is backpressure, not failure: the request was not executed,
+//! the connection is still good, and an immediate or backed-off retry
+//! is the expected client response ([`crate::Client::request_admitted`]).
 
 use starmagic_common::{Error, Result, Row, Value};
 
@@ -191,11 +198,17 @@ pub enum Response {
         cache_hit: bool,
         /// The executed plan was the magic one.
         used_magic: bool,
+        /// Catalog epoch of the snapshot that served the query
+        /// (`epoch=` on the OK line).
+        epoch: u64,
     },
     /// Bare success; `info` carries the OK line's `k=v` pairs.
     Ok { info: Vec<(String, String)> },
     /// A multi-line text frame (EXPLAIN, ANALYZE, CACHE).
     Text(String),
+    /// The admission gate is saturated; the request was not executed
+    /// and should be retried on the same connection.
+    Busy(String),
 }
 
 impl Response {

@@ -1,18 +1,27 @@
-//! The TCP service: accept loop, session threads, graceful shutdown.
+//! The TCP service: accept loop, session threads, admission control,
+//! graceful shutdown.
 //!
-//! One thread per connection, bounded by a hard session cap. The
-//! accept loop polls a nonblocking listener so it can observe the
-//! shutdown flag; sessions poll their sockets with a short read
-//! timeout for the same reason. Shutdown is *graceful*: in-flight
-//! requests run to completion and their responses are written, new
-//! connections are refused with an error frame, and every thread is
-//! joined before [`ServerHandle::shutdown`] returns.
+//! One thread per connection. Queries run against epoch snapshots
+//! ([`SharedEngine::snapshot`]) so sessions never serialize on the
+//! engine; overload is handled by an admission gate — a bounded
+//! in-flight-query semaphore — that answers `BUSY` (a retryable
+//! frame, the connection stays open) instead of dropping connections.
+//! The accept loop blocks in `accept` and is woken by a loopback
+//! connection when shutdown is requested; sessions poll their sockets
+//! with a short read timeout so they observe the flag when idle.
+//! Shutdown is *graceful with a deadline*: in-flight requests run to
+//! completion and their responses are written, new connections are
+//! refused with an error frame, and finished session threads are
+//! reaped — but [`ServerHandle::shutdown`] waits at most
+//! [`ServerConfig::drain_deadline`] before abandoning stragglers
+//! (they still finish their request and exit on their own; the server
+//! just stops waiting for them).
 
 use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -24,16 +33,30 @@ use crate::protocol::{decode_value, encode_error, encode_row, escape};
 use crate::shared::SharedEngine;
 use crate::slowlog::{SlowLog, SlowRecord};
 
-/// How long a blocked read waits before the session re-checks the
+/// How long a blocked session read waits before re-checking the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How often the drain loop re-checks session liveness.
+const DRAIN_POLL: Duration = Duration::from_millis(5);
 
 /// Server knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Hard cap on concurrent sessions; further connections receive
-    /// an error frame and are closed immediately.
-    pub max_sessions: usize,
+    /// Admission-gate width: queries (QUERY/EXECUTE/ANALYZE) running
+    /// concurrently across all sessions. A request that cannot get a
+    /// permit within [`ServerConfig::admission_wait`] is answered
+    /// with a retryable `BUSY` frame; the connection itself is never
+    /// dropped for load. (This replaces the old hard session cap:
+    /// connections are cheap — one parked thread — so the scarce
+    /// resource worth gating is query execution.)
+    pub max_inflight: usize,
+    /// How long an over-limit query waits for a permit before `BUSY`.
+    pub admission_wait: Duration,
+    /// Upper bound on the graceful-shutdown drain: sessions still
+    /// mid-request past the deadline are abandoned (left to finish in
+    /// the background) so shutdown returns promptly.
+    pub drain_deadline: Duration,
     /// Metrics registry for the wire layer. [`serve_engine`] also
     /// installs it into the engine when live, so one `METRICS`
     /// snapshot covers sessions, commands, cache, executor, and
@@ -49,7 +72,9 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
-            max_sessions: 64,
+            max_inflight: 64,
+            admission_wait: Duration::from_millis(100),
+            drain_deadline: Duration::from_secs(5),
             metrics: Registry::noop(),
             slowlog: None,
         }
@@ -64,8 +89,7 @@ struct ServerMetrics {
     registry: Registry,
     /// `server.sessions_opened`: connections admitted.
     sessions_opened: Counter,
-    /// `server.sessions_refused`: connections turned away (cap or
-    /// shutdown).
+    /// `server.sessions_refused`: connections turned away (shutdown).
     sessions_refused: Counter,
     /// `server.sessions_active`: live sessions, with peak.
     sessions_active: Gauge,
@@ -74,6 +98,15 @@ struct ServerMetrics {
     bytes_out: Counter,
     /// `server.errors`: requests answered with an `ERR` frame.
     errors: Counter,
+    /// `server.epoch`: the catalog epoch of the latest published
+    /// snapshot (set at serve time, bumped on every successful DDL).
+    epoch: Gauge,
+    /// `server.admission.admitted`: gated commands that got a permit.
+    admission_admitted: Counter,
+    /// `server.admission.busy`: gated commands answered `BUSY`.
+    admission_busy: Counter,
+    /// `server.admission.inflight`: permits currently held, with peak.
+    admission_inflight: Gauge,
     /// `server.command_us`: latency of every dispatched command.
     command_us: Histogram,
     /// `server.query_us`: latency of `QUERY`/`EXECUTE` commands only
@@ -82,6 +115,9 @@ struct ServerMetrics {
     query_us: Histogram,
     /// `server.drain_us`: graceful-shutdown drain time.
     drain_us: Histogram,
+    /// `server.drain_abandoned`: sessions still running when the
+    /// drain deadline expired.
+    drain_abandoned: Counter,
     /// `server.slowlog.records`: slow-query records written.
     slowlog_records: Counter,
 }
@@ -95,9 +131,14 @@ impl ServerMetrics {
             bytes_in: registry.counter("server.bytes_in"),
             bytes_out: registry.counter("server.bytes_out"),
             errors: registry.counter("server.errors"),
+            epoch: registry.gauge("server.epoch"),
+            admission_admitted: registry.counter("server.admission.admitted"),
+            admission_busy: registry.counter("server.admission.busy"),
+            admission_inflight: registry.gauge("server.admission.inflight"),
             command_us: registry.histogram("server.command_us"),
             query_us: registry.histogram("server.query_us"),
             drain_us: registry.histogram("server.drain_us"),
+            drain_abandoned: registry.counter("server.drain_abandoned"),
             slowlog_records: registry.counter("server.slowlog.records"),
             registry,
         })
@@ -116,11 +157,114 @@ impl ServerMetrics {
     }
 }
 
+/// The shutdown flag plus the listener's address, so any trigger site
+/// (the handle, or a session's `SHUTDOWN` frame) can wake the accept
+/// loop out of its blocking `accept` with a loopback connection.
+struct ShutdownSignal {
+    flag: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ShutdownSignal {
+    fn new(addr: SocketAddr) -> ShutdownSignal {
+        ShutdownSignal {
+            flag: AtomicBool::new(false),
+            addr,
+        }
+    }
+
+    fn requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Set the flag and poke the accept loop awake. Only the first
+    /// trigger connects; the accepted probe is refused and closed by
+    /// the exiting loop.
+    fn trigger(&self) {
+        if !self.flag.swap(true, Ordering::SeqCst) {
+            let mut addr = self.addr;
+            if addr.ip().is_unspecified() {
+                addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+            }
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+    }
+}
+
+/// Bounded in-flight-query semaphore (hand-rolled: `Mutex` +
+/// `Condvar`, no external deps). Saturation is backpressure, not
+/// failure — callers that cannot get a permit within the configured
+/// wait answer `BUSY` and the client retries.
+struct AdmissionGate {
+    inflight: Mutex<usize>,
+    freed: Condvar,
+    max: usize,
+    wait: Duration,
+}
+
+impl AdmissionGate {
+    fn new(max: usize, wait: Duration) -> Arc<AdmissionGate> {
+        Arc::new(AdmissionGate {
+            inflight: Mutex::new(0),
+            freed: Condvar::new(),
+            max: max.max(1),
+            wait,
+        })
+    }
+
+    /// Acquire a permit, waiting up to the configured bound. `None`
+    /// means the server is saturated and the caller should answer
+    /// `BUSY`. The gauge tracks held permits (with peak).
+    fn admit(self: &Arc<AdmissionGate>, gauge: &Gauge) -> Option<AdmissionPermit> {
+        let mut n = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = Instant::now() + self.wait;
+        while *n >= self.max {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            n = self
+                .freed
+                .wait_timeout(n, left)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        *n += 1;
+        drop(n);
+        gauge.inc();
+        Some(AdmissionPermit {
+            gate: Arc::clone(self),
+            gauge: gauge.clone(),
+        })
+    }
+}
+
+/// RAII permit: releases the admission slot (and wakes one waiter)
+/// however the gated command ends.
+struct AdmissionPermit {
+    gate: Arc<AdmissionGate>,
+    gauge: Gauge,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut n = self
+            .gate
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.gate.freed.notify_one();
+        self.gauge.dec();
+    }
+}
+
 /// A running server: the bound address plus the handle needed to stop
 /// it.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -130,14 +274,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Flip the shutdown flag without waiting (a `SHUTDOWN` frame
-    /// from any session does the same).
+    /// Flip the shutdown flag and wake the accept loop without
+    /// waiting (a `SHUTDOWN` frame from any session does the same).
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shutdown.trigger();
     }
 
     /// Graceful stop: refuse new connections, let in-flight requests
-    /// finish, join every thread.
+    /// finish (up to the drain deadline), join the accept loop.
     pub fn shutdown(mut self) {
         self.request_shutdown();
         if let Some(h) = self.accept.take() {
@@ -158,12 +302,11 @@ impl ServerHandle {
 pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
+    let shutdown = Arc::new(ShutdownSignal::new(local));
     let flag = Arc::clone(&shutdown);
     let accept = std::thread::Builder::new()
         .name("starmagic-accept".to_string())
-        .spawn(move || accept_loop(&listener, &engine, &flag, cfg))?;
+        .spawn(move || accept_loop(&listener, &engine, &flag, &cfg))?;
     Ok(ServerHandle {
         addr: local,
         shutdown,
@@ -174,54 +317,42 @@ pub fn serve(engine: SharedEngine, addr: &str, cfg: ServerConfig) -> io::Result<
 fn accept_loop(
     listener: &TcpListener,
     engine: &SharedEngine,
-    shutdown: &Arc<AtomicBool>,
-    cfg: ServerConfig,
+    shutdown: &Arc<ShutdownSignal>,
+    cfg: &ServerConfig,
 ) {
     let metrics = ServerMetrics::new(cfg.metrics.clone());
-    let active = Arc::new(AtomicUsize::new(0));
+    metrics.epoch.set(engine.epoch());
+    let gate = AdmissionGate::new(cfg.max_inflight, cfg.admission_wait);
     let mut sessions: Vec<JoinHandle<()>> = Vec::new();
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.requested() {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if shutdown.requested() {
                     metrics.sessions_refused.inc();
                     refuse(stream, "server is shutting down");
                     break;
                 }
-                if active.load(Ordering::SeqCst) >= cfg.max_sessions {
-                    metrics.sessions_refused.inc();
-                    refuse(
-                        stream,
-                        &format!("server at capacity ({} sessions)", cfg.max_sessions),
-                    );
-                    continue;
-                }
-                active.fetch_add(1, Ordering::SeqCst);
                 metrics.sessions_opened.inc();
                 metrics.sessions_active.inc();
                 let engine = engine.clone();
                 let flag = Arc::clone(shutdown);
-                let count = Arc::clone(&active);
+                let gate = Arc::clone(&gate);
                 let session_metrics = Arc::clone(&metrics);
                 let slowlog = cfg.slowlog.clone();
                 let spawned = std::thread::Builder::new()
                     .name("starmagic-session".to_string())
                     .spawn(move || {
                         let _guard = SessionGuard {
-                            count,
                             gauge: session_metrics.sessions_active.clone(),
                         };
-                        Session::new(engine, flag, session_metrics, slowlog).run(stream);
+                        Session::new(engine, flag, gate, session_metrics, slowlog).run(stream);
                     });
                 match spawned {
                     Ok(h) => sessions.push(h),
-                    Err(_) => {
-                        active.fetch_sub(1, Ordering::SeqCst);
-                        metrics.sessions_active.dec();
-                    }
+                    Err(_) => metrics.sessions_active.dec(),
                 }
                 sessions.retain(|h| !h.is_finished());
             }
@@ -232,25 +363,32 @@ fn accept_loop(
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
     }
-    // Drain: sessions observe the flag at their next poll and exit
-    // after finishing whatever request is in flight.
+    // Deadline-bounded drain: sessions observe the flag at their next
+    // idle poll and exit after finishing whatever request is in
+    // flight. A session stuck in a long-running query past the
+    // deadline is abandoned — it still completes its request and
+    // exits on its own, but shutdown no longer waits for it.
     let drain = metrics.registry.stopwatch();
-    for h in sessions {
-        let _ = h.join();
+    let deadline = Instant::now() + cfg.drain_deadline;
+    loop {
+        sessions.retain(|h| !h.is_finished());
+        if sessions.is_empty() || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(DRAIN_POLL);
     }
+    metrics.drain_abandoned.add(sessions.len() as u64);
+    drop(sessions);
     metrics.drain_us.stop(&drain);
 }
 
-/// Decrements the live-session counter (and gauge) however the
-/// session ends.
+/// Decrements the live-session gauge however the session ends.
 struct SessionGuard {
-    count: Arc<AtomicUsize>,
     gauge: Gauge,
 }
 
 impl Drop for SessionGuard {
     fn drop(&mut self) {
-        self.count.fetch_sub(1, Ordering::SeqCst);
         self.gauge.dec();
     }
 }
@@ -304,7 +442,8 @@ impl LineReader {
 /// Per-connection state.
 struct Session {
     engine: SharedEngine,
-    shutdown: Arc<AtomicBool>,
+    shutdown: Arc<ShutdownSignal>,
+    gate: Arc<AdmissionGate>,
     strategy: Strategy,
     threads: usize,
     /// Named prepared statements: name → SQL text. Execution
@@ -320,13 +459,15 @@ struct Session {
 impl Session {
     fn new(
         engine: SharedEngine,
-        shutdown: Arc<AtomicBool>,
+        shutdown: Arc<ShutdownSignal>,
+        gate: Arc<AdmissionGate>,
         metrics: Arc<ServerMetrics>,
         slowlog: Option<Arc<SlowLog>>,
     ) -> Session {
         Session {
             engine,
             shutdown,
+            gate,
             strategy: Strategy::CostBased,
             threads: 1,
             statements: HashMap::new(),
@@ -343,7 +484,7 @@ impl Session {
         loop {
             match reader.read_line(&mut stream) {
                 ReadOutcome::TimedOut => {
-                    if self.shutdown.load(Ordering::SeqCst) {
+                    if self.shutdown.requested() {
                         return;
                     }
                 }
@@ -369,6 +510,27 @@ impl Session {
         }
     }
 
+    /// Acquire an admission permit for a gated (query-executing)
+    /// command, or the `BUSY` frame to answer instead.
+    fn admit(&self) -> Result<AdmissionPermit, String> {
+        match self.gate.admit(&self.metrics.admission_inflight) {
+            Some(permit) => {
+                self.metrics.admission_admitted.inc();
+                Ok(permit)
+            }
+            None => {
+                self.metrics.admission_busy.inc();
+                Err(format!(
+                    "BUSY {}\n",
+                    escape(&format!(
+                        "server saturated ({} in-flight queries); retry",
+                        self.gate.max
+                    ))
+                ))
+            }
+        }
+    }
+
     /// Handle one request; returns the full response text (newline
     /// terminated) and whether the session should close.
     fn dispatch(&mut self, line: &str) -> (String, bool) {
@@ -379,23 +541,36 @@ impl Session {
             "PING" => ("OK\n".to_string(), false),
             "QUIT" => ("OK\n".to_string(), true),
             "SHUTDOWN" => {
-                self.shutdown.store(true, Ordering::SeqCst);
+                self.shutdown.trigger();
                 ("OK\n".to_string(), true)
             }
             "SET" => (self.set(rest), false),
-            "QUERY" => {
-                let sw = self.metrics.registry.stopwatch();
-                let reply = self.query(rest);
-                self.metrics.query_us.stop(&sw);
+            // The query-executing verbs pass the admission gate;
+            // saturation answers a retryable BUSY frame.
+            "QUERY" | "EXECUTE" | "ANALYZE" => {
+                let permit = match self.admit() {
+                    Ok(p) => p,
+                    Err(busy) => return (busy, false),
+                };
+                let reply = match verb_upper.as_str() {
+                    "QUERY" => {
+                        let sw = self.metrics.registry.stopwatch();
+                        let reply = self.query(rest);
+                        self.metrics.query_us.stop(&sw);
+                        reply
+                    }
+                    "EXECUTE" => {
+                        let sw = self.metrics.registry.stopwatch();
+                        let reply = self.execute(rest);
+                        self.metrics.query_us.stop(&sw);
+                        reply
+                    }
+                    _ => self.text_frame(self.engine.snapshot().explain_analyze(rest)),
+                };
+                drop(permit);
                 (reply, false)
             }
             "PREPARE" => (self.prepare(rest), false),
-            "EXECUTE" => {
-                let sw = self.metrics.registry.stopwatch();
-                let reply = self.execute(rest);
-                self.metrics.query_us.stop(&sw);
-                (reply, false)
-            }
             "METRICS" => (self.metrics_cmd(rest), false),
             "CLOSE" => {
                 let name = rest.trim();
@@ -408,11 +583,7 @@ impl Session {
                     )
                 }
             }
-            "EXPLAIN" => (self.text_frame(self.engine.read().explain(rest)), false),
-            "ANALYZE" => (
-                self.text_frame(self.engine.read().explain_analyze(rest)),
-                false,
-            ),
+            "EXPLAIN" => (self.text_frame(self.engine.snapshot().explain(rest)), false),
             "CACHE" => (self.cache(rest), false),
             _ => (
                 err_line(&Error::unsupported(format!("unknown command {verb}"))),
@@ -474,12 +645,14 @@ impl Session {
     /// `METRICS` (human text) / `METRICS JSON` (one `trace::json`
     /// line). Built from the *server's* registry — which
     /// [`serve_engine`] shares with the engine, so one document
-    /// covers every layer — plus the engine's plan-cache counters.
+    /// covers every layer — plus the engine's plan-cache counters
+    /// (total, per strategy, and per shard).
     fn metrics_cmd(&self, rest: &str) -> String {
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let total = engine.cache_stats();
         let by_strategy = engine.cache_stats_by_strategy();
         let entries = engine.cache_len();
+        let shards = engine.cache_shard_stats();
         drop(engine);
         let reg = &self.metrics.registry;
         let arg = rest.trim();
@@ -490,6 +663,7 @@ impl Session {
                 total,
                 &by_strategy,
                 entries,
+                &shards,
             );
             self.text_frame(Ok(doc.to_string()))
         } else if arg.is_empty() {
@@ -507,11 +681,16 @@ impl Session {
             return err_line(&Error::unsupported("QUERY needs SQL text"));
         }
         if is_ddl(sql) {
-            // DDL changes the catalog: exclusive access.
-            let mut engine = self.engine.write();
-            return match engine.run_sql(sql) {
-                Ok(None) => "OK rows=0\n".to_string(),
-                Ok(Some(r)) => rows_frame(&r.columns, &r.rows, false, r.used_magic),
+            // Catalog mutation: clone-mutate-swap, serialized against
+            // other DDL, never blocking readers.
+            return match self.engine.run_ddl(sql) {
+                Ok((result, epoch)) => {
+                    self.metrics.epoch.set(epoch);
+                    match result {
+                        None => format!("OK rows=0 epoch={epoch}\n"),
+                        Some(r) => rows_frame(&r.columns, &r.rows, false, r.used_magic, epoch),
+                    }
+                }
                 Err(e) => err_line(&e),
             };
         }
@@ -522,10 +701,12 @@ impl Session {
             .as_ref()
             .filter(|log| log.active())
             .map(|log| (Arc::clone(log), Instant::now()));
-        let engine = self.engine.read();
+        // The whole query — plan-cache lookup, optimization, execution
+        // — runs against this one snapshot: one consistent catalog at
+        // one epoch, no engine lock held.
+        let engine = self.engine.snapshot();
         match engine.query_cached_traced_with(sql, self.strategy, self.threads) {
             Ok(c) => {
-                drop(engine);
                 if let Some((log, started)) = slow {
                     let duration_us =
                         u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -538,6 +719,7 @@ impl Session {
                     &c.result.rows,
                     c.hit,
                     c.result.used_magic,
+                    engine.epoch(),
                 )
             }
             Err(e) => err_line(&e),
@@ -578,11 +760,10 @@ impl Session {
         }
         // Validate and warm the shared cache now, so EXECUTE's
         // re-resolution is a pure cache hit.
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         match engine.prepare_cached(sql, self.strategy) {
             Ok((plan, _, _)) => {
                 let params = plan.user_params;
-                drop(engine);
                 self.statements.insert(name.to_string(), sql.to_string());
                 format!("OK params={params}\n")
             }
@@ -607,12 +788,14 @@ impl Session {
             .as_ref()
             .filter(|log| log.active())
             .map(|log| (Arc::clone(log), Instant::now()));
-        let engine = self.engine.read();
+        // Plan resolution and execution share one snapshot, so the
+        // plan can never be executed against a different catalog
+        // epoch than the one it was built for.
+        let engine = self.engine.snapshot();
         match engine.prepare_cached(&sql, self.strategy) {
             Ok((plan, extracted, hit)) => {
                 match engine.execute_cached_with(&plan, &args, &extracted, self.threads) {
                     Ok(r) => {
-                        drop(engine);
                         if let Some((log, started)) = slow {
                             let duration_us =
                                 u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -637,7 +820,7 @@ impl Session {
                                 }
                             }
                         }
-                        rows_frame(&r.columns, &r.rows, hit, r.used_magic)
+                        rows_frame(&r.columns, &r.rows, hit, r.used_magic, engine.epoch())
                     }
                     Err(e) => err_line(&e),
                 }
@@ -647,7 +830,7 @@ impl Session {
     }
 
     fn cache(&mut self, rest: &str) -> String {
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         if rest.trim().eq_ignore_ascii_case("clear") {
             engine.cache_clear();
         }
@@ -656,7 +839,6 @@ impl Session {
             &engine.cache_stats_by_strategy(),
             engine.cache_len(),
         );
-        drop(engine);
         self.text_frame(Ok(report))
     }
 
@@ -681,6 +863,7 @@ fn rows_frame(
     rows: &[starmagic_common::Row],
     hit: bool,
     magic: bool,
+    epoch: u64,
 ) -> String {
     let mut out = format!("COLS {}", columns.len());
     for c in columns {
@@ -693,10 +876,11 @@ fn rows_frame(
         out.push('\n');
     }
     out.push_str(&format!(
-        "OK rows={} hit={} magic={}\n",
+        "OK rows={} hit={} magic={} epoch={}\n",
         rows.len(),
         u8::from(hit),
-        u8::from(magic)
+        u8::from(magic),
+        epoch
     ));
     out
 }
@@ -716,7 +900,7 @@ fn split_word(s: &str) -> (&str, &str) {
     }
 }
 
-/// Statements that mutate the catalog and need the write lock.
+/// Statements that mutate the catalog and take the DDL path.
 fn is_ddl(sql: &str) -> bool {
     let first = sql.split_whitespace().next().unwrap_or("");
     first.eq_ignore_ascii_case("CREATE") || first.eq_ignore_ascii_case("INSERT")

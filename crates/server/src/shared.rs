@@ -1,26 +1,45 @@
-//! The engine shared across sessions.
+//! The engine shared across sessions — epoch/snapshot reads.
 //!
-//! Queries (including plan-cache hits and inserts — the cache has its
-//! own interior mutex) run under the read lock, so they execute
-//! concurrently; DDL takes the write lock, which also serializes it
-//! against every in-flight query. Lock poisoning is tolerated: the
-//! engine's state is valid at every instruction boundary (the catalog
-//! rolls back failed DDL itself), so a panicking session must not
-//! take the server down with it.
+//! Sessions never lock the engine to run a query: [`SharedEngine::snapshot`]
+//! clones an `Arc<Engine>` under a read lock held only for the clone
+//! (a refcount bump), and the query runs entirely against that
+//! immutable snapshot. DDL is serialized by its own mutex: it clones
+//! the current engine (cheap — catalog, plan cache, and metrics are
+//! `Arc`-shared; the catalog copy is deferred to `Arc::make_mut`
+//! inside `run_sql`), mutates the clone, and swaps it in *only on
+//! success*, bumping the engine's catalog epoch. In-flight queries
+//! keep their pre-DDL snapshot and finish against a consistent
+//! catalog at the old epoch; the sharded plan cache refuses their
+//! stale inserts by epoch pinning.
+//!
+//! Lock poisoning is tolerated: the locks only guard an `Arc` swap,
+//! and every published engine was complete when it was stored, so a
+//! panicking session must not take the server down with it.
 
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use starmagic::Engine;
+use starmagic_common::Result;
 
-/// `Arc<RwLock<Engine>>` with poison-tolerant guards.
+/// Epoch-snapshot shared engine: lock-free reads, serialized
+/// copy-on-write DDL.
 #[derive(Clone)]
 pub struct SharedEngine {
-    inner: Arc<RwLock<Engine>>,
+    inner: Arc<SharedInner>,
+}
+
+struct SharedInner {
+    /// The current engine. The lock is held only long enough to clone
+    /// or replace the `Arc` — never across planning or execution.
+    current: RwLock<Arc<Engine>>,
+    /// Serializes DDL so two catalog changes cannot race the
+    /// clone-mutate-swap cycle and lose one another's updates.
+    ddl: Mutex<()>,
 }
 
 // The server hands `SharedEngine` to one thread per connection; this
 // is the single point that demands `Engine: Send + Sync` (columnar
-// state is `Arc`-shared, the plan cache is a `Mutex`).
+// state is `Arc`-shared, the plan cache is lock-sharded internally).
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Engine>();
@@ -30,17 +49,50 @@ const _: fn() = || {
 impl SharedEngine {
     pub fn new(engine: Engine) -> SharedEngine {
         SharedEngine {
-            inner: Arc::new(RwLock::new(engine)),
+            inner: Arc::new(SharedInner {
+                current: RwLock::new(Arc::new(engine)),
+                ddl: Mutex::new(()),
+            }),
         }
     }
 
-    /// Shared (query) access.
-    pub fn read(&self) -> RwLockReadGuard<'_, Engine> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    /// The current engine snapshot. Queries planned and executed
+    /// against it see one consistent catalog at one epoch, no matter
+    /// what DDL lands concurrently.
+    pub fn snapshot(&self) -> Arc<Engine> {
+        Arc::clone(
+            &self
+                .inner
+                .current
+                .read()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
-    /// Exclusive (DDL) access.
-    pub fn write(&self) -> RwLockWriteGuard<'_, Engine> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    /// The current catalog epoch (0 until the first DDL).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Run a catalog-mutating statement: clone the current engine,
+    /// apply the statement to the clone, and publish it only if the
+    /// statement succeeded. Returns the statement's result and the
+    /// epoch it published (the pre-DDL epoch when the statement failed
+    /// and nothing was swapped).
+    pub fn run_ddl(&self, sql: &str) -> Result<(Option<starmagic::QueryResult>, u64)> {
+        let _serial = self
+            .inner
+            .ddl
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut next = (*self.snapshot()).clone();
+        let result = next.run_sql(sql)?;
+        let epoch = next.epoch();
+        *self
+            .inner
+            .current
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+        Ok((result, epoch))
     }
 }

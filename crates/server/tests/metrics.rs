@@ -39,6 +39,14 @@ fn counter(doc: &Value, name: &str) -> u64 {
     }
 }
 
+fn gauge_value(doc: &Value, name: &str) -> f64 {
+    doc.get("gauges")
+        .and_then(|g| g.get(name))
+        .and_then(|g| g.get("value"))
+        .and_then(Value::as_f64)
+        .unwrap_or(-1.0)
+}
+
 fn histogram_count(doc: &Value, name: &str) -> u64 {
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     {
@@ -104,6 +112,33 @@ fn live_counters_track_queries_cache_and_sessions() {
     );
     assert!(counter(&after, "server.sessions_opened") >= 1);
     assert!(counter(&after, "server.bytes_out") > counter(&before, "server.bytes_out"));
+    // Admission gate: both queries got a permit, none bounced, and the
+    // published catalog epoch is live in the gauge.
+    assert_eq!(
+        counter(&after, "server.admission.admitted")
+            - counter(&before, "server.admission.admitted"),
+        2
+    );
+    assert_eq!(counter(&after, "server.admission.busy"), 0);
+    assert!(
+        gauge_value(&after, "server.epoch") >= 1.0,
+        "server.epoch gauge must carry the snapshot epoch"
+    );
+    // Sharded cache: the miss and the hit each landed on exactly one
+    // `cache.shard.<i>.*` counter.
+    let shard_total = |doc: &Value, kind: &str| -> u64 {
+        (0..16)
+            .map(|i| counter(doc, &format!("cache.shard.{i}.{kind}")))
+            .sum()
+    };
+    assert_eq!(
+        shard_total(&after, "hits") - shard_total(&before, "hits"),
+        1
+    );
+    assert_eq!(
+        shard_total(&after, "misses") - shard_total(&before, "misses"),
+        1
+    );
     // Executor layer fed through the same registry.
     assert!(counter(&after, "exec.rows_scanned") > counter(&before, "exec.rows_scanned"));
     // Pipeline phases were timed (parse/bind/execute on every request).

@@ -1,6 +1,11 @@
 //! End-to-end tests of the TCP service: wire round-trips, prepared
-//! statements, per-session settings, the session cap, DDL/cache
-//! interaction, and graceful shutdown.
+//! statements, per-session settings, admission control (`BUSY`),
+//! epoch-snapshot DDL/cache interaction, deadline-bounded graceful
+//! shutdown, and reader/DDL-writer consistency under load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use starmagic::{Engine, Strategy};
 use starmagic_catalog::generator::Scale;
@@ -12,16 +17,12 @@ fn test_engine() -> Engine {
     starmagic_bench::bench_engine(Scale::small()).expect("bench engine builds")
 }
 
-fn start(max_sessions: usize) -> (starmagic_server::ServerHandle, std::net::SocketAddr) {
-    let handle = serve_engine(
-        test_engine(),
-        "127.0.0.1:0",
-        ServerConfig {
-            max_sessions,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind ephemeral server");
+fn start() -> (starmagic_server::ServerHandle, std::net::SocketAddr) {
+    start_with(ServerConfig::default())
+}
+
+fn start_with(cfg: ServerConfig) -> (starmagic_server::ServerHandle, std::net::SocketAddr) {
+    let handle = serve_engine(test_engine(), "127.0.0.1:0", cfg).expect("bind ephemeral server");
     let addr = handle.addr();
     (handle, addr)
 }
@@ -38,9 +39,16 @@ const SUITE_QUERY: &str = "SELECT d.deptname, v.avgsal \
                            FROM department d, deptAvgSal v \
                            WHERE v.workdept = d.deptno AND d.deptno = 7";
 
+/// A deliberately expensive query (three-way near-cartesian over the
+/// small scale) that holds an admission permit for a couple of
+/// seconds — long enough for another session to observe saturation or
+/// for shutdown to hit the drain deadline while it runs.
+const SLOW_QUERY: &str = "SELECT COUNT(*) AS n FROM employee e1, employee e2, department d \
+                          WHERE e1.salary < e2.salary";
+
 #[test]
 fn query_round_trips_byte_identical_to_in_process() {
-    let (handle, addr) = start(4);
+    let (handle, addr) = start();
     let engine = test_engine();
     let mut client = Client::connect(addr).expect("connect");
 
@@ -52,9 +60,15 @@ fn query_round_trips_byte_identical_to_in_process() {
         client.set_strategy(name).expect("SET STRATEGY");
         let local = engine.query_with(SUITE_QUERY, strategy).expect("local run");
         match client.query(SUITE_QUERY).expect("wire run") {
-            Response::Rows { columns, rows, .. } => {
+            Response::Rows {
+                columns,
+                rows,
+                epoch,
+                ..
+            } => {
                 assert_eq!(columns, local.columns, "{name}: column names");
                 assert_eq!(bag(&rows), bag(&local.rows), "{name}: row bag");
+                assert_eq!(epoch, engine.epoch(), "{name}: snapshot epoch");
             }
             other => panic!("{name}: expected rows, got {other:?}"),
         }
@@ -64,7 +78,7 @@ fn query_round_trips_byte_identical_to_in_process() {
 
 #[test]
 fn prepared_statements_bind_constants_over_the_wire() {
-    let (handle, addr) = start(4);
+    let (handle, addr) = start();
     let engine = test_engine();
     let mut client = Client::connect(addr).expect("connect");
 
@@ -113,7 +127,7 @@ fn prepared_statements_bind_constants_over_the_wire() {
 
 #[test]
 fn arity_mismatch_is_rejected_over_the_wire() {
-    let (handle, addr) = start(4);
+    let (handle, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
     client
         .prepare("p", "SELECT empname FROM employee WHERE workdept = ?")
@@ -127,40 +141,79 @@ fn arity_mismatch_is_rejected_over_the_wire() {
 }
 
 #[test]
-fn session_cap_refuses_excess_connections() {
-    let (handle, addr) = start(2);
-    let mut a = Client::connect(addr).expect("connect a");
-    let mut b = Client::connect(addr).expect("connect b");
-    a.ping().expect("a alive");
-    b.ping().expect("b alive");
+fn saturation_answers_busy_and_the_session_recovers() {
+    // One permit, near-zero patience: while a slow query holds the
+    // gate, any other query gets a retryable BUSY frame — the
+    // connection stays open — and succeeds once the permit frees up.
+    let (handle, addr) = start_with(ServerConfig {
+        max_inflight: 1,
+        admission_wait: Duration::from_millis(10),
+        ..ServerConfig::default()
+    });
+    let mut blocked = Client::connect(addr).expect("connect holder");
+    let holder = std::thread::spawn(move || blocked.query(SLOW_QUERY));
 
-    let mut c = Client::connect(addr).expect("tcp accepts, then refuses");
-    let err = c.ping().unwrap_err();
+    let mut client = Client::connect(addr).expect("connect prober");
+    client.ping().expect("non-gated commands bypass admission");
+    // Wait until the slow query actually occupies the permit, then the
+    // probe must bounce.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let busy = loop {
+        match client.query(SUITE_QUERY).expect("probe query") {
+            Response::Busy(msg) => break msg,
+            Response::Rows { .. } => {
+                assert!(
+                    Instant::now() < deadline,
+                    "never observed BUSY while the slow query ran"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => panic!("expected rows or BUSY, got {other:?}"),
+        }
+    };
     assert!(
-        err.to_string().contains("capacity"),
-        "expected a capacity refusal, got {err:?}"
+        busy.contains("retry"),
+        "BUSY message should invite a retry, got {busy:?}"
     );
 
-    // A slot frees up once a session ends.
-    a.request("QUIT").expect("quit a");
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-    loop {
-        let mut d = Client::connect(addr).expect("connect d");
-        if d.ping().is_ok() {
-            break;
+    // The same connection keeps working: retried admission succeeds
+    // once the holder finishes (query_admitted loops on BUSY).
+    match holder.join().expect("holder thread").expect("slow query") {
+        Response::Rows { rows, .. } => assert_eq!(rows.len(), 1, "COUNT(*) row"),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    match client.query_admitted(SUITE_QUERY).expect("retry succeeds") {
+        Response::Rows { rows, .. } => assert!(!rows.is_empty()),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn connections_beyond_the_old_session_cap_are_served() {
+    // Connections are no longer a capped resource: dozens of idle
+    // sessions coexist and all of them answer queries, because the
+    // gate bounds in-flight *queries*, not sockets.
+    let (handle, addr) = start_with(ServerConfig {
+        max_inflight: 2,
+        ..ServerConfig::default()
+    });
+    let mut clients: Vec<Client> = (0..16)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.ping().unwrap_or_else(|e| panic!("ping {i}: {e}"));
+        match c.query_admitted(SUITE_QUERY) {
+            Ok(Response::Rows { rows, .. }) => assert!(!rows.is_empty(), "client {i}"),
+            other => panic!("client {i}: expected rows, got {other:?}"),
         }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "freed session slot was never reusable"
-        );
-        std::thread::sleep(std::time::Duration::from_millis(20));
     }
     handle.shutdown();
 }
 
 #[test]
 fn errors_travel_with_their_variant() {
-    let (handle, addr) = start(4);
+    let (handle, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
 
     let err = client.query("SELECT FROM").unwrap_err();
@@ -185,7 +238,7 @@ fn errors_travel_with_their_variant() {
 
 #[test]
 fn explain_analyze_and_cache_frames_work_over_the_wire() {
-    let (handle, addr) = start(4);
+    let (handle, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
 
     let explain = client.explain(SUITE_QUERY).expect("EXPLAIN");
@@ -209,23 +262,36 @@ fn explain_analyze_and_cache_frames_work_over_the_wire() {
 }
 
 #[test]
-fn ddl_over_the_wire_flushes_the_shared_cache() {
-    let (handle, addr) = start(4);
+fn ddl_over_the_wire_bumps_the_epoch_and_flushes_the_shared_cache() {
+    let (handle, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
 
     client.cache(true).expect("CACHE CLEAR");
-    client.query(SUITE_QUERY).expect("warm the cache");
+    let before = match client.query(SUITE_QUERY).expect("warm the cache") {
+        Response::Rows { epoch, .. } => epoch,
+        other => panic!("expected rows, got {other:?}"),
+    };
     match client.query(SUITE_QUERY).expect("hit") {
         Response::Rows { cache_hit, .. } => assert!(cache_hit, "warmed plan must hit"),
         other => panic!("expected rows, got {other:?}"),
     }
 
-    client
+    let ddl = client
         .query("CREATE VIEW wire_view (deptno) AS SELECT deptno FROM department")
         .expect("DDL over the wire");
+    assert_eq!(ddl.info("rows"), Some("0"), "DDL returns no rows: {ddl:?}");
+    let ddl_epoch: u64 = ddl
+        .info("epoch")
+        .expect("DDL OK line carries the new epoch")
+        .parse()
+        .expect("numeric epoch");
+    assert_eq!(ddl_epoch, before + 1, "DDL bumps the catalog epoch");
     match client.query(SUITE_QUERY).expect("after DDL") {
-        Response::Rows { cache_hit, .. } => {
+        Response::Rows {
+            cache_hit, epoch, ..
+        } => {
             assert!(!cache_hit, "DDL must invalidate every cached plan");
+            assert_eq!(epoch, ddl_epoch, "reads run on the new snapshot");
         }
         other => panic!("expected rows, got {other:?}"),
     }
@@ -240,8 +306,51 @@ fn ddl_over_the_wire_flushes_the_shared_cache() {
 }
 
 #[test]
+fn stale_snapshot_cannot_repopulate_the_cache_after_ddl() {
+    // A query planned against a snapshot at epoch E must not land in
+    // the shared cache once DDL has published epoch E+1. Under the
+    // previous Arc<RwLock<Engine>> design this test fails: an
+    // in-flight reader finished planning against the pre-DDL catalog
+    // and its insert resurrected the stale plan right after the DDL
+    // flush, to be served to every later session.
+    let shared = SharedEngine::new(test_engine());
+    let stale = shared.snapshot();
+    let e = stale.epoch();
+
+    let (_, bumped) = shared
+        .run_ddl("CREATE VIEW epoch_probe (deptno) AS SELECT deptno FROM department")
+        .expect("DDL");
+    assert_eq!(bumped, e + 1);
+    let fresh = shared.snapshot();
+    assert_eq!(fresh.epoch(), e + 1);
+
+    // The stale snapshot still answers queries (that is the point of
+    // snapshot isolation) and its plan carries epoch E...
+    let old = stale
+        .query_cached_traced(SUITE_QUERY, Strategy::CostBased)
+        .expect("stale snapshot still serves reads");
+    assert!(!old.result.rows.is_empty());
+    assert!(!old.hit);
+
+    // ...but that plan was refused by the shared cache: the fresh
+    // snapshot's first lookup is a miss, then a hit on repeat.
+    let first = fresh
+        .query_cached_traced(SUITE_QUERY, Strategy::CostBased)
+        .expect("fresh run");
+    assert!(
+        !first.hit,
+        "a plan built at epoch {e} leaked into the epoch {} cache",
+        e + 1
+    );
+    let second = fresh
+        .query_cached_traced(SUITE_QUERY, Strategy::CostBased)
+        .expect("fresh rerun");
+    assert!(second.hit, "current-epoch plans are cached normally");
+}
+
+#[test]
 fn per_session_strategy_controls_the_executed_plan() {
-    let (handle, addr) = start(4);
+    let (handle, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
 
     client.set_strategy("magic").expect("SET STRATEGY magic");
@@ -284,15 +393,7 @@ fn graceful_shutdown_drains_in_flight_sessions() {
     // Keep a handle on the shared engine so lock health is checkable
     // after the server is gone.
     let shared = SharedEngine::new(test_engine());
-    let handle = serve(
-        shared.clone(),
-        "127.0.0.1:0",
-        ServerConfig {
-            max_sessions: 4,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind server");
+    let handle = serve(shared.clone(), "127.0.0.1:0", ServerConfig::default()).expect("bind");
     let addr = handle.addr();
 
     let mut client = Client::connect(addr).expect("connect");
@@ -310,7 +411,7 @@ fn graceful_shutdown_drains_in_flight_sessions() {
         }
         client.request("QUIT").expect("quit");
     });
-    std::thread::sleep(std::time::Duration::from_millis(5));
+    std::thread::sleep(Duration::from_millis(5));
     handle.request_shutdown();
     worker.join().expect("worker panicked");
     handle.shutdown(); // joins accept loop + sessions; must not hang
@@ -328,7 +429,7 @@ fn graceful_shutdown_drains_in_flight_sessions() {
 
     // No poisoned locks: the engine is immediately usable in-process.
     let rows = shared
-        .read()
+        .snapshot()
         .query(SUITE_QUERY)
         .expect("engine healthy after shutdown")
         .rows;
@@ -336,11 +437,138 @@ fn graceful_shutdown_drains_in_flight_sessions() {
 }
 
 #[test]
+fn shutdown_returns_by_the_drain_deadline_with_a_query_in_flight() {
+    // The drain is bounded: with a multi-second query running,
+    // shutdown() must come back within the configured deadline (plus
+    // scheduling slack), not block until the straggler finishes. The
+    // abandoned session still completes its request — the client gets
+    // its rows — it just does so after the server has stopped waiting.
+    let (handle, addr) = start_with(ServerConfig {
+        drain_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+    let mut blocked = Client::connect(addr).expect("connect");
+    let worker = std::thread::spawn(move || blocked.query(SLOW_QUERY));
+    // Give the slow query time to reach the executor.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let t = Instant::now();
+    handle.shutdown();
+    let waited = t.elapsed();
+    assert!(
+        waited < Duration::from_secs(1),
+        "shutdown blocked {waited:?} past its 150ms drain deadline"
+    );
+
+    match worker.join().expect("worker").expect("abandoned query") {
+        Response::Rows { rows, .. } => assert_eq!(rows.len(), 1, "COUNT(*) row"),
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
 fn shutdown_frame_from_a_client_stops_the_server() {
-    let (handle, addr) = start(4);
+    let (handle, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
     client.query(SUITE_QUERY).expect("server serves");
     client.shutdown_server().expect("SHUTDOWN acknowledged");
     // wait() returns only when the accept loop exits on its own.
     handle.wait();
+}
+
+#[test]
+fn concurrent_readers_agree_with_exactly_one_epoch_under_ddl() {
+    // The reader/writer consistency stress: readers hammer the server
+    // while a writer publishes a new catalog epoch every few
+    // milliseconds. Every response must be internally consistent with
+    // exactly one epoch — the row bag for `epoch_log` at epoch K is
+    // exactly the rows inserted by the time K was published, and the
+    // Table-1 suite bag is byte-identical to the serial in-process run
+    // at every epoch (that DDL never touches its inputs).
+    const STEPS: i64 = 12;
+    const READERS: usize = 4;
+
+    let (handle, addr) = start();
+    let serial = {
+        let local = test_engine();
+        bag(&local.query(SUITE_QUERY).expect("serial run").rows)
+    };
+
+    let mut writer = Client::connect(addr).expect("connect writer");
+    let base: u64 = writer
+        .query_admitted("CREATE TABLE epoch_log (step INT)")
+        .expect("CREATE TABLE")
+        .info("epoch")
+        .expect("DDL OK line carries the new epoch")
+        .parse()
+        .expect("numeric epoch");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let stop = Arc::clone(&stop);
+            let serial = serial.clone();
+            let mut c = Client::connect(addr).unwrap_or_else(|e| panic!("reader {r}: {e}"));
+            std::thread::spawn(move || {
+                let mut checked = 0_u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // The log table: the epoch on the OK line fully
+                    // determines which INSERTs the snapshot holds.
+                    match c.query_admitted("SELECT step FROM epoch_log") {
+                        Ok(Response::Rows { rows, epoch, .. }) => {
+                            let inserted = (epoch - base).min(STEPS as u64) as i64;
+                            let mut expect: Vec<String> = (1..=inserted)
+                                .map(|k| {
+                                    encode_row(&starmagic_common::Row::new(vec![Value::Int(k)]))
+                                })
+                                .collect();
+                            expect.sort_unstable();
+                            assert_eq!(
+                                bag(&rows),
+                                expect,
+                                "reader {r}: epoch {epoch} bag is torn (base {base})"
+                            );
+                            checked += 1;
+                        }
+                        Ok(other) => panic!("reader {r}: unexpected {other:?}"),
+                        Err(e) => panic!("reader {r}: {e}"),
+                    }
+                    // The suite query: untouched by the writer's DDL,
+                    // so its bag never changes across epochs.
+                    match c.query_admitted(SUITE_QUERY) {
+                        Ok(Response::Rows { rows, epoch, .. }) => {
+                            assert!(epoch >= base, "reader {r}: epoch went backwards");
+                            assert_eq!(
+                                bag(&rows),
+                                serial,
+                                "reader {r}: suite bag diverged at epoch {epoch}"
+                            );
+                        }
+                        Ok(other) => panic!("reader {r}: unexpected {other:?}"),
+                        Err(e) => panic!("reader {r}: {e}"),
+                    }
+                }
+                checked
+            })
+        })
+        .collect();
+
+    for k in 1..=STEPS {
+        let epoch: u64 = writer
+            .query_admitted(&format!("INSERT INTO epoch_log VALUES ({k})"))
+            .unwrap_or_else(|e| panic!("INSERT {k}: {e}"))
+            .info("epoch")
+            .unwrap_or_else(|| panic!("INSERT {k}: no epoch on the OK line"))
+            .parse()
+            .expect("numeric epoch");
+        assert_eq!(epoch, base + k as u64, "each INSERT publishes one epoch");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for (r, h) in readers.into_iter().enumerate() {
+        let checked = h.join().unwrap_or_else(|_| panic!("reader {r} panicked"));
+        assert!(checked > 0, "reader {r} never verified a log read");
+    }
+    handle.shutdown();
 }

@@ -1,0 +1,10 @@
+-- Minimized by starmagic-fuzz (seed 1, case 194, cost x 4 threads).
+-- EMST pushes a two-column binding set (M_DEPTSUMMARY: mc0, mc1)
+-- through DEPTSUMMARY^bbf into DEPTAVGSAL_GB^bff, whose adornment
+-- binds only the group key — so the derived magic box M_DEPTAVGSAL_GB
+-- projects mc0 and drops mc1. L202 obligation (a) used to flag the
+-- unused column as a row-multiplication hazard, but the derived box is
+-- itself SELECT DISTINCT, so any multiplication is re-eliminated
+-- before it can escape: a false positive in the lint oracle, not an
+-- executor bug.
+SELECT (SELECT MIN(t3.maxsal) FROM toppay AS t3) AS c0 FROM deptsummary AS t1 WHERE t1.deptno = 0 AND t1.avgsal = 0.0 AND EXISTS (SELECT 0 FROM deptsummary AS t2)
