@@ -439,9 +439,21 @@ fn setop(ctx: &Ctx<'_>, b: BoxId, s: &SetOpBox) -> BoxFacts {
     }
 
     let card = match s.op {
-        SetOpKind::Union => arms[1..]
-            .iter()
-            .fold(arms[0].card, |acc, a| acc.plus(a.card)),
+        SetOpKind::Union => {
+            let sum = arms[1..]
+                .iter()
+                .fold(arms[0].card, |acc, a| acc.plus(a.card));
+            if s.all {
+                sum
+            } else {
+                // Deduplication can collapse everything onto one row,
+                // so only the upper bound and non-emptiness survive.
+                Card {
+                    lo: u64::from(sum.lo > 0),
+                    hi: sum.hi,
+                }
+            }
+        }
         SetOpKind::Except => Card {
             lo: 0,
             hi: arms[0].card.hi,

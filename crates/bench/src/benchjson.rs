@@ -15,6 +15,7 @@
 use starmagic::trace::json::Value;
 use starmagic_catalog::generator::Scale;
 
+use crate::recursion::RecursionResult;
 use crate::throughput::{BatchStats, StrategyThroughput, ThroughputReport};
 
 /// Schema version of the emitted document. Bump when the shape
@@ -23,10 +24,19 @@ use crate::throughput::{BatchStats, StrategyThroughput, ThroughputReport};
 /// v2 added the `batch` section: columnar batch-execution telemetry
 /// (dispatch size, batch counts, gather volume, and the filter
 /// selectivity histogram) from an untimed replay of the suite.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added the `recursion` section: per-graph naive-vs-magic work on
+/// the bound transitive closure (chain / tree / cyclic), with fixpoint
+/// convergence depths — all deterministic counters, so the ratios are
+/// comparable across machines.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Build the `BENCH_table1.json` document.
-pub fn bench_report(report: &ThroughputReport, scale: Scale) -> Value {
+pub fn bench_report(
+    report: &ThroughputReport,
+    scale: Scale,
+    recursion: &[RecursionResult],
+) -> Value {
     let strategies: Vec<(String, Value)> = report
         .strategies
         .iter()
@@ -61,6 +71,30 @@ pub fn bench_report(report: &ThroughputReport, scale: Scale) -> Value {
         ("strategies".to_string(), Value::Obj(strategies)),
         ("totals".to_string(), strategy_obj(&report.totals())),
         ("batch".to_string(), batch_obj(&report.batch)),
+        (
+            "recursion".to_string(),
+            Value::Arr(recursion.iter().map(recursion_obj).collect()),
+        ),
+    ])
+}
+
+/// One graph's naive-vs-magic closure numbers (v3 `recursion` section).
+fn recursion_obj(r: &RecursionResult) -> Value {
+    Value::Obj(vec![
+        ("graph".to_string(), Value::from(r.graph)),
+        ("edges".to_string(), Value::from(r.edges as u64)),
+        ("rows".to_string(), Value::from(r.naive.rows as u64)),
+        ("naive_work".to_string(), Value::from(r.naive.work)),
+        ("magic_work".to_string(), Value::from(r.magic.work)),
+        ("work_ratio".to_string(), Value::Num(r.work_ratio())),
+        (
+            "naive_iterations".to_string(),
+            Value::from(r.naive.iterations),
+        ),
+        (
+            "magic_iterations".to_string(),
+            Value::from(r.magic.iterations),
+        ),
     ])
 }
 
@@ -136,7 +170,8 @@ mod tests {
             .filter(|e| e.id == 'A' || e.id == 'G')
             .collect();
         let report = run_throughput(&mut engine, &exps, 2, Duration::from_millis(20)).unwrap();
-        let doc = bench_report(&report, Scale::small());
+        let recursion = crate::recursion::run_recursion(1).unwrap();
+        let doc = bench_report(&report, Scale::small(), &recursion);
         let text = doc.to_string();
         let v = json::parse(&text).expect("emitted JSON re-parses");
 
@@ -208,5 +243,36 @@ mod tests {
             buckets.as_arr().is_some(),
             "selectivity histogram must be an array"
         );
+
+        // v3: the recursion section — three graphs, deterministic work
+        // numbers, magic strictly cheaper than naive on every shape.
+        let rec = v.get("recursion").unwrap().as_arr().unwrap();
+        assert_eq!(rec.len(), 3, "chain, tree, cyclic");
+        let names: Vec<_> = rec
+            .iter()
+            .map(|g| g.get("graph").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, ["chain", "tree", "cyclic"]);
+        for g in rec {
+            for field in [
+                "edges",
+                "rows",
+                "naive_work",
+                "magic_work",
+                "work_ratio",
+                "naive_iterations",
+                "magic_iterations",
+            ] {
+                assert!(
+                    g.get(field).unwrap().as_f64().is_some(),
+                    "recursion.{field} missing or not numeric"
+                );
+            }
+            assert!(
+                g.get("work_ratio").unwrap().as_f64().unwrap() < 1.0,
+                "magic must do strictly less work than naive on {}",
+                g.get("graph").unwrap()
+            );
+        }
     }
 }

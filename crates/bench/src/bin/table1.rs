@@ -25,7 +25,8 @@ use std::time::Duration;
 
 use starmagic::Strategy;
 use starmagic_bench::{
-    bench_engine, benchjson, experiments, run_experiment, sorted_rows, throughput, tracejson,
+    bench_engine, benchjson, experiments, recursion, run_experiment, sorted_rows, throughput,
+    tracejson,
 };
 use starmagic_catalog::generator::Scale;
 
@@ -198,7 +199,33 @@ fn run_throughput_mode(
         t.speedup()
     );
 
-    let doc = benchjson::bench_report(&report, scale);
+    // The recursion experiment: bound transitive closure, naive vs
+    // magic, on each graph shape (deterministic work numbers).
+    eprintln!("\nrunning the recursion experiment (chain / tree / cyclic)...");
+    let rec = recursion::run_recursion(threads).expect("recursion experiment");
+    println!("\nRecursion — bound transitive closure, naive vs magic");
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:<8} | {:>6} {:>6} | {:>12} {:>12} {:>7} | {:>5} {:>5}",
+        "Graph", "edges", "rows", "naive work", "magic work", "ratio", "n-it", "m-it"
+    );
+    println!("{}", "-".repeat(78));
+    for r in &rec {
+        println!(
+            "{:<8} | {:>6} {:>6} | {:>12} {:>12} {:>6.1}% | {:>5} {:>5}",
+            r.graph,
+            r.edges,
+            r.naive.rows,
+            r.naive.work,
+            r.magic.work,
+            100.0 * r.work_ratio(),
+            r.naive.iterations,
+            r.magic.iterations
+        );
+    }
+    println!("{}", "-".repeat(78));
+
+    let doc = benchjson::bench_report(&report, scale, &rec);
     benchjson::write_bench_json(path, &doc).expect("write bench json");
     eprintln!("\nthroughput document written to {path}");
 }

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod benchjson;
+pub mod recursion;
 pub mod throughput;
 pub mod tracejson;
 
@@ -152,7 +153,8 @@ pub fn fuzz_scale() -> Scale {
 /// views (shared with the Table-1 experiments via [`bench_engine`]),
 /// plus a NULL-rich employee tail — rows with NULL
 /// `workdept`/`salary`/`bonus`/`yearhired` — so joins, grouping, and
-/// set operations constantly see NULL keys.
+/// set operations constantly see NULL keys, and a small directed
+/// `edge` graph for `WITH RECURSIVE` cases.
 pub fn fuzz_engine() -> Result<Engine> {
     let mut engine = bench_engine(fuzz_scale())?;
     engine.run_sql(
@@ -163,6 +165,17 @@ pub fn fuzz_engine() -> Result<Engine> {
          (9004, 'Null_Sal', 3, NULL, NULL, NULL), \
          (9005, 'Null_All', NULL, NULL, NULL, NULL), \
          (9006, 'Null_All', NULL, NULL, NULL, NULL)",
+    )?;
+    // A small directed graph for the recursive-grammar cases: a chain
+    // with branches (0..6), a fan-in diamond (1→2→4, 1→3→4), a 3-cycle
+    // (8→9→10→8) so dedup — not acyclicity — is what terminates the
+    // fixpoint, and an isolated edge. Bounded: any closure over it is
+    // at most 12 × 12 pairs.
+    engine.run_sql("CREATE TABLE edge (src INTEGER, dst INTEGER, PRIMARY KEY (src, dst))")?;
+    engine.run_sql(
+        "INSERT INTO edge VALUES \
+         (0, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5), (5, 6), \
+         (8, 9), (9, 10), (10, 8), (8, 4), (11, 11)",
     )?;
     Ok(engine)
 }

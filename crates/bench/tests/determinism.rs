@@ -86,6 +86,7 @@ fn run_columnar(
             threads,
             columnar,
             metrics,
+            max_recursion: 10_000,
         },
     )
     .expect("execution")

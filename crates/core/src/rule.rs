@@ -123,6 +123,24 @@ impl EmstRule {
                 continue;
             }
             let child = ctx.qgm.quant(q).input;
+            if ctx.qgm.boxed(child).is_recursive_union() {
+                // Magic on recursion takes a dedicated path: the copy
+                // spans the whole fixpoint SCC, and the magic input may
+                // itself become recursive (§6, magic on recursive
+                // views). An already-adorned copy is final.
+                if ctx.qgm.boxed(child).adornment.is_some() {
+                    continue;
+                }
+                let eligible: BTreeSet<QuantId> = order[..i].iter().copied().collect();
+                let ar = adorn_quantifier(ctx.qgm, ctx.registry, b, q, &eligible);
+                if ar.bound.is_empty() {
+                    continue;
+                }
+                if self.process_recursive_ref(ctx, b, q, child, &eligible, &ar) {
+                    return Ok(true);
+                }
+                continue;
+            }
             if !transformable(ctx.qgm, b, child) {
                 continue;
             }
@@ -350,6 +368,228 @@ impl EmstRule {
             magic,
             cond_magic,
         });
+    }
+
+    /// Restrict a reference to a recursive union through magic. The
+    /// adorned copy spans the whole fixpoint SCC (union plus step
+    /// arms); the magic input is the seed of binding values and, when a
+    /// step arm derives its bound columns rather than preserving them,
+    /// grows alongside the deltas as a recursive union of its own. The
+    /// magic union's SCC sits strictly below the adorned copy's, so the
+    /// semi-naive executor converges it first — stratification for
+    /// free. Returns false when the SCC fails the eligibility gates
+    /// (see [`recursive_magic_plan`]).
+    fn process_recursive_ref(
+        &self,
+        ctx: &mut RuleContext<'_>,
+        b: BoxId,
+        q: QuantId,
+        r: BoxId,
+        eligible: &BTreeSet<QuantId>,
+        ar: &AdornResult,
+    ) -> bool {
+        // A prior user with the same adornment: grow its seed union.
+        let key = (r, memo_key(ar));
+        if let Some(info) = self.copies.borrow().get(&key).cloned() {
+            let qgm = &mut *ctx.qgm;
+            let seed = build_magic_box(
+                qgm,
+                b,
+                eligible,
+                &ar.bound,
+                &format!("M_{}", qgm.boxed(r).name),
+                BoxFlavor::Magic,
+            );
+            // Same recursion guard as the non-recursive path: bindings
+            // derived from a prefix containing the copy must not feed
+            // the copy its own output.
+            if reaches(qgm, seed, info.copy) {
+                return false;
+            }
+            if let Some(existing) = info.magic {
+                let grown = extend_with_union(qgm, existing, seed);
+                self.copies.borrow_mut().get_mut(&key).unwrap().magic = Some(grown);
+            }
+            qgm.retarget(q, info.copy);
+            return true;
+        }
+
+        let Some(plans) = recursive_magic_plan(ctx.qgm, b, r, &ar.bound) else {
+            return false;
+        };
+        let qgm = &mut *ctx.qgm;
+
+        // Seed magic: the classic DISTINCT projection of the caller's
+        // binding expressions.
+        let seed = build_magic_box(
+            qgm,
+            b,
+            eligible,
+            &ar.bound,
+            &format!("M_{}", qgm.boxed(r).name),
+            BoxFlavor::Magic,
+        );
+
+        // Entry point the arm copies join: the seed alone when every
+        // step arm preserves the bound columns (the binding restricts
+        // the whole derivation unchanged), else a recursive union the
+        // growth arms below feed.
+        let needs_growth = plans.iter().any(|p| {
+            p.flows
+                .iter()
+                .any(|f| matches!(f, RecBindingFlow::Derived { .. }))
+        });
+        let magic_entry = if needs_growth {
+            let u = qgm.add_box(
+                format!("MR_{}", qgm.boxed(r).name),
+                BoxKind::SetOp(SetOpBox {
+                    op: SetOpKind::Union,
+                    all: false,
+                }),
+            );
+            let sq = qgm.add_quant(u, seed, QuantKind::Foreach, "seed");
+            let cols: Vec<OutputCol> = qgm
+                .boxed(seed)
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| OutputCol {
+                    name: c.name.clone(),
+                    expr: ScalarExpr::col(sq, i),
+                })
+                .collect();
+            let ub = qgm.boxed_mut(u);
+            ub.columns = cols;
+            // Recursive flavor: the executor's fixpoint driver treats
+            // the magic union exactly like a recursive CTE. Non-ALL, so
+            // admission dedups and the iteration terminates.
+            ub.flavor = BoxFlavor::Recursive;
+            ub.distinct = DistinctMode::Preserve;
+            ub.magic_processed = true;
+            u
+        } else {
+            seed
+        };
+
+        // Deep-copy the SCC: the union and every arm, rewiring the step
+        // arms' recursive quantifiers onto the copy so the cycle closes
+        // inside it, and joining the magic entry into every arm.
+        let (copy, _) = qgm.copy_box(r, qgm.boxed(r).name.clone());
+        {
+            let cb = qgm.boxed_mut(copy);
+            cb.adornment = Some(ar.adornment.clone());
+            cb.magic_processed = true;
+        }
+        let copy_quants = qgm.boxed(copy).quants.clone();
+        for aq in copy_quants {
+            let arm = qgm.quant(aq).input;
+            let plan = plans
+                .iter()
+                .find(|p| p.arm == arm)
+                .expect("plan covers every arm");
+            let (ac, amap) = qgm.copy_box(arm, qgm.boxed(arm).name.clone());
+            qgm.boxed_mut(ac).magic_processed = true;
+            qgm.retarget(aq, ac);
+            if let Some(rq) = plan.rec_quant {
+                qgm.retarget(amap[&rq], copy);
+            }
+            let mq = qgm.insert_quant_at(ac, 0, magic_entry, QuantKind::Foreach, "m");
+            qgm.quant_mut(mq).is_magic = true;
+            let preds: Vec<ScalarExpr> = ar
+                .bound
+                .iter()
+                .enumerate()
+                .map(|(j, bnd)| {
+                    ScalarExpr::eq(
+                        ScalarExpr::col(mq, j),
+                        qgm.boxed(ac).columns[bnd.col].expr.clone(),
+                    )
+                })
+                .collect();
+            // Join order: magic first (it is the smallest input), then
+            // the recursive quantifier so each iteration is driven by
+            // the magic-filtered delta and the remaining quantifiers
+            // can be index-probed from it.
+            let rec_copy = plan.rec_quant.map(|rq| amap[&rq]);
+            let acb = qgm.boxed_mut(ac);
+            acb.predicates.extend(preds);
+            if let Some(order) = &mut acb.join_order {
+                order.insert(0, mq);
+                if let Some(rc) = rec_copy {
+                    order.retain(|&x| x != rc);
+                    order.insert(1, rc);
+                }
+            }
+        }
+
+        // Growth arms: for each magic tuple, the binding the step arm's
+        // subgoal needs — preserved columns pass through, derived ones
+        // connect the head to the magic tuple and emit the subgoal-side
+        // expression (sideways information passing, one arm per step).
+        if needs_growth {
+            for plan in &plans {
+                let Some(rq) = plan.rec_quant else { continue };
+                if plan
+                    .flows
+                    .iter()
+                    .all(|f| matches!(f, RecBindingFlow::Preserved))
+                {
+                    continue;
+                }
+                let g = qgm.add_box(format!("MG_{}", qgm.boxed(plan.arm).name), BoxKind::Select);
+                qgm.boxed_mut(g).flavor = BoxFlavor::Magic;
+                qgm.boxed_mut(g).magic_processed = true;
+                let gm = qgm.add_quant(g, magic_entry, QuantKind::Foreach, "m");
+                qgm.quant_mut(gm).is_magic = true;
+                let mut map: BTreeMap<QuantId, QuantId> = BTreeMap::new();
+                let arm_quants = qgm.boxed(plan.arm).quants.clone();
+                for aq2 in arm_quants {
+                    if aq2 == rq {
+                        continue;
+                    }
+                    let old = qgm.quant(aq2).clone();
+                    let nq = qgm.add_quant(g, old.input, QuantKind::Foreach, old.name.clone());
+                    map.insert(aq2, nq);
+                }
+                let mut preds: Vec<ScalarExpr> = qgm
+                    .boxed(plan.arm)
+                    .predicates
+                    .iter()
+                    .filter(|p| !p.quantifiers().contains(&rq))
+                    .map(|p| p.remap_quants(&map))
+                    .collect();
+                let mut cols = Vec::new();
+                for ((j, bnd), flow) in ar.bound.iter().enumerate().zip(&plan.flows) {
+                    let expr = match flow {
+                        RecBindingFlow::Preserved => ScalarExpr::col(gm, j),
+                        RecBindingFlow::Derived { head, subgoal } => {
+                            preds.push(ScalarExpr::eq(
+                                ScalarExpr::col(gm, j),
+                                head.remap_quants(&map),
+                            ));
+                            subgoal.remap_quants(&map)
+                        }
+                    };
+                    cols.push(OutputCol {
+                        name: format!("mc{}", bnd.col),
+                        expr,
+                    });
+                }
+                let gb = qgm.boxed_mut(g);
+                gb.predicates = preds;
+                gb.columns = cols;
+                gb.distinct = DistinctMode::Enforce;
+                qgm.add_quant(magic_entry, g, QuantKind::Foreach, "grow");
+            }
+        }
+
+        qgm.retarget(q, copy);
+        self.copies.borrow_mut().entry(key).or_insert(CopyInfo {
+            copy,
+            magic: Some(magic_entry),
+            cond_magic: None,
+        });
+        true
     }
 
     /// Process an NMQ box (group-by or set operation) that has linked
@@ -596,12 +836,204 @@ fn null_propagating(e: &ScalarExpr) -> bool {
     }
 }
 
+/// How one bound column of a recursive union flows through a step arm.
+#[derive(Debug, Clone)]
+enum RecBindingFlow {
+    /// The arm's head copies the column straight from the recursive
+    /// quantifier: a binding restricts the entire derivation unchanged,
+    /// so the seed magic alone covers the subgoal.
+    Preserved,
+    /// The head computes the column from non-recursive quantifiers
+    /// (`head`), and an equality predicate pins the recursive
+    /// quantifier's column to `subgoal` — the value the subgoal's own
+    /// binding must take. Requires a growth arm in the magic union.
+    Derived {
+        head: ScalarExpr,
+        subgoal: ScalarExpr,
+    },
+}
+
+/// One arm of an eligible recursive union: base arms carry no flows,
+/// step arms record how each bound column passes to the subgoal.
+#[derive(Debug, Clone)]
+struct RecArmPlan {
+    arm: BoxId,
+    /// The step arm's quantifier over the union (`None` for base arms).
+    rec_quant: Option<QuantId>,
+    /// Per bound binding, in `ar.bound` order (empty for base arms).
+    flows: Vec<RecBindingFlow>,
+}
+
+/// Gate a recursive union for magic and plan the transformation.
+/// Eligibility (each a soundness or well-formedness condition):
+///
+/// - `b` sits outside the union's SCC (a step arm never restricts its
+///   own driver);
+/// - the SCC contains exactly one recursive union whose members are
+///   all its own arms — regular, unadorned select boxes referencing
+///   only their own quantifiers, with no inward correlation (`copy_box`
+///   is shallow);
+/// - step arms use only Foreach quantifiers, exactly one of them over
+///   the union (linear recursion) — this is also the aggregate
+///   exemption: a GroupBy inside the cycle can never be adorned;
+/// - every bound column is either preserved by each step arm's head or
+///   derivable from an equality on the recursive quantifier; under
+///   UNION ALL only fully-preserving arms qualify (a grown magic set
+///   could otherwise change which derivations survive).
+fn recursive_magic_plan(
+    qgm: &Qgm,
+    b: BoxId,
+    r: BoxId,
+    bound: &[Binding],
+) -> Option<Vec<RecArmPlan>> {
+    let BoxKind::SetOp(s) = &qgm.boxed(r).kind else {
+        return None;
+    };
+    if s.op != SetOpKind::Union {
+        return None;
+    }
+    let union_all = s.all;
+
+    // SCC members: boxes mutually reachable with r.
+    let members: BTreeSet<BoxId> = qgm
+        .box_ids()
+        .into_iter()
+        .filter(|&x| x == r || (reaches(qgm, r, x) && reaches(qgm, x, r)))
+        .collect();
+    if members.contains(&b) || reaches(qgm, r, b) {
+        return None;
+    }
+    if members
+        .iter()
+        .any(|&m| m != r && qgm.boxed(m).is_recursive_union())
+    {
+        return None; // mutual recursion: out of scope
+    }
+    let arm_boxes: Vec<BoxId> = {
+        let mut seen = BTreeSet::new();
+        qgm.boxed(r)
+            .quants
+            .iter()
+            .map(|&aq| qgm.quant(aq).input)
+            .filter(|&a| seen.insert(a))
+            .collect()
+    };
+    // Every non-union member must be one of the arms (no deeper boxes
+    // participate in the cycle).
+    if members.iter().any(|&m| m != r && !arm_boxes.contains(&m)) {
+        return None;
+    }
+    if qgm
+        .boxed(r)
+        .quants
+        .iter()
+        .any(|&aq| !qgm.quant(aq).kind.is_foreach())
+    {
+        return None;
+    }
+
+    let mut plans = Vec::new();
+    for &arm in &arm_boxes {
+        let ab = qgm.boxed(arm);
+        if !matches!(ab.kind, BoxKind::Select)
+            || ab.flavor != BoxFlavor::Regular
+            || ab.adornment.is_some()
+            || !refs_only_own_quants(qgm, arm)
+            || has_inward_correlation(qgm, arm)
+        {
+            return None;
+        }
+        if !members.contains(&arm) {
+            plans.push(RecArmPlan {
+                arm,
+                rec_quant: None,
+                flows: Vec::new(),
+            });
+            continue;
+        }
+        // Step arm: all Foreach, exactly one quantifier over the union.
+        if ab.quants.iter().any(|&q2| !qgm.quant(q2).kind.is_foreach()) {
+            return None;
+        }
+        let rec_quants: Vec<QuantId> = ab
+            .quants
+            .iter()
+            .copied()
+            .filter(|&q2| members.contains(&qgm.quant(q2).input))
+            .collect();
+        let [rq] = rec_quants[..] else {
+            return None; // nonlinear step
+        };
+        if qgm.quant(rq).input != r {
+            return None;
+        }
+        let mut flows = Vec::new();
+        for bnd in bound {
+            let head = &ab.columns[bnd.col].expr;
+            if matches!(head, ScalarExpr::ColRef { quant, col } if *quant == rq && *col == bnd.col)
+            {
+                flows.push(RecBindingFlow::Preserved);
+                continue;
+            }
+            if union_all || head.quantifiers().contains(&rq) {
+                return None;
+            }
+            // The subgoal's binding value: an equality predicate pinning
+            // the recursive quantifier's bound column to an expression
+            // over the arm's other quantifiers.
+            let subgoal = ab.predicates.iter().find_map(|p| {
+                let (op, l, rr) = p.as_comparison()?;
+                if op != BinOp::Eq {
+                    return None;
+                }
+                let matches_col = |e: &ScalarExpr| {
+                    matches!(e, ScalarExpr::ColRef { quant, col } if *quant == rq && *col == bnd.col)
+                };
+                let free_of_rec = |e: &ScalarExpr| !e.quantifiers().contains(&rq);
+                if matches_col(l) && free_of_rec(rr) {
+                    Some(rr.clone())
+                } else if matches_col(rr) && free_of_rec(l) {
+                    Some(l.clone())
+                } else {
+                    None
+                }
+            })?;
+            flows.push(RecBindingFlow::Derived {
+                head: head.clone(),
+                subgoal,
+            });
+        }
+        plans.push(RecArmPlan {
+            arm,
+            rec_quant: Some(rq),
+            flows,
+        });
+    }
+    // At least one base arm, or the fixpoint could never seed.
+    if !plans.iter().any(|p| p.rec_quant.is_none()) {
+        return None;
+    }
+    Some(plans)
+}
+
+/// Whether every column reference in `x`'s predicates and outputs is to
+/// one of `x`'s own quantifiers (no correlation outward).
+fn refs_only_own_quants(qgm: &Qgm, x: BoxId) -> bool {
+    let own: BTreeSet<QuantId> = qgm.boxed(x).quants.iter().copied().collect();
+    let qb = qgm.boxed(x);
+    qb.predicates
+        .iter()
+        .chain(qb.columns.iter().map(|c| &c.expr))
+        .all(|e| e.quantifiers().iter().all(|q2| own.contains(q2)))
+}
+
 /// A child is transformable when it is a regular, not-yet-adorned,
 /// non-base box that does not participate in a cycle with `b`
-/// (recursive magic is out of scope; see DESIGN.md), and whose
-/// descendants do not correlate back into it — `copy_box` is shallow,
-/// so a subquery child referencing the box's own quantifiers would
-/// still point at the *original* after the adorned copy is made.
+/// (recursive references take the dedicated SCC-copy path in
+/// [`EmstRule::process_recursive_ref`]; other cycles are left alone),
+/// and whose descendants do not correlate back into it — `copy_box` is
+/// shallow, so a subquery child referencing the box's own quantifiers
+/// would still point at the *original* after the adorned copy is made.
 fn transformable(qgm: &Qgm, b: BoxId, child: BoxId) -> bool {
     let cb = qgm.boxed(child);
     if matches!(cb.kind, BoxKind::BaseTable { .. }) {

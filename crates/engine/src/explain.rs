@@ -176,6 +176,35 @@ pub fn render_analyze(p: &ProfiledQuery, catalog: &Catalog) -> String {
         m.box_evals
     );
 
+    // Fixpoint convergence: one line per recursive union that ran
+    // under the semi-naive driver, with the per-round delta history.
+    if !p.profile.fixpoint.is_empty() {
+        let _ = writeln!(out, "== fixpoint (per recursive union)");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {:>10}  delta rows per round (round 0 = seed)",
+            "box", "iters", "total"
+        );
+        for (b, fs) in &p.profile.fixpoint {
+            let name = if live.contains(b) {
+                qgm.boxed(*b).name.clone()
+            } else {
+                b.to_string()
+            };
+            let deltas = fs
+                .delta_rows
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10} {:>10}  [{deltas}]",
+                name, fs.iterations, fs.total_rows
+            );
+        }
+    }
+
     // Rewrite trace: per-phase rule fires, no-op offers, pass timings.
     let _ = writeln!(out, "== rewrite trace");
     for (i, stats) in p.optimized.stats.iter().enumerate() {

@@ -206,6 +206,10 @@ pub struct Engine {
     /// Pre-registered metric handles. Noop (free) unless
     /// [`Engine::set_metrics`] installed a live registry.
     metrics: EngineMetrics,
+    /// Semi-naive fixpoint iteration cap injected into every
+    /// execution (REPL `\max_recursion n`). Guards divergent UNION
+    /// ALL recursion; UNION recursion terminates on its own.
+    max_recursion: usize,
 }
 
 impl Engine {
@@ -228,6 +232,7 @@ impl Engine {
             threads: 1,
             plans: Arc::new(ShardedPlanCache::with_defaults()),
             metrics: EngineMetrics::default(),
+            max_recursion: 10_000,
         }
     }
 
@@ -258,6 +263,18 @@ impl Engine {
     /// The configured executor worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Set the iteration cap for recursive-query fixpoints (default
+    /// 10000). UNION recursion converges on finite data regardless;
+    /// the cap turns divergent UNION ALL recursion into an error.
+    pub fn set_max_recursion(&mut self, max: usize) {
+        self.max_recursion = max.max(1);
+    }
+
+    /// The configured recursion iteration cap.
+    pub fn max_recursion(&self) -> usize {
+        self.max_recursion
     }
 
     /// Install a metrics registry: every subsequent query records
@@ -445,6 +462,7 @@ impl Engine {
                 threads: prepared.threads,
                 columnar: prepared.columnar,
                 metrics: self.metrics.registry.clone(),
+                max_recursion: self.max_recursion,
             },
         )?;
         self.note_execution(&prepared.qgm, &profile);
@@ -748,6 +766,7 @@ impl Engine {
                 threads: threads.max(1),
                 columnar: true,
                 metrics: self.metrics.registry.clone(),
+                max_recursion: self.max_recursion,
             },
         )?;
         self.note_execution(bound, &profile);
@@ -817,6 +836,7 @@ impl Engine {
                 threads: self.threads,
                 columnar: true,
                 metrics: self.metrics.registry.clone(),
+                max_recursion: self.max_recursion,
             },
         )?;
         optimized.trace.record("execute", exec_start.elapsed());

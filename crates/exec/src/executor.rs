@@ -17,7 +17,7 @@ use crate::batch::Batch;
 use crate::like::like_match;
 use crate::metrics::Metrics;
 use crate::parallel::{run_morsels, PARALLEL_THRESHOLD};
-use crate::profile::ExecProfile;
+use crate::profile::{ExecProfile, FixpointStats};
 
 /// Execution knobs.
 #[derive(Debug, Clone)]
@@ -45,6 +45,12 @@ pub struct ExecOptions {
     /// property of the thread count. The default (noop) registry
     /// records nothing and costs a branch.
     pub metrics: Registry,
+    /// Iteration cap for semi-naive fixpoints. UNION recursion always
+    /// terminates on finite domains, but UNION ALL recursion only
+    /// stops when a step produces no rows — on a cyclic graph it never
+    /// does, so this guard turns the runaway into an error instead of
+    /// an unbounded loop.
+    pub max_recursion: usize,
 }
 
 impl Default for ExecOptions {
@@ -54,6 +60,7 @@ impl Default for ExecOptions {
             threads: 1,
             columnar: true,
             metrics: Registry::noop(),
+            max_recursion: 10_000,
         }
     }
 }
@@ -118,6 +125,7 @@ pub fn execute_with_options(
     exec.threads = opts.threads.max(1);
     exec.columnar = opts.columnar;
     exec.shared_indexes = Some(indexes);
+    exec.max_recursion = opts.max_recursion.max(1);
     if !opts.metrics.is_noop() {
         exec.morsel_runs = opts.metrics.counter("exec.morsel.runs");
         exec.morsel_depth = opts.metrics.histogram("exec.morsel.queue_depth");
@@ -125,6 +133,9 @@ pub fn execute_with_options(
         exec.batch_gather = opts.metrics.counter("exec.batch.gather_rows");
         exec.batch_rows = opts.metrics.histogram("exec.batch.rows");
         exec.batch_selectivity = opts.metrics.histogram("exec.batch.selectivity_pct");
+        exec.fixpoint_iterations = opts.metrics.counter("exec.fixpoint.iterations");
+        exec.fixpoint_delta_rows = opts.metrics.counter("exec.fixpoint.delta_rows");
+        exec.fixpoint_total_rows = opts.metrics.counter("exec.fixpoint.total_rows");
     }
     let rows = exec.eval_box(qgm.top(), &Frame::root())?;
     let rows = rows.as_ref().clone();
@@ -211,8 +222,15 @@ pub struct Executor<'a> {
     recursive_acc: HashMap<BoxId, Arc<Vec<Row>>>,
     /// Recursive boxes currently being iterated.
     in_fixpoint: BTreeSet<BoxId>,
+    /// SCC members of an active semi-naive fixpoint: evaluated fresh
+    /// on every reference (no materialization cache, no nested
+    /// fixpoint dispatch) so each iteration sees the current delta.
+    no_cache: BTreeSet<BoxId>,
     /// Guard for runaway fixpoints.
     max_fixpoint_rounds: usize,
+    /// Iteration cap for semi-naive fixpoints (see
+    /// [`ExecOptions::max_recursion`]).
+    max_recursion: usize,
     /// Lazily built hash indexes on base-table columns. The benchmark
     /// database is assumed fully indexed (as DB2's was): building is
     /// not charged to the query; probes charge only the matched rows.
@@ -249,6 +267,15 @@ pub struct Executor<'a> {
     pub(crate) batch_rows: starmagic_metrics::Histogram,
     /// Filter-stage selectivity (surviving rows per hundred input).
     pub(crate) batch_selectivity: starmagic_metrics::Histogram,
+    /// Fixpoint telemetry: step iterations run across all fixpoints.
+    /// Like the batch metrics these live outside [`ExecProfile`]'s
+    /// per-box counters — they are registry-visible operational
+    /// telemetry (wire-observable via METRICS).
+    fixpoint_iterations: starmagic_metrics::Counter,
+    /// New rows admitted across all fixpoint rounds.
+    fixpoint_delta_rows: starmagic_metrics::Counter,
+    /// Accumulated totals at convergence, summed over fixpoints.
+    fixpoint_total_rows: starmagic_metrics::Counter,
 }
 
 impl<'a> Executor<'a> {
@@ -265,7 +292,9 @@ impl<'a> Executor<'a> {
             recursive,
             recursive_acc: HashMap::new(),
             in_fixpoint: BTreeSet::new(),
+            no_cache: BTreeSet::new(),
             max_fixpoint_rounds: 100_000,
+            max_recursion: 10_000,
             indexes: HashMap::new(),
             shared_indexes: None,
             quantified_indexes: HashMap::new(),
@@ -278,6 +307,9 @@ impl<'a> Executor<'a> {
             batch_gather: starmagic_metrics::Counter::default(),
             batch_rows: starmagic_metrics::Histogram::default(),
             batch_selectivity: starmagic_metrics::Histogram::default(),
+            fixpoint_iterations: starmagic_metrics::Counter::default(),
+            fixpoint_delta_rows: starmagic_metrics::Counter::default(),
+            fixpoint_total_rows: starmagic_metrics::Counter::default(),
         }
     }
 
@@ -610,6 +642,15 @@ impl<'a> Executor<'a> {
                 .cloned()
                 .unwrap_or_else(|| Arc::new(Vec::new())));
         }
+        // A non-driver member of an active semi-naive fixpoint: always
+        // evaluate fresh (its inputs include the round's delta) and
+        // never dispatch a nested fixpoint on it.
+        if self.no_cache.contains(&b) {
+            self.profile.entry(b).evals += 1;
+            let rows = Arc::new(self.eval_inner(b, frame)?);
+            self.profile.entry(b).rows_out += rows.len() as u64;
+            return Ok(rows);
+        }
         if !self.is_correlated(b) {
             if let Some(rows) = self.cache.get(&b) {
                 return Ok(rows.clone());
@@ -635,10 +676,12 @@ impl<'a> Executor<'a> {
         Ok(rows)
     }
 
-    /// Naive fixpoint over the recursive component reachable from `b`:
-    /// iterate until no member box of the cycle gains rows. Recursive
-    /// queries use set semantics (rows are deduplicated per round) so
-    /// the iteration terminates on finite domains.
+    /// Fixpoint over the recursive component reachable from `b`.
+    /// Recursive unions (`WITH RECURSIVE` drivers) in an eligible
+    /// shape run semi-naive: seed from the base arms, iterate the step
+    /// arms over the *delta* only. Everything else — hand-built cyclic
+    /// graphs, nonlinear recursion, cycles through subqueries — falls
+    /// back to the naive whole-accumulation iteration.
     fn fixpoint(&mut self, b: BoxId, frame: &Frame<'_>) -> Result<Arc<Vec<Row>>> {
         let members: Vec<BoxId> = self
             .recursive
@@ -646,10 +689,256 @@ impl<'a> Executor<'a> {
             .copied()
             .filter(|&x| reaches(self.qgm, b, x) && reaches(self.qgm, x, b))
             .collect();
-        for &m in &members {
+        if let Some(plan) = self.semi_naive_plan(b, &members) {
+            return self.semi_naive_fixpoint(b, plan, frame);
+        }
+        self.naive_fixpoint(b, &members, frame)
+    }
+
+    /// Check the SCC for semi-naive eligibility and classify each
+    /// driver's arms. Returns `None` when any member falls outside the
+    /// recognized shape — the naive iteration remains the safety net.
+    fn semi_naive_plan(&self, b: BoxId, members: &[BoxId]) -> Option<SemiNaivePlan> {
+        let member_set: BTreeSet<BoxId> = members.iter().copied().collect();
+        let drivers: Vec<BoxId> = members
+            .iter()
+            .copied()
+            .filter(|&m| self.qgm.boxed(m).is_recursive_union())
+            .collect();
+        if drivers.is_empty() || !drivers.contains(&b) {
+            return None;
+        }
+        let driver_set: BTreeSet<BoxId> = drivers.iter().copied().collect();
+        // Every driver must be a UNION set operation; every other
+        // member must be a select (a step arm or a box a step arm owns).
+        for &d in &drivers {
+            let BoxKind::SetOp(spec) = &self.qgm.boxed(d).kind else {
+                return None;
+            };
+            if spec.op != SetOpKind::Union {
+                return None;
+            }
+        }
+        let mut step_arm_set: BTreeSet<BoxId> = BTreeSet::new();
+        let mut arms: Vec<DriverArms> = Vec::new();
+        for &d in &drivers {
+            let qb = self.qgm.boxed(d);
+            let BoxKind::SetOp(spec) = &qb.kind else {
+                return None;
+            };
+            let mut base_arms = Vec::new();
+            let mut step_arms = Vec::new();
+            for &q in &qb.quants {
+                let arm = self.qgm.quant(q).input;
+                if driver_set.contains(&arm) {
+                    // A driver directly unioned into another driver has
+                    // no delta of its own to iterate.
+                    return None;
+                }
+                let arm_box = self.qgm.boxed(arm);
+                let rec_refs: Vec<QuantId> = arm_box
+                    .quants
+                    .iter()
+                    .copied()
+                    .filter(|&aq| member_set.contains(&self.qgm.quant(aq).input))
+                    .collect();
+                if rec_refs.is_empty() {
+                    base_arms.push(arm);
+                    continue;
+                }
+                // Step arm: a select referencing exactly one driver,
+                // through a plain FROM-clause quantifier (linear
+                // recursion — delta substitution is only sound when
+                // the step is linear in the recursive relation).
+                if !matches!(arm_box.kind, BoxKind::Select) {
+                    return None;
+                }
+                if rec_refs.len() != 1 {
+                    return None;
+                }
+                let rq = self.qgm.quant(rec_refs[0]);
+                if rq.kind != QuantKind::Foreach || !driver_set.contains(&rq.input) {
+                    return None;
+                }
+                step_arm_set.insert(arm);
+                step_arms.push(arm);
+            }
+            if base_arms.is_empty() {
+                // Nothing to seed from: the fixpoint is trivially
+                // empty, but let the naive path prove that.
+                return None;
+            }
+            arms.push(DriverArms {
+                driver: d,
+                base_arms,
+                step_arms,
+                all: spec.all,
+            });
+        }
+        // No member may sit between a step arm and its driver: the
+        // shape above must account for the whole SCC.
+        for &m in members {
+            if !driver_set.contains(&m) && !step_arm_set.contains(&m) {
+                return None;
+            }
+        }
+        Some(SemiNaivePlan { drivers, arms })
+    }
+
+    /// Semi-naive evaluation: each round publishes only the previous
+    /// round's new rows (the delta) to recursive references, so step
+    /// work is proportional to growth, not to the accumulated total.
+    /// Mutually recursive drivers iterate jointly (Jacobi rounds: all
+    /// deltas advance together). UNION admits a row once (set
+    /// semantics against the accumulated total); UNION ALL appends
+    /// bags and relies on [`ExecOptions::max_recursion`] to stop
+    /// divergent queries.
+    fn semi_naive_fixpoint(
+        &mut self,
+        b: BoxId,
+        plan: SemiNaivePlan,
+        frame: &Frame<'_>,
+    ) -> Result<Arc<Vec<Row>>> {
+        // Non-driver members evaluate fresh on every reference while
+        // the fixpoint runs.
+        let fresh: Vec<BoxId> = plan
+            .arms
+            .iter()
+            .flat_map(|a| a.step_arms.iter().copied())
+            .filter(|m| !self.no_cache.contains(m))
+            .collect();
+        for &m in &fresh {
+            self.no_cache.insert(m);
+        }
+        let result = self.semi_naive_rounds(b, &plan, frame);
+        for &m in &fresh {
+            self.no_cache.remove(&m);
+        }
+        for &d in &plan.drivers {
+            self.in_fixpoint.remove(&d);
+            self.recursive_acc.remove(&d);
+        }
+        result
+    }
+
+    fn semi_naive_rounds(
+        &mut self,
+        b: BoxId,
+        plan: &SemiNaivePlan,
+        frame: &Frame<'_>,
+    ) -> Result<Arc<Vec<Row>>> {
+        let mut total: HashMap<BoxId, Vec<Row>> = HashMap::new();
+        let mut seen: HashMap<BoxId, HashSet<Row>> = HashMap::new();
+        let mut delta: HashMap<BoxId, Vec<Row>> = HashMap::new();
+        let mut stats: HashMap<BoxId, FixpointStats> = HashMap::new();
+        // Seed from the base arms (drivers are not yet in_fixpoint;
+        // base arms reference no SCC member by construction).
+        for da in &plan.arms {
+            let mut rows: Vec<Row> = Vec::new();
+            for &arm in &da.base_arms {
+                rows.extend(self.eval_box(arm, frame)?.iter().cloned());
+            }
+            self.profile.entry(da.driver).rows_in += rows.len() as u64;
+            let admitted = if da.all {
+                rows
+            } else {
+                let set = seen.entry(da.driver).or_default();
+                let mut out = Vec::with_capacity(rows.len());
+                for r in rows {
+                    if set.insert(r.clone()) {
+                        out.push(r);
+                    }
+                }
+                out
+            };
+            self.profile.entry(da.driver).rows_produced += admitted.len() as u64;
+            let st = stats.entry(da.driver).or_default();
+            st.delta_rows.push(admitted.len() as u64);
+            total.insert(da.driver, admitted.clone());
+            delta.insert(da.driver, admitted);
+        }
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > self.max_recursion {
+                return Err(Error::execution(format!(
+                    "recursive query exceeded max_recursion ({}) iterations",
+                    self.max_recursion
+                )));
+            }
+            // Publish this round's deltas: recursive references inside
+            // the step arms see exactly the new rows.
+            for &d in &plan.drivers {
+                self.in_fixpoint.insert(d);
+                self.recursive_acc
+                    .insert(d, Arc::new(delta.get(&d).cloned().unwrap_or_default()));
+            }
+            let mut grew = false;
+            let mut next: HashMap<BoxId, Vec<Row>> = HashMap::new();
+            for da in &plan.arms {
+                let mut rows: Vec<Row> = Vec::new();
+                for &arm in &da.step_arms {
+                    rows.extend(self.eval_box(arm, frame)?.iter().cloned());
+                }
+                self.profile.entry(da.driver).rows_in += rows.len() as u64;
+                let admitted = if da.all {
+                    rows
+                } else {
+                    let set = seen.entry(da.driver).or_default();
+                    let mut out = Vec::new();
+                    for r in rows {
+                        if set.insert(r.clone()) {
+                            out.push(r);
+                        }
+                    }
+                    out
+                };
+                self.profile.entry(da.driver).rows_produced += admitted.len() as u64;
+                let st = stats.entry(da.driver).or_default();
+                st.iterations += 1;
+                st.delta_rows.push(admitted.len() as u64);
+                if !admitted.is_empty() {
+                    grew = true;
+                    total.entry(da.driver).or_default().extend(admitted.clone());
+                }
+                next.insert(da.driver, admitted);
+            }
+            if !grew {
+                break;
+            }
+            delta = next;
+        }
+        for (&d, st) in &mut stats {
+            st.total_rows = total.get(&d).map_or(0, |t| t.len() as u64);
+            if !self.fixpoint_iterations.is_noop() {
+                self.fixpoint_iterations.add(st.iterations);
+                self.fixpoint_delta_rows
+                    .add(st.delta_rows.iter().sum::<u64>());
+                self.fixpoint_total_rows.add(st.total_rows);
+            }
+            let e = self.profile.fixpoint.entry(d).or_default();
+            e.iterations += st.iterations;
+            e.delta_rows.extend_from_slice(&st.delta_rows);
+            e.total_rows += st.total_rows;
+        }
+        Ok(Arc::new(total.remove(&b).unwrap_or_default()))
+    }
+
+    /// Naive fixpoint over the recursive component: iterate until no
+    /// member box of the cycle gains rows. Recursive queries use set
+    /// semantics (rows are deduplicated per round) so the iteration
+    /// terminates on finite domains.
+    fn naive_fixpoint(
+        &mut self,
+        b: BoxId,
+        members: &[BoxId],
+        frame: &Frame<'_>,
+    ) -> Result<Arc<Vec<Row>>> {
+        for &m in members {
             self.in_fixpoint.insert(m);
             self.recursive_acc.insert(m, Arc::new(Vec::new()));
         }
+        let mut st = FixpointStats::default();
         let mut rounds = 0usize;
         loop {
             rounds += 1;
@@ -658,8 +947,9 @@ impl<'a> Executor<'a> {
                     "recursive query exceeded fixpoint round limit",
                 ));
             }
+            let before = self.recursive_acc.get(&b).map_or(0, |a| a.len());
             let mut grew = false;
-            for &m in &members {
+            for &m in members {
                 // Evaluate the member with recursive references frozen
                 // at the current accumulation.
                 self.in_fixpoint.remove(&m);
@@ -678,11 +968,14 @@ impl<'a> Executor<'a> {
                     self.recursive_acc.insert(m, Arc::new(merged));
                 }
             }
+            let after = self.recursive_acc.get(&b).map_or(0, |a| a.len());
+            st.iterations += 1;
+            st.delta_rows.push((after - before) as u64);
             if !grew {
                 break;
             }
         }
-        for &m in &members {
+        for &m in members {
             self.in_fixpoint.remove(&m);
         }
         let result = self
@@ -690,6 +983,16 @@ impl<'a> Executor<'a> {
             .get(&b)
             .cloned()
             .unwrap_or_else(|| Arc::new(Vec::new()));
+        st.total_rows = result.len() as u64;
+        if !self.fixpoint_iterations.is_noop() {
+            self.fixpoint_iterations.add(st.iterations);
+            self.fixpoint_delta_rows.add(st.delta_rows.iter().sum());
+            self.fixpoint_total_rows.add(st.total_rows);
+        }
+        let e = self.profile.fixpoint.entry(b).or_default();
+        e.iterations += st.iterations;
+        e.delta_rows.extend_from_slice(&st.delta_rows);
+        e.total_rows += st.total_rows;
         Ok(result)
     }
 
@@ -1699,6 +2002,24 @@ pub(crate) fn dedupe(rows: Vec<Row>) -> Vec<Row> {
         }
     }
     out
+}
+
+/// Classified arms of one recursive-union driver.
+struct DriverArms {
+    driver: BoxId,
+    /// Arms referencing no SCC member: evaluated once to seed.
+    base_arms: Vec<BoxId>,
+    /// Arms referencing exactly one driver (linear): iterated over the
+    /// delta each round.
+    step_arms: Vec<BoxId>,
+    /// UNION ALL — bag-append instead of set admission.
+    all: bool,
+}
+
+/// The semi-naive shape of one SCC: its drivers and their arms.
+struct SemiNaivePlan {
+    drivers: Vec<BoxId>,
+    arms: Vec<DriverArms>,
 }
 
 /// Boxes participating in any cycle.

@@ -41,10 +41,28 @@ pub struct BoxProfile {
     pub elapsed: Duration,
 }
 
+/// Convergence record of one fixpoint (recursive union) box: how many
+/// iterations the driver ran and how many new rows each one added.
+/// Deterministic — no clocks — so the determinism suite can pin it
+/// across thread counts and the columnar toggle.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Step iterations after the seed (a query whose step never fires
+    /// records 1: the single round that proved the delta empty).
+    pub iterations: u64,
+    /// New rows admitted per round; index 0 is the seed (base arms).
+    pub delta_rows: Vec<u64>,
+    /// Rows in the accumulated total at convergence.
+    pub total_rows: u64,
+}
+
 /// Per-box profile of one execution.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ExecProfile {
     pub boxes: BTreeMap<BoxId, BoxProfile>,
+    /// Per-iteration convergence of each fixpoint-evaluated box. Kept
+    /// beside [`ExecProfile::boxes`] so [`BoxProfile`] stays `Copy`.
+    pub fixpoint: BTreeMap<BoxId, FixpointStats>,
     /// Whether elapsed times were collected. Off by default: the
     /// deterministic counters are free of clock reads.
     pub timing: bool,
@@ -83,6 +101,15 @@ impl ExecProfile {
             e.rows_out += p.rows_out;
             e.evals += p.evals;
             e.elapsed += p.elapsed;
+        }
+        // Fixpoints run on the coordinating executor, never inside a
+        // morsel worker, so entries cannot collide in practice; summing
+        // keeps merge commutative anyway.
+        for (b, fs) in &other.fixpoint {
+            let e = self.fixpoint.entry(*b).or_default();
+            e.iterations += fs.iterations;
+            e.delta_rows.extend_from_slice(&fs.delta_rows);
+            e.total_rows += fs.total_rows;
         }
     }
 

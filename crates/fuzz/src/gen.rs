@@ -11,11 +11,16 @@
 //! NOT IN / quantified comparisons, GROUP BY + HAVING over nullable
 //! aggregates, DISTINCT, set operations (with and without ALL), and
 //! NULL-rich literals so three-valued logic is constantly exercised.
+//! One case in eight is a `WITH RECURSIVE` closure over the `edge`
+//! graph — always stratifiable, always terminating — with the outer
+//! block sometimes binding a closure column so magic-on-recursion is
+//! in the differential loop too.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use starmagic_common::Value;
 use starmagic_sql::ast::{
-    AggFunc, BinOp, Expr, Quantified, Query, SelectBlock, SelectItem, SetExpr, SetOpKind, TableRef,
+    AggFunc, BinOp, Cte, Expr, Quantified, Query, SelectBlock, SelectItem, SetExpr, SetOpKind,
+    TableRef, With,
 };
 
 use crate::schema::{Col, Family, Rel, Ty, PATTERNS, RELS, STRINGS};
@@ -75,12 +80,215 @@ struct QueryGen {
 
 impl QueryGen {
     fn query(&mut self) -> Query {
+        if self.rng.gen_ratio(1, 8) {
+            return self.recursive_query();
+        }
         let body = if self.rng.gen_ratio(1, 5) {
             self.set_op()
         } else {
             SetExpr::Select(Box::new(self.block(MAX_DEPTH, &[], None)))
         };
-        Query { body }
+        Query { with: None, body }
+    }
+
+    /// `WITH RECURSIVE r (a, b) AS (base UNION step) SELECT ...` over
+    /// the `edge` graph. Always stratifiable (no negation or grouping
+    /// inside the cycle) and always terminating: the combining UNION
+    /// deduplicates, so the fixpoint is bounded by the node-pair count
+    /// even though the graph contains a cycle. The outer block binds a
+    /// closure column half the time — the shapes that drive magic onto
+    /// the recursion (a static seed when `a` is bound, a grown magic
+    /// set when `b` is).
+    fn recursive_query(&mut self) -> Query {
+        let cte = self.fresh_alias();
+        let (lo, hi) = (0i64, 11i64);
+
+        // Base arm: the edges themselves, sometimes filtered.
+        let e1 = self.fresh_alias();
+        let base_filter = self.rng.gen_ratio(1, 3).then(|| {
+            let col = if self.rng.gen_ratio(1, 2) {
+                "src"
+            } else {
+                "dst"
+            };
+            let op = self.cmp_op();
+            Expr::bin(op, Expr::qcol(e1.clone(), col), self.int_lit(lo, hi))
+        });
+        let base = SelectBlock {
+            distinct: false,
+            items: vec![
+                SelectItem::Expr {
+                    expr: Expr::qcol(e1.clone(), "src"),
+                    alias: Some("a".into()),
+                },
+                SelectItem::Expr {
+                    expr: Expr::qcol(e1.clone(), "dst"),
+                    alias: Some("b".into()),
+                },
+            ],
+            from: vec![TableRef::Named {
+                name: "edge".into(),
+                alias: Some(e1),
+            }],
+            where_clause: base_filter,
+            group_by: Vec::new(),
+            having: None,
+        };
+
+        // Step arm: extend the closure by one edge on the right or the
+        // left (right-extension preserves `a` — the static-seed magic
+        // case; left-extension preserves `b` — the grown-magic case).
+        let t = self.fresh_alias();
+        let e2 = self.fresh_alias();
+        let extend_right = self.rng.gen_ratio(1, 2);
+        let (items, join) = if extend_right {
+            (
+                vec![
+                    SelectItem::Expr {
+                        expr: Expr::qcol(t.clone(), "a"),
+                        alias: Some("a".into()),
+                    },
+                    SelectItem::Expr {
+                        expr: Expr::qcol(e2.clone(), "dst"),
+                        alias: Some("b".into()),
+                    },
+                ],
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::qcol(e2.clone(), "src"),
+                    Expr::qcol(t.clone(), "b"),
+                ),
+            )
+        } else {
+            (
+                vec![
+                    SelectItem::Expr {
+                        expr: Expr::qcol(e2.clone(), "src"),
+                        alias: Some("a".into()),
+                    },
+                    SelectItem::Expr {
+                        expr: Expr::qcol(t.clone(), "b"),
+                        alias: Some("b".into()),
+                    },
+                ],
+                Expr::bin(
+                    BinOp::Eq,
+                    Expr::qcol(e2.clone(), "dst"),
+                    Expr::qcol(t.clone(), "a"),
+                ),
+            )
+        };
+        let step_filter = self.rng.gen_ratio(1, 4).then(|| {
+            let col = if extend_right { "dst" } else { "src" };
+            Expr::bin(
+                self.cmp_op(),
+                Expr::qcol(e2.clone(), col),
+                self.int_lit(lo, hi),
+            )
+        });
+        let step = SelectBlock {
+            distinct: false,
+            items,
+            from: vec![
+                TableRef::Named {
+                    name: cte.clone(),
+                    alias: Some(t),
+                },
+                TableRef::Named {
+                    name: "edge".into(),
+                    alias: Some(e2),
+                },
+            ],
+            where_clause: Some(match step_filter {
+                Some(f) => Expr::bin(BinOp::And, join, f),
+                None => join,
+            }),
+            group_by: Vec::new(),
+            having: None,
+        };
+
+        let inner = Query {
+            with: None,
+            body: SetExpr::SetOp {
+                op: SetOpKind::Union,
+                all: false,
+                left: Box::new(SetExpr::Select(Box::new(base))),
+                right: Box::new(SetExpr::Select(Box::new(step))),
+            },
+        };
+
+        // Outer block over the closure: plain scan, a bound column, or
+        // a stratified aggregate on top of the fixpoint.
+        let o = self.fresh_alias();
+        let where_clause = match self.rng.gen_range(0u32..10) {
+            0..=2 => Some(Expr::bin(
+                BinOp::Eq,
+                Expr::qcol(o.clone(), "a"),
+                self.int_lit(lo, hi),
+            )),
+            3..=5 => Some(Expr::bin(
+                BinOp::Eq,
+                Expr::qcol(o.clone(), "b"),
+                self.int_lit(lo, hi),
+            )),
+            _ => None,
+        };
+        let (items, group_by) = if self.rng.gen_ratio(1, 5) {
+            (
+                vec![
+                    SelectItem::Expr {
+                        expr: Expr::qcol(o.clone(), "a"),
+                        alias: Some("k0".into()),
+                    },
+                    SelectItem::Expr {
+                        expr: Expr::Agg {
+                            func: AggFunc::Count,
+                            distinct: false,
+                            arg: None,
+                        },
+                        alias: Some("a0".into()),
+                    },
+                ],
+                vec![Expr::qcol(o.clone(), "a")],
+            )
+        } else {
+            (
+                vec![
+                    SelectItem::Expr {
+                        expr: Expr::qcol(o.clone(), "a"),
+                        alias: Some("c0".into()),
+                    },
+                    SelectItem::Expr {
+                        expr: Expr::qcol(o.clone(), "b"),
+                        alias: Some("c1".into()),
+                    },
+                ],
+                Vec::new(),
+            )
+        };
+        let outer = SelectBlock {
+            distinct: self.rng.gen_ratio(1, 5),
+            items,
+            from: vec![TableRef::Named {
+                name: cte.clone(),
+                alias: Some(o),
+            }],
+            where_clause,
+            group_by,
+            having: None,
+        };
+
+        Query {
+            with: Some(With {
+                recursive: true,
+                ctes: vec![Cte {
+                    name: cte,
+                    columns: vec!["a".into(), "b".into()],
+                    query: inner,
+                }],
+            }),
+            body: SetExpr::Select(Box::new(outer)),
+        }
     }
 
     /// A set operation between 2–3 arms sharing one output signature.
@@ -277,6 +485,7 @@ impl QueryGen {
             None
         };
         let query = Query {
+            with: None,
             body: SetExpr::Select(Box::new(SelectBlock {
                 distinct: self.rng.gen_ratio(1, 5),
                 items,
@@ -481,6 +690,7 @@ impl QueryGen {
             None
         };
         Expr::ScalarSubquery(Box::new(Query {
+            with: None,
             body: SetExpr::Select(Box::new(SelectBlock {
                 distinct: false,
                 items: vec![SelectItem::Expr {
@@ -673,6 +883,7 @@ impl QueryGen {
         }
         let where_clause = self.conjoin(preds);
         Query {
+            with: None,
             body: SetExpr::Select(Box::new(SelectBlock {
                 distinct: self.rng.gen_ratio(1, 5),
                 items: vec![SelectItem::Expr {
@@ -723,6 +934,7 @@ impl QueryGen {
         let where_clause = self.conjoin(preds);
         Expr::Exists {
             query: Box::new(Query {
+                with: None,
                 body: SetExpr::Select(Box::new(SelectBlock {
                     distinct: false,
                     items: vec![SelectItem::Expr {

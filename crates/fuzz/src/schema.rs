@@ -41,6 +41,9 @@ pub enum Family {
     Dept,
     Emp,
     Proj,
+    /// Graph-node ids of the `edge` table (and of recursive CTEs
+    /// computed over it).
+    Node,
 }
 
 /// A relation (base table or view) the generator may scan.
@@ -88,9 +91,10 @@ const fn nullable(mut c: Col) -> Col {
 }
 
 /// The relations of [`crate::fuzz_engine`]'s catalog: the four
-/// benchmark base tables plus the seven shared views. Ranges reflect
+/// benchmark base tables, the `edge` graph the recursive grammar
+/// closes over, and the seven shared views. Ranges reflect
 /// [`crate::fuzz_scale`] (8 departments, 640 employees + a NULL-rich
-/// tail, 16 projects).
+/// tail, 16 projects, 12 graph nodes).
 pub const RELS: &[Rel] = &[
     Rel {
         name: "department",
@@ -132,6 +136,14 @@ pub const RELS: &[Rel] = &[
             key("empno", Family::Emp, 0, 660),
             key("projno", Family::Proj, 0, 15),
             col("hours", Ty::Double, 1, 40),
+        ],
+    },
+    Rel {
+        name: "edge",
+        view: false,
+        cols: &[
+            key("src", Family::Node, 0, 11),
+            key("dst", Family::Node, 0, 11),
         ],
     },
     Rel {

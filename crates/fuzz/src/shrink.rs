@@ -47,10 +47,33 @@ pub fn shrink(
 
 /// All one-step reductions of a query, roughly biggest-cut first.
 pub fn reductions(q: &Query) -> Vec<Query> {
-    set_reductions(&q.body)
-        .into_iter()
-        .map(|body| Query { body })
-        .collect()
+    let mut out: Vec<Query> = Vec::new();
+    if q.with.is_some() {
+        // Dropping the whole WITH clause is the biggest cut; candidates
+        // that orphan CTE references simply fail to reproduce.
+        out.push(Query {
+            with: None,
+            body: q.body.clone(),
+        });
+        // Shrink inside each CTE body, keeping the main body fixed.
+        if let Some(with) = &q.with {
+            for (i, cte) in with.ctes.iter().enumerate() {
+                for sub in reductions(&cte.query) {
+                    let mut w = with.clone();
+                    w.ctes[i].query = sub;
+                    out.push(Query {
+                        with: Some(w),
+                        body: q.body.clone(),
+                    });
+                }
+            }
+        }
+    }
+    out.extend(set_reductions(&q.body).into_iter().map(|body| Query {
+        with: q.with.clone(),
+        body,
+    }));
+    out
 }
 
 fn set_reductions(e: &SetExpr) -> Vec<SetExpr> {

@@ -56,6 +56,11 @@ pub enum Code {
     /// strictly above an input from a different SCC (both strata
     /// fresh), or a base table is not at stratum 0.
     L010StratumMonotonicity,
+    /// A dependency cycle does not pass through a recursive union's
+    /// step quantifier. Only `WITH RECURSIVE` fixpoints may close
+    /// cycles: every cycle must thread through a `Recursive`-flavored
+    /// union box, entering via the quantifier of one of its step arms.
+    L011RecursiveCycleShape,
     /// An adornment's length differs from its box's output arity.
     L020AdornmentArity,
     /// A magic link targets a dead box.
@@ -67,6 +72,11 @@ pub enum Code {
     /// A magic-flavored box permits duplicates. Magic tables must be
     /// duplicate-free (`Enforce`, or `Preserve` once proven).
     L023MagicDuplicates,
+    /// A GROUP BY box on a dependency cycle carries a Bound adornment.
+    /// The aggregate exemption: the magic transformation must never
+    /// push bindings into an aggregate participating in recursion (the
+    /// bound subset could see partial groups and aggregate wrongly).
+    L024RecursiveAggregateAdorned,
     /// A box claims `DistinctMode::Preserve` but its output is not
     /// provably duplicate-free without that claim.
     L030UnprovableDistinctClaim,
@@ -135,10 +145,12 @@ impl Code {
         Code::L008DeadTopBox,
         Code::L009JoinOrderDeadQuant,
         Code::L010StratumMonotonicity,
+        Code::L011RecursiveCycleShape,
         Code::L020AdornmentArity,
         Code::L021MagicLinkDead,
         Code::L022MisplacedMagicLink,
         Code::L023MagicDuplicates,
+        Code::L024RecursiveAggregateAdorned,
         Code::L030UnprovableDistinctClaim,
         Code::L040SubqueryQuantProjected,
         Code::L041QuantifiedOverForeach,
@@ -168,10 +180,12 @@ impl Code {
             Code::L008DeadTopBox => "L008",
             Code::L009JoinOrderDeadQuant => "L009",
             Code::L010StratumMonotonicity => "L010",
+            Code::L011RecursiveCycleShape => "L011",
             Code::L020AdornmentArity => "L020",
             Code::L021MagicLinkDead => "L021",
             Code::L022MisplacedMagicLink => "L022",
             Code::L023MagicDuplicates => "L023",
+            Code::L024RecursiveAggregateAdorned => "L024",
             Code::L030UnprovableDistinctClaim => "L030",
             Code::L040SubqueryQuantProjected => "L040",
             Code::L041QuantifiedOverForeach => "L041",
@@ -218,10 +232,12 @@ impl Code {
             Code::L008DeadTopBox => "top box is dead",
             Code::L009JoinOrderDeadQuant => "join order references a dead quantifier",
             Code::L010StratumMonotonicity => "stratum not strictly above an input's",
+            Code::L011RecursiveCycleShape => "cycle avoids every recursive union's step quantifier",
             Code::L020AdornmentArity => "adornment length differs from box arity",
             Code::L021MagicLinkDead => "magic link targets a dead box",
             Code::L022MisplacedMagicLink => "magic link on a non-adorned or magic box",
             Code::L023MagicDuplicates => "magic box permits duplicates",
+            Code::L024RecursiveAggregateAdorned => "GROUP BY on a cycle carries a Bound adornment",
             Code::L030UnprovableDistinctClaim => "Preserve claim not provable",
             Code::L040SubqueryQuantProjected => "subquery quantifier projected",
             Code::L041QuantifiedOverForeach => "quantified test over a Foreach/Scalar quant",

@@ -1,7 +1,7 @@
 //! Semantic invariant checker for the QGM.
 //!
 //! [`Qgm::validate`] stops at the first structural breakage; this crate
-//! is the full diagnosis. Seven passes sweep the graph and report every
+//! is the full diagnosis. Eight passes sweep the graph and report every
 //! violation as a [`Diagnostic`] with a stable code (L0xx = error,
 //! L1xx = warning), the offending box/quantifier, and a human message:
 //!
@@ -9,15 +9,18 @@
 //!    join-order and magic-link liveness (L001–L009, L021);
 //! 2. **strata** — stratum monotonicity against a recomputation
 //!    (L010, L104);
-//! 3. **magic** — adornment arity, magic-link placement, and magic-box
+//! 3. **recursion** — cycle well-formedness: every dependency cycle
+//!    passes through a recursive union's step quantifier, and no
+//!    GROUP BY on a cycle carries a Bound adornment (L011, L024);
+//! 4. **magic** — adornment arity, magic-link placement, and magic-box
 //!    duplicate discipline (L020, L022, L023);
-//! 4. **duplicates** — every `Preserve` claim re-proven from scratch
+//! 5. **duplicates** — every `Preserve` claim re-proven from scratch
 //!    (L030);
-//! 5. **quantifiers** — subquery quantifiers stay inside predicates
+//! 6. **quantifiers** — subquery quantifiers stay inside predicates
 //!    (L040, L041);
-//! 6. **hygiene** — unreachable boxes, orphan quantifiers, unused
+//! 7. **hygiene** — unreachable boxes, orphan quantifiers, unused
 //!    columns, foreign join-order entries (L100–L103);
-//! 7. **parallel** — join orders naming parallel-unsafe (correlated
+//! 8. **parallel** — join orders naming parallel-unsafe (correlated
 //!    existential/universal) quantifiers, which pin the box to the
 //!    executor's serial path (L110).
 //!
@@ -45,6 +48,7 @@ pub fn lint(qgm: &Qgm, catalog: &Catalog) -> LintReport {
         return report;
     }
     passes::strata::run(qgm, &mut report);
+    passes::recursion::run(qgm, &mut report);
     passes::magic::run(qgm, &mut report);
     passes::duplicates::run(qgm, catalog, &mut report);
     passes::quantifiers::run(qgm, &mut report);
@@ -58,8 +62,10 @@ mod tests {
     use super::*;
     use starmagic_catalog::{Catalog, ColumnDef, Table, TableSchema};
     use starmagic_common::{DataType, Value};
-    use starmagic_qgm::boxes::{Adornment, BoxFlavor, BoxKind, DistinctMode, OutputCol};
-    use starmagic_qgm::{BoxId, Qgm, QuantId, QuantKind, ScalarExpr};
+    use starmagic_qgm::boxes::{
+        AdornChar, Adornment, BoxFlavor, BoxKind, DistinctMode, GroupByBox, OutputCol, SetOpBox,
+    };
+    use starmagic_qgm::{BoxId, Qgm, QuantId, QuantKind, ScalarExpr, SetOpKind};
 
     /// A catalog with one table `t(a int primary key, b int)`.
     fn catalog() -> Catalog {
@@ -186,6 +192,152 @@ mod tests {
         );
         assert!(report.find(Code::L104StaleStratum).is_some(), "{report}");
         assert!(!report.has_errors());
+    }
+
+    /// The builder's recursive-union shape: base arm and step arm under
+    /// a Recursive-flavored UNION, the step arm closing the cycle.
+    /// Returns (graph, union box, step arm).
+    fn recursive_union() -> (Qgm, BoxId, BoxId) {
+        let (mut g, base, _) = tiny();
+        let union = g.add_box(
+            "TC",
+            BoxKind::SetOp(SetOpBox {
+                op: SetOpKind::Union,
+                all: false,
+            }),
+        );
+        g.boxed_mut(union).flavor = BoxFlavor::Recursive;
+        g.boxed_mut(union).distinct = DistinctMode::Enforce;
+
+        let barm = g.add_box("B", BoxKind::Select);
+        let bq = g.add_quant(barm, base, QuantKind::Foreach, "e");
+        g.boxed_mut(barm).columns = vec![
+            OutputCol {
+                name: "a".into(),
+                expr: ScalarExpr::col(bq, 0),
+            },
+            OutputCol {
+                name: "b".into(),
+                expr: ScalarExpr::col(bq, 1),
+            },
+        ];
+        let sarm = g.add_box("S", BoxKind::Select);
+        let rec = g.add_quant(sarm, union, QuantKind::Foreach, "tc");
+        let sq = g.add_quant(sarm, base, QuantKind::Foreach, "e2");
+        g.boxed_mut(sarm).columns = vec![
+            OutputCol {
+                name: "a".into(),
+                expr: ScalarExpr::col(rec, 0),
+            },
+            OutputCol {
+                name: "b".into(),
+                expr: ScalarExpr::col(sq, 1),
+            },
+        ];
+        let _ = g.add_quant(union, barm, QuantKind::Foreach, "arm0");
+        let _ = g.add_quant(union, sarm, QuantKind::Foreach, "arm1");
+        g.boxed_mut(union).columns = vec![
+            OutputCol {
+                name: "a".into(),
+                expr: ScalarExpr::lit(0i64),
+            },
+            OutputCol {
+                name: "b".into(),
+                expr: ScalarExpr::lit(0i64),
+            },
+        ];
+
+        let top = g.top();
+        let old = g.boxed(top).quants[0];
+        g.retarget(old, union);
+        starmagic_qgm::strata::assign(&mut g);
+        (g, union, sarm)
+    }
+
+    #[test]
+    fn recursion_accepts_the_builder_shape() {
+        let (g, _, _) = recursive_union();
+        let report = lint(&g, &catalog());
+        assert!(
+            report.find(Code::L011RecursiveCycleShape).is_none(),
+            "{report}"
+        );
+        assert!(
+            report.find(Code::L024RecursiveAggregateAdorned).is_none(),
+            "{report}"
+        );
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn recursion_reports_cycle_avoiding_the_union() {
+        // Rewire the step arm's recursive reference to point at a plain
+        // Select that in turn ranges over the step arm: the cycle now
+        // avoids the Recursive union entirely.
+        let (mut g, _, sarm) = recursive_union();
+        let detour = g.add_box("D", BoxKind::Select);
+        let dq = g.add_quant(detour, sarm, QuantKind::Foreach, "d");
+        g.boxed_mut(detour).columns = vec![
+            OutputCol {
+                name: "a".into(),
+                expr: ScalarExpr::col(dq, 0),
+            },
+            OutputCol {
+                name: "b".into(),
+                expr: ScalarExpr::col(dq, 1),
+            },
+        ];
+        let rec = g.boxed(sarm).quants[0];
+        g.retarget(rec, detour);
+        let report = lint(&g, &catalog());
+        let d = report.find(Code::L011RecursiveCycleShape).expect("L011");
+        assert!(d.box_id.is_some());
+        assert!(d.quant.is_some(), "finding should anchor a cycle edge");
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn recursion_reports_bound_adornment_on_cyclic_group_by() {
+        // A GROUP BY spliced into the recursive cycle (between the step
+        // arm and the union) that a broken rewrite adorned with a Bound
+        // column: the aggregate exemption says this must never happen.
+        let (mut g, union, sarm) = recursive_union();
+        let gb = g.add_box(
+            "G",
+            BoxKind::GroupBy(GroupByBox {
+                group_keys: vec![],
+                aggs: vec![],
+            }),
+        );
+        let gq = g.add_quant(gb, union, QuantKind::Foreach, "g");
+        g.boxed_mut(gb).columns = vec![
+            OutputCol {
+                name: "a".into(),
+                expr: ScalarExpr::col(gq, 0),
+            },
+            OutputCol {
+                name: "b".into(),
+                expr: ScalarExpr::col(gq, 1),
+            },
+        ];
+        g.boxed_mut(gb).kind = BoxKind::GroupBy(GroupByBox {
+            group_keys: vec![ScalarExpr::col(gq, 0), ScalarExpr::col(gq, 1)],
+            aggs: vec![],
+        });
+        g.boxed_mut(gb).adornment = Some(Adornment(vec![AdornChar::Bound, AdornChar::Free]));
+        let rec = g.boxed(sarm).quants[0];
+        g.retarget(rec, gb);
+        let report = lint(&g, &catalog());
+        let d = report
+            .find(Code::L024RecursiveAggregateAdorned)
+            .expect("L024");
+        assert_eq!(d.box_id, Some(gb));
+        // The cycle still threads the union's step quantifier, so the
+        // shape check stays quiet: the two codes are independent.
+        assert!(
+            report.find(Code::L011RecursiveCycleShape).is_none(),
+            "{report}"
+        );
     }
 
     #[test]

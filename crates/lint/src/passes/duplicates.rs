@@ -1,4 +1,4 @@
-//! Pass 4: duplicate-semantics consistency.
+//! Pass 5: duplicate-semantics consistency.
 //!
 //! `DistinctMode::Preserve` is a *claim*: the box's output is
 //! duplicate-free without any enforcement. Distinct pullup makes the

@@ -1,4 +1,4 @@
-//! Pass 6: hygiene warnings.
+//! Pass 7: hygiene warnings.
 //!
 //! None of these change query answers — they flag dead weight a rule
 //! left behind: boxes no traversal can reach, quantifiers their parent

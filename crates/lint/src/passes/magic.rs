@@ -1,4 +1,4 @@
-//! Pass 3: magic/EMST well-formedness.
+//! Pass 4: magic/EMST well-formedness.
 //!
 //! The EMST lifecycle leaves a precise trail on the graph: adorned
 //! copies carry the magic links for their descendants to consume

@@ -5,5 +5,6 @@ pub mod hygiene;
 pub mod magic;
 pub mod parallel;
 pub mod quantifiers;
+pub mod recursion;
 pub mod strata;
 pub mod structural;

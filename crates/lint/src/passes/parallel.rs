@@ -1,4 +1,4 @@
-//! Pass 7: parallel-safety of deposited join orders.
+//! Pass 8: parallel-safety of deposited join orders.
 //!
 //! The executor parallelizes a box's hot loops only when every
 //! expression they evaluate is *pure* — no aggregate, no quantified

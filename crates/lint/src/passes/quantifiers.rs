@@ -1,4 +1,4 @@
-//! Pass 5: quantifier-kind rules.
+//! Pass 6: quantifier-kind rules.
 //!
 //! Existential and universal quantifiers encode subquery *tests*: they
 //! restrict rows but never produce columns. A rewrite that lets one

@@ -42,10 +42,29 @@ pub fn best_order(qgm: &Qgm, catalog: &Catalog, b: BoxId) -> Vec<QuantId> {
     if n <= 1 {
         return fquants;
     }
-    // Input cardinalities and predicate metadata.
+    // Input cardinalities and predicate metadata. A cycle-closing
+    // quantifier (a step arm's reference back to its recursive union)
+    // ranges over the per-iteration *delta* under the semi-naive
+    // executor, not the accumulated total — estimate it as a single
+    // row so the DP produces delta-driven orders that let the other
+    // inputs be index-probed from it. Magic quantifiers get the same
+    // treatment: a magic table is a DISTINCT set of bindings, small by
+    // construction, and must lead the order so the inputs it restricts
+    // are probed rather than scanned (the recursive magic union would
+    // otherwise inherit the estimator's cycle-seed guess and sort
+    // last).
     let cards: Vec<f64> = fquants
         .iter()
-        .map(|&q| estimate_box_rows(qgm, catalog, qgm.quant(q).input).max(1.0))
+        .map(|&q| {
+            let input = qgm.quant(q).input;
+            if qgm.quant(q).is_magic
+                || (qgm.boxed(input).is_recursive_union() && reaches_box(qgm, input, b))
+            {
+                1.0
+            } else {
+                estimate_box_rows(qgm, catalog, qgm.quant(q).input).max(1.0)
+            }
+        })
         .collect();
     let preds: Vec<(u32, f64)> = qgm
         .boxed(b)
@@ -59,6 +78,26 @@ pub fn best_order(qgm: &Qgm, catalog: &Catalog, b: BoxId) -> Vec<QuantId> {
     } else {
         greedy_order(&fquants, &cards, &preds)
     }
+}
+
+/// Whether `from` reaches `to` through quantifier edges (used to spot
+/// cycle-closing quantifiers: a step arm's input that leads back to
+/// the arm itself).
+fn reaches_box(qgm: &Qgm, from: BoxId, to: BoxId) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(x) = stack.pop() {
+        if x == to {
+            return true;
+        }
+        if !seen.insert(x) {
+            continue;
+        }
+        for &q in &qgm.boxed(x).quants {
+            stack.push(qgm.quant(q).input);
+        }
+    }
+    false
 }
 
 /// Bitmask of the local Foreach quantifiers a predicate touches, or

@@ -38,6 +38,11 @@ pub enum BoxFlavor {
     Magic,
     ConditionMagic,
     SupplementaryMagic,
+    /// A recursive union: the UNION box of a `WITH RECURSIVE` CTE (or
+    /// recursive view) whose step arm closes a cycle back to this box.
+    /// Not a magic flavor — it is a user-visible relation the executor
+    /// drives to fixpoint, and EMST may adorn a *copy* of it.
+    Recursive,
 }
 
 /// Adornment of a box copy: one [`AdornChar`] per output column
@@ -284,9 +289,19 @@ impl QBox {
         self.columns.iter().position(|c| c.name == lname)
     }
 
-    /// Whether this is one of the three magic flavors.
+    /// Whether this is one of the three magic flavors. Recursive is
+    /// *not* magic: it is a user-visible relation, not rewrite output.
     pub fn is_magic_flavor(&self) -> bool {
-        self.flavor != BoxFlavor::Regular
+        matches!(
+            self.flavor,
+            BoxFlavor::Magic | BoxFlavor::ConditionMagic | BoxFlavor::SupplementaryMagic
+        )
+    }
+
+    /// Whether this box is the union of a recursive CTE/view — the
+    /// fixpoint driver the semi-naive executor iterates.
+    pub fn is_recursive_union(&self) -> bool {
+        self.flavor == BoxFlavor::Recursive
     }
 
     /// Display name with adornment superscript, e.g. `MGRSAL^ffbf`.

@@ -18,7 +18,8 @@ use starmagic_common::{Error, Result, Value};
 use starmagic_sql::{self as sql, BinOp, Query, SelectBlock, SelectItem, SetExpr, TableRef};
 
 use crate::boxes::{
-    AggSpec, BoxKind, DistinctMode, GroupByBox, OuterJoinBox, OutputCol, QuantKind, SetOpBox,
+    AggSpec, BoxFlavor, BoxKind, DistinctMode, GroupByBox, OuterJoinBox, OutputCol, QuantKind,
+    SetOpBox,
 };
 use crate::expr::{QuantMode, ScalarExpr};
 use crate::graph::Qgm;
@@ -36,11 +37,12 @@ pub fn build_qgm(catalog: &Catalog, query: &Query) -> Result<Qgm> {
         next_tmp: 1,
     };
     let scope = Scope::root();
-    let top = b.build_setexpr(&query.body, &scope)?;
+    let top = b.build_query(query, &scope)?;
     b.qgm.set_top(top);
     b.qgm.boxed_mut(top).name = "QUERY".into();
     b.qgm.garbage_collect(false);
     b.qgm.validate()?;
+    strata::validate_stratification(&b.qgm)?;
     strata::assign(&mut b.qgm);
     Ok(b.qgm)
 }
@@ -196,7 +198,159 @@ impl<'a> Builder<'a> {
                 col.name = new_name.clone();
             }
         }
+        // A recursive view shaped as base UNION step is a fixpoint
+        // driver, same as a WITH RECURSIVE CTE.
+        if strata::in_cycle(&self.qgm, shell) {
+            if let BoxKind::SetOp(s) = &self.qgm.boxed(shell).kind {
+                if s.op == sql::SetOpKind::Union {
+                    self.qgm.boxed_mut(shell).flavor = BoxFlavor::Recursive;
+                }
+            }
+        }
         Ok(shell)
+    }
+
+    // ---- queries and common table expressions -------------------------
+
+    /// Build a full query: register its WITH-clause CTEs (scoped to
+    /// this query — shadowed names are restored afterwards), then build
+    /// the body. CTE bodies are closed like view bodies: they never
+    /// correlate to the enclosing query.
+    fn build_query(&mut self, query: &Query, scope: &Scope<'_>) -> Result<BoxId> {
+        let Some(with) = &query.with else {
+            return self.build_setexpr(&query.body, scope);
+        };
+        // Remember what each CTE name shadowed so nested WITH scopes
+        // restore cleanly.
+        let shadowed: Vec<(String, Option<BoxId>)> = with
+            .ctes
+            .iter()
+            .map(|cte| {
+                let lname = cte.name.to_ascii_lowercase();
+                let prev = self.view_boxes.get(&lname).copied();
+                (lname, prev)
+            })
+            .collect();
+        let built = self
+            .build_with(with)
+            .and_then(|()| self.build_setexpr(&query.body, scope));
+        for (lname, prev) in shadowed {
+            match prev {
+                Some(b) => {
+                    self.view_boxes.insert(lname, b);
+                }
+                None => {
+                    self.view_boxes.remove(&lname);
+                }
+            }
+        }
+        built
+    }
+
+    /// Register and build the CTEs of one WITH clause. On entry the
+    /// names are unbound (caller saved any shadowed entries).
+    fn build_with(&mut self, with: &sql::With) -> Result<()> {
+        if !with.recursive {
+            // Non-recursive CTEs bind left to right; each body may
+            // reference the ones before it but not itself.
+            for cte in &with.ctes {
+                let lname = cte.name.to_ascii_lowercase();
+                self.view_boxes.remove(&lname);
+                let scope = Scope::root(); // CTE bodies are closed
+                let b = self.build_query(&cte.query, &scope)?;
+                self.rename_cte_columns(b, &cte.name, &cte.columns)?;
+                self.qgm.boxed_mut(b).name = lname.to_uppercase();
+                self.view_boxes.insert(lname, b);
+            }
+            return Ok(());
+        }
+        // WITH RECURSIVE: pre-create every shell first so bodies can
+        // reference any sibling (mutual recursion), then build the
+        // bodies in declaration order.
+        let mut shells: Vec<BoxId> = Vec::new();
+        for cte in &with.ctes {
+            let lname = cte.name.to_ascii_lowercase();
+            if cte.columns.is_empty() {
+                return Err(Error::semantic(format!(
+                    "recursive CTE {} must declare its column list",
+                    cte.name
+                )));
+            }
+            if cte.query.with.is_some() {
+                return Err(Error::semantic(format!(
+                    "recursive CTE {} must not nest another WITH clause",
+                    cte.name
+                )));
+            }
+            let shell = match &cte.query.body {
+                SetExpr::Select(_) => self.qgm.add_box(lname.to_uppercase(), BoxKind::Select),
+                SetExpr::SetOp { op, all, .. } => self.qgm.add_box(
+                    lname.to_uppercase(),
+                    BoxKind::SetOp(SetOpBox { op: *op, all: *all }),
+                ),
+            };
+            self.qgm.boxed_mut(shell).columns = cte
+                .columns
+                .iter()
+                .map(|c| OutputCol {
+                    name: c.clone(),
+                    expr: ScalarExpr::Literal(Value::Null),
+                })
+                .collect();
+            self.view_boxes.insert(lname, shell);
+            shells.push(shell);
+        }
+        for (cte, &shell) in with.ctes.iter().zip(&shells) {
+            let scope = Scope::root(); // CTE bodies are closed
+            match &cte.query.body {
+                SetExpr::Select(block) => self.build_block_into(shell, block, &scope)?,
+                SetExpr::SetOp { left, right, .. } => {
+                    self.build_setop_into(shell, left, right, &scope)?;
+                }
+            }
+            self.rename_cte_columns(shell, &cte.name, &cte.columns)?;
+        }
+        // Flavor the shells that actually close a cycle. The fixpoint
+        // driver must be a UNION of base and step branches; a self
+        // reference anywhere else has no seed row set to start from.
+        for (cte, &shell) in with.ctes.iter().zip(&shells) {
+            if !strata::in_cycle(&self.qgm, shell) {
+                continue;
+            }
+            match &self.qgm.boxed(shell).kind {
+                BoxKind::SetOp(s) if s.op == sql::SetOpKind::Union => {
+                    self.qgm.boxed_mut(shell).flavor = BoxFlavor::Recursive;
+                }
+                _ => {
+                    return Err(Error::semantic(format!(
+                        "recursive CTE {} must combine its base and recursive \
+                         branches with UNION",
+                        cte.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a CTE's declared column list (arity check + rename); a
+    /// missing list keeps the body's own column names.
+    fn rename_cte_columns(&mut self, b: BoxId, name: &str, columns: &[String]) -> Result<()> {
+        if columns.is_empty() {
+            return Ok(());
+        }
+        let arity = self.qgm.boxed(b).arity();
+        if columns.len() != arity {
+            return Err(Error::semantic(format!(
+                "CTE {name} declares {} columns but its body produces {arity}",
+                columns.len()
+            )));
+        }
+        let qb = self.qgm.boxed_mut(b);
+        for (col, new_name) in qb.columns.iter_mut().zip(columns) {
+            col.name = new_name.clone();
+        }
+        Ok(())
     }
 
     // ---- set expressions ----------------------------------------------
@@ -582,10 +736,10 @@ impl<'a> Builder<'a> {
                 // Derived tables cannot see sibling FROM items, but can
                 // see the outer blocks.
                 let b = match scope.parent {
-                    Some(p) => self.build_setexpr(&query.body, p)?,
+                    Some(p) => self.build_query(query, p)?,
                     None => {
                         let root = Scope::root();
-                        self.build_setexpr(&query.body, &root)?
+                        self.build_query(query, &root)?
                     }
                 };
                 let arity = self.qgm.boxed(b).arity();
@@ -837,7 +991,7 @@ impl<'a> Builder<'a> {
                 }
             }
             sql::Expr::Exists { query, negated } => {
-                let sub = self.build_setexpr(&query.body, scope)?;
+                let sub = self.build_query(query, scope)?;
                 let q = self.qgm.add_quant(
                     sink,
                     sub,
@@ -861,7 +1015,7 @@ impl<'a> Builder<'a> {
                 negated,
             } => {
                 let x = self.translate(expr, scope, sink)?;
-                let sub = self.build_setexpr(&query.body, scope)?;
+                let sub = self.build_query(query, scope)?;
                 if self.qgm.boxed(sub).arity() != 1 {
                     return Err(Error::semantic(
                         "IN subquery must produce exactly one column",
@@ -891,7 +1045,7 @@ impl<'a> Builder<'a> {
                 query,
             } => {
                 let x = self.translate(expr, scope, sink)?;
-                let sub = self.build_setexpr(&query.body, scope)?;
+                let sub = self.build_query(query, scope)?;
                 if self.qgm.boxed(sub).arity() != 1 {
                     return Err(Error::semantic(
                         "quantified subquery must produce exactly one column",
@@ -911,7 +1065,7 @@ impl<'a> Builder<'a> {
                 }
             }
             sql::Expr::ScalarSubquery(query) => {
-                let sub = self.build_setexpr(&query.body, scope)?;
+                let sub = self.build_query(query, scope)?;
                 if self.qgm.boxed(sub).arity() != 1 {
                     return Err(Error::semantic(
                         "scalar subquery must produce exactly one column",

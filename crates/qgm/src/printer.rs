@@ -45,6 +45,7 @@ pub fn print_box(qgm: &Qgm, b: BoxId) -> String {
         crate::boxes::BoxFlavor::Magic => " [magic]",
         crate::boxes::BoxFlavor::ConditionMagic => " [condition-magic]",
         crate::boxes::BoxFlavor::SupplementaryMagic => " [supplementary-magic]",
+        crate::boxes::BoxFlavor::Recursive => " [recursive]",
     };
     let distinct = match qb.distinct {
         DistinctMode::Enforce => " DISTINCT",

@@ -5,9 +5,13 @@
 //! (recursion), and assign stratum numbers by topological order, with
 //! base tables at stratum 0.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::boxes::BoxKind;
+use starmagic_common::{Error, Result};
+
+use starmagic_sql::SetOpKind;
+
+use crate::boxes::{BoxKind, QuantKind};
 use crate::graph::Qgm;
 use crate::ids::BoxId;
 
@@ -79,6 +83,119 @@ pub fn is_recursive(qgm: &Qgm) -> bool {
         }
     }
     false
+}
+
+/// Whether `b` lies on a dependency cycle (references itself directly
+/// or through other boxes).
+pub fn in_cycle(qgm: &Qgm, b: BoxId) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack: Vec<BoxId> = qgm
+        .boxed(b)
+        .quants
+        .iter()
+        .map(|&q| qgm.quant(q).input)
+        .collect();
+    while let Some(x) = stack.pop() {
+        if x == b {
+            return true;
+        }
+        if !seen.insert(x) {
+            continue;
+        }
+        for &q in &qgm.boxed(x).quants {
+            stack.push(qgm.quant(q).input);
+        }
+    }
+    false
+}
+
+/// Reject graphs whose recursion is not stratifiable: a cycle running
+/// through negation (NOT EXISTS, ALL-quantified subqueries, EXCEPT),
+/// through aggregation (GROUP BY), through an outer join's NULL
+/// padding, or through a scalar subquery cannot be evaluated by a
+/// monotone fixpoint. Called by the builder after constructing a graph
+/// from SQL; hand-built graphs may opt in explicitly.
+///
+/// The diagnostics name the offending construct so the REPL/server can
+/// surface them verbatim.
+pub fn validate_stratification(qgm: &Qgm) -> Result<()> {
+    for scc in sccs(qgm) {
+        let cyclic = scc.len() > 1
+            || qgm
+                .boxed(scc[0])
+                .quants
+                .iter()
+                .any(|&q| qgm.quant(q).input == scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let members: BTreeSet<BoxId> = scc.iter().copied().collect();
+        for &b in &scc {
+            let qb = qgm.boxed(b);
+            match &qb.kind {
+                BoxKind::GroupBy(_) => {
+                    return Err(Error::semantic(format!(
+                        "recursive query is not stratifiable: recursion through \
+                         GROUP BY/aggregation in {}",
+                        qb.name
+                    )));
+                }
+                BoxKind::OuterJoin(_) => {
+                    return Err(Error::semantic(format!(
+                        "recursive query is not stratifiable: recursion through \
+                         OUTER JOIN in {}",
+                        qb.name
+                    )));
+                }
+                BoxKind::SetOp(spec) if spec.op != SetOpKind::Union => {
+                    let op = match spec.op {
+                        SetOpKind::Except => "EXCEPT",
+                        SetOpKind::Intersect => "INTERSECT",
+                        SetOpKind::Union => unreachable!(),
+                    };
+                    return Err(Error::semantic(format!(
+                        "recursive query is not stratifiable: recursion through \
+                         {op} in {}",
+                        qb.name
+                    )));
+                }
+                _ => {}
+            }
+            // Cycle-closing quantifiers must be monotone references:
+            // plain FROM-clause ranges or positive EXISTS.
+            for &q in &qb.quants {
+                let quant = qgm.quant(q);
+                if !members.contains(&quant.input) {
+                    continue;
+                }
+                match quant.kind {
+                    QuantKind::Foreach | QuantKind::Existential { negated: false } => {}
+                    QuantKind::Existential { negated: true } => {
+                        return Err(Error::semantic(format!(
+                            "recursive query is not stratifiable: recursion through \
+                             NOT EXISTS/NOT IN in {}",
+                            qb.name
+                        )));
+                    }
+                    QuantKind::Universal => {
+                        return Err(Error::semantic(format!(
+                            "recursive query is not stratifiable: recursion through \
+                             an ALL-quantified subquery in {}",
+                            qb.name
+                        )));
+                    }
+                    QuantKind::Scalar => {
+                        return Err(Error::semantic(format!(
+                            "recursive query is not stratifiable: recursion through \
+                             a scalar subquery in {}",
+                            qb.name
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Iterative Tarjan SCC over the box graph (edges: box → inputs of its

@@ -24,11 +24,37 @@ pub enum Statement {
     Insert { table: String, rows: Vec<Vec<Expr>> },
 }
 
-/// A query: a set expression. (ORDER BY is deliberately absent — the
-/// paper's subset has no ordering, and results are bags.)
+/// A query: an optional WITH clause over a set expression. (ORDER BY
+/// is deliberately absent — the paper's subset has no ordering, and
+/// results are bags.)
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    pub with: Option<With>,
     pub body: SetExpr,
+}
+
+impl Query {
+    /// A query with no WITH clause — the overwhelmingly common shape.
+    pub fn bare(body: SetExpr) -> Query {
+        Query { with: None, body }
+    }
+}
+
+/// `WITH [RECURSIVE] cte [, cte ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct With {
+    pub recursive: bool,
+    pub ctes: Vec<Cte>,
+}
+
+/// One common table expression: `name [(col, ...)] AS (query)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    pub name: String,
+    /// Declared column names; required for recursive CTEs (the cyclic
+    /// shell needs its arity before the body can reference it).
+    pub columns: Vec<String>,
+    pub query: Query,
 }
 
 /// Body of a query: a single block or a set operation between bodies.

@@ -82,6 +82,11 @@ struct Extractor {
 
 impl Extractor {
     fn query(&mut self, q: &mut Query) {
+        if let Some(with) = &mut q.with {
+            for cte in &mut with.ctes {
+                self.query(&mut cte.query);
+            }
+        }
         self.set_expr(&mut q.body);
     }
 
@@ -170,6 +175,11 @@ impl Extractor {
 }
 
 fn scan_query(q: &Query, max: &mut Option<usize>) {
+    if let Some(with) = &q.with {
+        for cte in &with.ctes {
+            scan_query(&cte.query, max);
+        }
+    }
     scan_set_expr(&q.body, max);
 }
 

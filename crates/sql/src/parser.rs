@@ -225,8 +225,47 @@ impl Parser {
     // ---- queries ----------------------------------------------------
 
     fn query(&mut self) -> Result<Query> {
+        let with = if self.peek().is_kw("with") {
+            self.bump();
+            let recursive = self.eat_kw("recursive");
+            let mut ctes = vec![self.cte()?];
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+                ctes.push(self.cte()?);
+            }
+            Some(With { recursive, ctes })
+        } else {
+            None
+        };
         Ok(Query {
+            with,
             body: self.set_expr()?,
+        })
+    }
+
+    /// One common table expression: `name [(col, ...)] AS (query)`.
+    fn cte(&mut self) -> Result<Cte> {
+        let name = self.ident()?;
+        let mut columns = Vec::new();
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            loop {
+                columns.push(self.ident()?);
+                if !matches!(self.peek(), TokenKind::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect_kw("as")?;
+        self.expect(&TokenKind::LParen)?;
+        let query = self.query()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Cte {
+            name,
+            columns,
+            query,
         })
     }
 
@@ -546,7 +585,7 @@ impl Parser {
 
         if self.eat_kw("in") {
             self.expect(&TokenKind::LParen)?;
-            if self.peek().is_kw("select") {
+            if self.peek().is_kw("select") || self.peek().is_kw("with") {
                 let query = self.query()?;
                 self.expect(&TokenKind::RParen)?;
                 return Ok(Expr::InSubquery {
@@ -660,7 +699,7 @@ impl Parser {
             }
             TokenKind::LParen => {
                 self.bump();
-                if self.peek().is_kw("select") {
+                if self.peek().is_kw("select") || self.peek().is_kw("with") {
                     let query = self.query()?;
                     self.expect(&TokenKind::RParen)?;
                     Ok(Expr::ScalarSubquery(Box::new(query)))

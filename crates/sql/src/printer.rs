@@ -120,6 +120,27 @@ pub fn statement_sql(st: &Statement) -> String {
 /// Render a query.
 pub fn query_sql(q: &Query) -> String {
     let mut s = String::new();
+    if let Some(with) = &q.with {
+        s.push_str("WITH ");
+        if with.recursive {
+            s.push_str("RECURSIVE ");
+        }
+        for (i, cte) in with.ctes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&cte.name);
+            if !cte.columns.is_empty() {
+                s.push_str(" (");
+                s.push_str(&cte.columns.join(", "));
+                s.push(')');
+            }
+            s.push_str(" AS (");
+            s.push_str(&query_sql(&cte.query));
+            s.push(')');
+        }
+        s.push(' ');
+    }
     write_set_expr(&mut s, &q.body, 1);
     s
 }

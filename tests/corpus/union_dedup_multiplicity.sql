@@ -1,0 +1,5 @@
+-- starmagic-fuzz minimized repro
+-- seed 42, case 28
+-- divergence original×1 vs analysis: executed 640 rows but the multiplicity domain proves [1261,1261] for the top box
+-- original: SELECT t1.empno AS c0 FROM emp_act AS t1 WHERE t1.empno > 734 UNION SELECT t2.src AS c0 FROM edge AS t2
+SELECT t1.empno AS c0 FROM emp_act AS t1 UNION SELECT t2.src AS c0 FROM edge AS t2

@@ -5,6 +5,8 @@
 use starmagic::trace::TraceSink;
 use starmagic::{optimize, Engine, PipelineOptions, Strategy};
 use starmagic_catalog::generator::{benchmark_catalog, Scale};
+use starmagic_catalog::{Catalog, ColumnDef, Table, TableSchema};
+use starmagic_common::{DataType, Row, Value};
 use starmagic_qgm::BoxKind;
 
 fn paper_engine() -> Engine {
@@ -220,4 +222,72 @@ fn explain_analyze_has_all_sections() {
     ] {
         assert!(text.contains(section), "missing {section:?} in:\n{text}");
     }
+    // Non-recursive queries run no fixpoint, so the section is absent.
+    assert!(!text.contains("== fixpoint"), "spurious fixpoint section");
+}
+
+/// A three-edge chain for the recursive observability checks.
+fn graph_engine() -> Engine {
+    let mut c = Catalog::new();
+    c.add_table(
+        Table::with_rows(
+            TableSchema::new(
+                "edge",
+                vec![
+                    ColumnDef::new("src", DataType::Int),
+                    ColumnDef::new("dst", DataType::Int),
+                ],
+            )
+            .with_key(&["src", "dst"])
+            .unwrap(),
+            [(0i64, 1i64), (1, 2), (2, 3)]
+                .into_iter()
+                .map(|(s, d)| Row::new(vec![Value::Int(s), Value::Int(d)]))
+                .collect(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    Engine::new(c)
+}
+
+const QUERY_TC: &str = "WITH RECURSIVE tc (src, dst) AS ( \
+                        SELECT src, dst FROM edge \
+                        UNION \
+                        SELECT tc.src, e.dst FROM tc, edge e WHERE e.src = tc.dst) \
+                        SELECT src, dst FROM tc";
+
+/// EXPLAIN ANALYZE on a recursive query appends the `== fixpoint`
+/// section with the per-round delta history of each recursive union.
+#[test]
+fn explain_analyze_shows_fixpoint_convergence() {
+    let e = graph_engine();
+    let text = e.explain_analyze(QUERY_TC).unwrap();
+    assert!(
+        text.contains("== fixpoint (per recursive union)"),
+        "missing fixpoint section in:\n{text}"
+    );
+    // The 0→1→2→3 chain converges after 3 productive rounds: seed 3
+    // rows, then deltas 2, 1, and the empty round that proves it.
+    assert!(text.contains("[3 2 1 0]"), "unexpected deltas in:\n{text}");
+}
+
+/// The fixpoint driver reports its convergence counters through the
+/// metrics registry, so recursion depth is observable via METRICS.
+#[test]
+fn fixpoint_metrics_are_recorded() {
+    let mut e = graph_engine();
+    let registry = starmagic::MetricsRegistry::enabled();
+    e.set_metrics(registry.clone());
+    let p = e.query_profiled(QUERY_TC, Strategy::CostBased).unwrap();
+    assert_eq!(p.result.rows.len(), 6, "chain closure has 6 pairs");
+
+    let snap = registry.snapshot();
+    let fs = p.profile.fixpoint.values().next().expect("one fixpoint");
+    assert_eq!(snap.counter("exec.fixpoint.iterations"), fs.iterations);
+    assert_eq!(
+        snap.counter("exec.fixpoint.delta_rows"),
+        fs.delta_rows.iter().sum::<u64>()
+    );
+    assert_eq!(snap.counter("exec.fixpoint.total_rows"), fs.total_rows);
 }
